@@ -1,0 +1,48 @@
+//! Criterion benchmark for tensor completion sweeps, including the
+//! rank scaling (each sweep is `O(nnz * R^2)` plus `O(rows * R^3)`
+//! Cholesky solves).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use splatt_core::{tensor_complete, CompletionOptions};
+use splatt_tensor::synth;
+
+fn bench_completion_rank(c: &mut Criterion) {
+    let tensor = synth::NETFLIX.generate(1.0 / 2000.0, 4);
+    let mut group = c.benchmark_group("completion_rank");
+    group.sample_size(10);
+    for rank in [4usize, 8, 16] {
+        let opts = CompletionOptions {
+            rank,
+            max_iters: 3,
+            tolerance: 0.0,
+            ntasks: 2,
+            ..Default::default()
+        };
+        group.bench_function(BenchmarkId::from_parameter(rank), |b| {
+            b.iter(|| tensor_complete(&tensor, &opts))
+        });
+    }
+    group.finish();
+}
+
+fn bench_completion_tasks(c: &mut Criterion) {
+    let tensor = synth::NETFLIX.generate(1.0 / 2000.0, 5);
+    let mut group = c.benchmark_group("completion_tasks");
+    group.sample_size(10);
+    for ntasks in [1usize, 2, 4] {
+        let opts = CompletionOptions {
+            rank: 8,
+            max_iters: 3,
+            tolerance: 0.0,
+            ntasks,
+            ..Default::default()
+        };
+        group.bench_function(BenchmarkId::from_parameter(ntasks), |b| {
+            b.iter(|| tensor_complete(&tensor, &opts))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_completion_rank, bench_completion_tasks);
+criterion_main!(benches);

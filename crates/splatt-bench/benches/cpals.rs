@@ -1,0 +1,48 @@
+//! Criterion end-to-end benchmark: one CP-ALS solve per implementation
+//! preset (the Table III / Figure 9 comparison in micro form), plus CSF
+//! construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use splatt_core::{cp_als, CpalsOptions, CsfAlloc, CsfSet, Implementation};
+use splatt_par::{TaskTeam, TeamConfig};
+use splatt_tensor::{synth, SortVariant};
+
+fn bench_cpals_implementations(c: &mut Criterion) {
+    let tensor = synth::YELP.generate(1.0 / 800.0, 5);
+    let mut group = c.benchmark_group("cpals_impl");
+    group.sample_size(10);
+    for imp in [
+        Implementation::Reference,
+        Implementation::PortedInitial,
+        Implementation::PortedOptimized,
+    ] {
+        let opts = CpalsOptions {
+            rank: 16,
+            max_iters: 3,
+            tolerance: 0.0,
+            ntasks: 2,
+            ..Default::default()
+        }
+        .with_implementation(imp);
+        group.bench_function(BenchmarkId::from_parameter(imp.label()), |b| {
+            b.iter(|| cp_als(&tensor, &opts))
+        });
+    }
+    group.finish();
+}
+
+fn bench_csf_build(c: &mut Criterion) {
+    let tensor = synth::NELL2.generate(1.0 / 800.0, 6);
+    let team = TaskTeam::with_config(2, TeamConfig::short_spin());
+    let mut group = c.benchmark_group("csf_build");
+    group.sample_size(10);
+    for alloc in [CsfAlloc::One, CsfAlloc::Two, CsfAlloc::All] {
+        group.bench_function(BenchmarkId::from_parameter(format!("{alloc:?}")), |b| {
+            b.iter(|| CsfSet::build(&tensor, alloc, &team, SortVariant::AllOpts))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cpals_implementations, bench_csf_build);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion micro-benchmarks for the pre-processing sort (Figure 1's
+//! variants) and its two phases.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use splatt_par::{TaskTeam, TeamConfig};
+use splatt_tensor::{sort, synth, SortVariant};
+
+fn bench_sort_variants(c: &mut Criterion) {
+    let tensor = synth::NELL2.generate(1.0 / 800.0, 7);
+    let team = TaskTeam::with_config(2, TeamConfig::short_spin());
+
+    let mut group = c.benchmark_group("sort_variants");
+    group.sample_size(10);
+    for variant in SortVariant::ALL {
+        group.bench_function(BenchmarkId::from_parameter(variant.label()), |b| {
+            b.iter_batched(
+                || tensor.clone(),
+                |mut t| sort::sort_for_mode(&mut t, 0, &team, variant),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_sort_modes(c: &mut Criterion) {
+    // skew differs per mode: per-mode sort cost shows the bucket shape
+    let tensor = synth::YELP.generate(1.0 / 800.0, 9);
+    let team = TaskTeam::with_config(2, TeamConfig::short_spin());
+
+    let mut group = c.benchmark_group("sort_by_mode");
+    group.sample_size(10);
+    for mode in 0..3 {
+        group.bench_function(BenchmarkId::from_parameter(mode), |b| {
+            b.iter_batched(
+                || tensor.clone(),
+                |mut t| sort::sort_for_mode(&mut t, mode, &team, SortVariant::AllOpts),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sort_variants, bench_sort_modes);
+criterion_main!(benches);

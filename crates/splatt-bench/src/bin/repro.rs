@@ -1,0 +1,55 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```sh
+//! cargo run --release -p splatt-bench --bin repro -- all
+//! cargo run --release -p splatt-bench --bin repro -- table3 fig9 fig10
+//! cargo run --release -p splatt-bench --bin repro -- list
+//! ```
+//!
+//! `SPLATT_BENCH_FAST=1` runs a reduced protocol (5 iterations, ≤8 tasks).
+
+use splatt_bench::experiments::{run, ALL_EXPERIMENTS};
+
+fn usage() -> ! {
+    eprintln!("usage: repro <experiment...|all|list>");
+    eprintln!("experiments: {}", ALL_EXPERIMENTS.join(" "));
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    if args[0] == "list" {
+        for id in ALL_EXPERIMENTS {
+            println!("{id}");
+        }
+        return;
+    }
+    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
+        ALL_EXPERIMENTS.to_vec()
+    } else {
+        args.iter().map(|s| s.as_str()).collect()
+    };
+
+    if splatt_bench::datasets::fast_mode() {
+        eprintln!("[repro] SPLATT_BENCH_FAST=1: 5 iterations, tasks capped at 8");
+    }
+
+    let start = std::time::Instant::now();
+    for id in &ids {
+        match run(id) {
+            Some(table) => table.emit(),
+            None => {
+                eprintln!("unknown experiment '{id}'");
+                usage();
+            }
+        }
+    }
+    eprintln!(
+        "[repro] {} experiment(s) in {:.1}s",
+        ids.len(),
+        start.elapsed().as_secs_f64()
+    );
+}

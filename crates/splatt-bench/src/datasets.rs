@@ -1,0 +1,105 @@
+//! Bench-scale instances of the paper's data sets.
+
+use splatt_tensor::{synth, SparseTensor};
+
+/// Default scale for the YELP stand-in (100 k nonzeros at 1/80).
+pub const YELP_SCALE: f64 = 1.0 / 80.0;
+
+/// Default scale for the NELL-2 stand-in (770 k nonzeros at 1/100).
+pub const NELL2_SCALE: f64 = 1.0 / 100.0;
+
+/// Scale used for the three data sets that only appear in Table I.
+pub const OTHERS_SCALE: f64 = 1.0 / 500.0;
+
+/// `SPLATT_BENCH_SCALE` multiplier applied to all defaults.
+pub fn scale_multiplier() -> f64 {
+    std::env::var("SPLATT_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0)
+}
+
+/// `true` when `SPLATT_BENCH_FAST=1` (smoke-run mode).
+pub fn fast_mode() -> bool {
+    std::env::var("SPLATT_BENCH_FAST").map(|v| v == "1").unwrap_or(false)
+}
+
+/// CP-ALS iterations per run: the paper's 20, or 5 in fast mode.
+pub fn bench_iters() -> usize {
+    if fast_mode() {
+        5
+    } else {
+        20
+    }
+}
+
+/// The paper's decomposition rank.
+pub const BENCH_RANK: usize = 35;
+
+/// The paper's threads/tasks axis (1..32), capped at 8 in fast mode.
+pub fn task_counts() -> Vec<usize> {
+    let all = vec![1, 2, 4, 8, 16, 32];
+    let cap = if fast_mode() { 8 } else { 32 };
+    all.into_iter().filter(|&t| t <= cap).collect()
+}
+
+/// The YELP stand-in at bench scale. Sparse modes: the MTTKRP takes the
+/// lock path beyond 2–3 tasks, as in the paper.
+pub fn yelp() -> SparseTensor {
+    synth::YELP.generate(YELP_SCALE * scale_multiplier(), 0xE1)
+}
+
+/// The NELL-2 stand-in at bench scale. Dense-ish modes: privatization
+/// wins at every task count, as in the paper.
+pub fn nell2() -> SparseTensor {
+    synth::NELL2.generate(NELL2_SCALE * scale_multiplier(), 0xE2)
+}
+
+/// Look a data set up by (case-insensitive) name.
+pub fn by_name(name: &str) -> Option<SparseTensor> {
+    match name.to_ascii_lowercase().as_str() {
+        "yelp" => Some(yelp()),
+        "nell-2" | "nell2" => Some(nell2()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn yelp_instance_triggers_locks_beyond_two_tasks() {
+        let t = yelp();
+        let mut d = t.dims().to_vec();
+        d.sort_unstable();
+        let mid = d[1];
+        // the paper's decision boundary must survive scaling
+        assert!(splatt_core::mttkrp::use_privatization(mid, 2, t.nnz(), 0.02));
+        assert!(!splatt_core::mttkrp::use_privatization(mid, 8, t.nnz(), 0.02));
+    }
+
+    #[test]
+    fn nell2_instance_stays_privatized_at_32_tasks() {
+        let t = nell2();
+        let mut d = t.dims().to_vec();
+        d.sort_unstable();
+        let mid = d[1];
+        assert!(splatt_core::mttkrp::use_privatization(mid, 32, t.nnz(), 0.02));
+    }
+
+    #[test]
+    fn by_name_resolves() {
+        assert!(by_name("YELP").is_some());
+        assert!(by_name("nell-2").is_some());
+        assert!(by_name("unknown").is_none());
+    }
+
+    #[test]
+    fn task_counts_are_powers_of_two_up_to_32() {
+        // (cannot assert fast mode off: environment-dependent)
+        let counts = task_counts();
+        assert_eq!(counts[0], 1);
+        assert!(counts.iter().all(|&t| t.is_power_of_two()));
+    }
+}

@@ -1,0 +1,32 @@
+//! Benchmark harness for splatt-rs.
+//!
+//! The `repro` binary regenerates every table and figure in the evaluation
+//! section of *"Parallel Sparse Tensor Decomposition in Chapel"*
+//! (Rolinger et al.): Table I (data sets), Table III (initial per-routine
+//! runtimes), Figures 1–10, plus two ablations that probe design choices
+//! the paper discusses but does not plot (Qthreads/OpenMP interference and
+//! the privatization threshold).
+//!
+//! ```sh
+//! cargo run --release -p splatt-bench --bin repro -- all      # everything
+//! cargo run --release -p splatt-bench --bin repro -- fig9     # one figure
+//! ```
+//!
+//! Output goes to stdout as aligned tables and to `results/<exp>.csv`.
+//!
+//! Environment knobs:
+//! * `SPLATT_BENCH_FAST=1` — 5 CP-ALS iterations instead of the paper's
+//!   20, and task counts capped at 8 (for smoke runs).
+//! * `SPLATT_BENCH_SCALE=<f64>` — multiply the default data set scales.
+//!
+//! The paper's testbed is a 36-core Broadwell; CI boxes are typically far
+//! smaller, so data sets are scaled-down instances of the paper's shapes
+//! (the scaling preserves the `dim * ntasks / nnz` ratios that drive every
+//! qualitative behaviour — see `DESIGN.md`). Task counts above the
+//! physical core count run oversubscribed; relative shapes, not absolute
+//! speedups, are the reproduction target.
+
+pub mod datasets;
+pub mod experiments;
+pub mod harness;
+pub mod report;

@@ -1,0 +1,130 @@
+//! Aligned-table printing and CSV output for the repro experiments.
+
+use std::io::Write;
+use std::path::PathBuf;
+
+/// A titled table: headers plus string rows, printed aligned to stdout
+/// and serializable as CSV.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Experiment id, used as the CSV file stem (e.g. `fig9`).
+    pub id: String,
+    /// Human title printed above the table.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (same arity as `headers`).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(id: &str, title: &str, headers: &[&str]) -> Self {
+        Table {
+            id: id.to_string(),
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// Panics if the arity differs from the headers.
+    pub fn push(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Render aligned to stdout.
+    pub fn print(&self) {
+        println!("\n== {} ==", self.title);
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let mut out = String::new();
+            for (w, cell) in widths.iter().zip(cells) {
+                out.push_str(&format!("{cell:>w$}  ", w = w));
+            }
+            println!("{}", out.trim_end());
+        };
+        line(&self.headers);
+        println!("{}", widths.iter().map(|w| "-".repeat(*w + 2)).collect::<String>());
+        for row in &self.rows {
+            line(row);
+        }
+    }
+
+    /// Write as `results/<id>.csv`.
+    ///
+    /// # Errors
+    /// Propagates I/O failures.
+    pub fn write_csv(&self) -> std::io::Result<PathBuf> {
+        let dir = results_dir();
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.csv", self.id));
+        let mut f = std::io::BufWriter::new(std::fs::File::create(&path)?);
+        writeln!(f, "{}", self.headers.join(","))?;
+        for row in &self.rows {
+            writeln!(f, "{}", row.join(","))?;
+        }
+        f.flush()?;
+        Ok(path)
+    }
+
+    /// Print and write CSV, reporting the CSV path.
+    pub fn emit(&self) {
+        self.print();
+        match self.write_csv() {
+            Ok(path) => println!("[csv] {}", path.display()),
+            Err(e) => eprintln!("[csv] write failed: {e}"),
+        }
+    }
+}
+
+/// Directory experiment CSVs land in (`./results` under the workspace, or
+/// the current directory's `results/` when run elsewhere).
+pub fn results_dir() -> PathBuf {
+    // prefer the workspace root when invoked via cargo
+    if let Ok(dir) = std::env::var("CARGO_MANIFEST_DIR") {
+        let p = PathBuf::from(dir);
+        if let Some(ws) = p.parent().and_then(|p| p.parent()) {
+            return ws.join("results");
+        }
+    }
+    PathBuf::from("results")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rows_must_match_headers() {
+        let mut t = Table::new("t", "title", &["a", "b"]);
+        t.push(vec!["1".into(), "2".into()]);
+        assert_eq!(t.rows.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn bad_arity_panics() {
+        let mut t = Table::new("t", "title", &["a", "b"]);
+        t.push(vec!["1".into()]);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let mut t = Table::new("unit_test_table", "x", &["h1", "h2"]);
+        t.push(vec!["v1".into(), "v2".into()]);
+        let path = t.write_csv().unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "h1,h2\nv1,v2\n");
+        std::fs::remove_file(path).ok();
+    }
+}

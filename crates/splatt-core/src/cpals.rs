@@ -1,0 +1,492 @@
+//! The CP-ALS driver (Algorithm 1 of the paper; SPLATT's `cpd_als`).
+//!
+//! Each iteration updates every factor matrix in turn:
+//!
+//! 1. `M <- MTTKRP(X, factors, mode)` — the critical kernel,
+//! 2. `V <- hadamard of the other modes' Gramians`, `A <- M V^+`
+//!    (the "Inverse" routine),
+//! 3. column-normalize `A`, storing norms in `lambda` ("Mat norm";
+//!    2-norm on the first iteration, max-norm after — SPLATT behaviour),
+//! 4. refresh `A^T A` ("Mat A^TA"),
+//!
+//! and closes with the fit computation ("CPD fit"), which reuses the last
+//! mode's MTTKRP output to get `<X, Z>` without touching the tensor again.
+//! Every phase is attributed to the [`Routine`] timer the paper reports.
+
+use crate::csf::CsfSet;
+use crate::kruskal::KruskalModel;
+use crate::mttkrp::{mttkrp, MttkrpConfig, MttkrpWorkspace};
+use crate::options::CpalsOptions;
+use splatt_dense::{
+    hadamard_assign, mat_ata, normalize_columns, solve_normals, MatNorm, Matrix,
+};
+use splatt_par::{Routine, TaskTeam, TimerRegistry};
+use splatt_tensor::SparseTensor;
+
+/// Result of a CP-ALS run.
+#[derive(Debug)]
+pub struct CpalsOutput {
+    /// The fitted Kruskal model.
+    pub model: KruskalModel,
+    /// Final fit (`1 - ||X - Z||_F / ||X||_F`).
+    pub fit: f64,
+    /// Iterations actually executed.
+    pub iterations: usize,
+    /// Fit after each iteration.
+    pub fits: Vec<f64>,
+    /// Per-routine wall-clock timers (the paper's Table III instrument).
+    pub timers: TimerRegistry,
+}
+
+/// Run CP-ALS on `tensor` under `opts`.
+///
+/// Duplicate coordinates are legal and their values sum inside the
+/// kernels, but the reported *fit* normalizes by the stored-entry norm —
+/// like SPLATT, this solver assumes coalesced input. Call
+/// [`SparseTensor::coalesce`] first if your tensor may contain
+/// duplicates and you care about the fit value.
+///
+/// # Panics
+/// Panics if `opts.rank == 0`, `opts.ntasks == 0`, or `opts.max_iters == 0`.
+pub fn cp_als(tensor: &SparseTensor, opts: &CpalsOptions) -> CpalsOutput {
+    let team = TaskTeam::with_config(
+        opts.ntasks,
+        splatt_par::TeamConfig { spin_count: opts.spin_count },
+    );
+    cp_als_with_team(tensor, opts, &team)
+}
+
+/// [`cp_als`] with a caller-provided task team (reused across runs in the
+/// benchmark harness to avoid re-spawning workers).
+///
+/// # Panics
+/// As [`cp_als`]; additionally if `team.ntasks() != opts.ntasks`.
+pub fn cp_als_with_team(
+    tensor: &SparseTensor,
+    opts: &CpalsOptions,
+    team: &TaskTeam,
+) -> CpalsOutput {
+    assert!(opts.rank > 0, "rank must be positive");
+    assert!(opts.max_iters > 0, "max_iters must be positive");
+    assert_eq!(team.ntasks(), opts.ntasks, "team size must match options");
+
+    let timers = TimerRegistry::new();
+    let order = tensor.order();
+    let rank = opts.rank;
+
+    // ---- pre-processing: sort + CSF construction ----
+    let set = CsfSet::build_timed(tensor, opts.csf_alloc, team, opts.sort_variant, &timers);
+    // optional mode tiling for the modes that would otherwise scatter
+    // (sorting inside the tile build is attributed to the Sort timer)
+    let tiled: Vec<Option<crate::tiling::TiledCsf>> = if opts.tiling {
+        (0..order)
+            .map(|m| match set.for_mode(m).1 {
+                crate::csf::KernelKind::Root => None,
+                _ => Some(timers.time(Routine::Sort, || {
+                    crate::tiling::TiledCsf::build(tensor, m, opts.ntasks, team, opts.sort_variant)
+                })),
+            })
+            .collect()
+    } else {
+        (0..order).map(|_| None).collect()
+    };
+
+    let mtt_cfg = MttkrpConfig {
+        access: opts.access,
+        locks: opts.locks,
+        pool_size: opts.pool_size,
+        priv_threshold: opts.priv_threshold,
+    };
+    let mut ws = MttkrpWorkspace::new(&mtt_cfg, opts.ntasks);
+
+    // ---- initialization (SPLATT: uniform random factors) ----
+    let mut factors: Vec<Matrix> = tensor
+        .dims()
+        .iter()
+        .enumerate()
+        .map(|(m, &d)| Matrix::random(d, rank, opts.seed.wrapping_add(m as u64)))
+        .collect();
+    let mut lambda = vec![0.0; rank];
+    let mut ata: Vec<Matrix> = factors
+        .iter()
+        .map(|f| timers.time(Routine::AtA, || mat_ata(f)))
+        .collect();
+    let mut mout: Vec<Matrix> = tensor
+        .dims()
+        .iter()
+        .map(|&d| Matrix::zeros(d, rank))
+        .collect();
+
+    let norm_x_sq = tensor.norm_squared();
+    let mut fits = Vec::with_capacity(opts.max_iters);
+    let mut oldfit = 0.0;
+    let mut iterations = 0;
+
+    let loop_start = std::time::Instant::now();
+    for it in 0..opts.max_iters {
+        iterations = it + 1;
+        for mode in 0..order {
+            timers.time(Routine::Mttkrp, || {
+                if let Some(tc) = &tiled[mode] {
+                    crate::mttkrp::mttkrp_tiled(tc, &factors, &mut mout[mode], team, &mtt_cfg);
+                } else {
+                    mttkrp(&set, &factors, mode, &mut mout[mode], &mut ws, team, &mtt_cfg);
+                }
+            });
+
+            timers.time(Routine::Inverse, || {
+                // V = hadamard of the other Gramians (Algorithm 1 lines 4/7/10)
+                let mut v = Matrix::filled(rank, rank, 1.0);
+                for (m, g) in ata.iter().enumerate() {
+                    if m != mode {
+                        hadamard_assign(&mut v, g);
+                    }
+                }
+                // A <- M V^+ (Cholesky fast path, eigen pseudo-inverse fallback)
+                factors[mode]
+                    .as_mut_slice()
+                    .copy_from_slice(mout[mode].as_slice());
+                solve_normals(&v, &mut factors[mode]);
+                if opts.constraint == crate::options::Constraint::NonNegative {
+                    // projected ALS: clamp onto the nonnegative orthant
+                    for val in factors[mode].as_mut_slice() {
+                        if *val < 0.0 {
+                            *val = 0.0;
+                        }
+                    }
+                }
+            });
+
+            timers.time(Routine::MatNorm, || {
+                let which = if it == 0 { MatNorm::Two } else { MatNorm::Max };
+                normalize_columns(&mut factors[mode], &mut lambda, which);
+            });
+
+            timers.time(Routine::AtA, || {
+                ata[mode] = mat_ata(&factors[mode]);
+            });
+        }
+
+        let fit = timers.time(Routine::Fit, || {
+            compute_fit(norm_x_sq, &lambda, &ata, &factors[order - 1], &mout[order - 1])
+        });
+        fits.push(fit);
+
+        if opts.tolerance > 0.0 && it > 0 && (fit - oldfit).abs() < opts.tolerance {
+            break;
+        }
+        oldfit = fit;
+    }
+    timers.add(Routine::CpdTotal, loop_start.elapsed());
+
+    CpalsOutput {
+        model: KruskalModel { lambda, factors },
+        fit: fits.last().copied().unwrap_or(0.0),
+        iterations,
+        fits,
+        timers,
+    }
+}
+
+/// SPLATT's `kruskal_calc_fit`: `fit = 1 - sqrt(normX^2 + normZ^2 -
+/// 2 <X, Z>) / normX`, with `<X, Z>` recovered from the final mode's
+/// MTTKRP output (`<X, Z> = sum_{i,r} M[i,r] * A[i,r] * lambda[r]`) and
+/// `normZ^2` from the Gramians.
+fn compute_fit(
+    norm_x_sq: f64,
+    lambda: &[f64],
+    ata: &[Matrix],
+    last_factor: &Matrix,
+    last_mout: &Matrix,
+) -> f64 {
+    if norm_x_sq == 0.0 {
+        return 0.0;
+    }
+    let rank = lambda.len();
+
+    // normZ^2 = lambda^T (hadamard of all Gramians) lambda
+    let mut had = Matrix::filled(rank, rank, 1.0);
+    for g in ata {
+        hadamard_assign(&mut had, g);
+    }
+    let mut norm_z_sq = 0.0;
+    for r in 0..rank {
+        for s in 0..rank {
+            norm_z_sq += lambda[r] * had[(r, s)] * lambda[s];
+        }
+    }
+
+    // <X, Z> from the last MTTKRP output and the (normalized) last factor
+    let mut inner = 0.0;
+    for i in 0..last_factor.rows() {
+        let frow = last_factor.row(i);
+        let mrow = last_mout.row(i);
+        for ((&f, &m), &l) in frow.iter().zip(mrow).zip(lambda) {
+            inner += f * m * l;
+        }
+    }
+
+    let residual_sq = (norm_x_sq + norm_z_sq - 2.0 * inner).max(0.0);
+    1.0 - residual_sq.sqrt() / norm_x_sq.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::Implementation;
+    use splatt_tensor::synth;
+
+    #[test]
+    fn recovers_planted_low_rank_tensor() {
+        // fully dense planted tensor: exactly rank-3, so fit must -> 1
+        let (tensor, _) = synth::planted_dense(&[25, 20, 15], 3, 0.0, 42);
+        let opts = CpalsOptions {
+            rank: 3,
+            max_iters: 60,
+            tolerance: 1e-9,
+            ntasks: 2,
+            ..Default::default()
+        };
+        let out = cp_als(&tensor, &opts);
+        assert!(out.fit > 0.97, "fit {} too low", out.fit);
+    }
+
+    #[test]
+    fn overcomplete_rank_still_fits_planted_tensor() {
+        // rank above the true rank must fit at least as well
+        let (tensor, _) = synth::planted_dense(&[12, 10, 8], 2, 0.0, 77);
+        let opts = CpalsOptions {
+            rank: 5,
+            max_iters: 40,
+            tolerance: 0.0,
+            ntasks: 1,
+            ..Default::default()
+        };
+        let out = cp_als(&tensor, &opts);
+        assert!(out.fit > 0.95, "fit {} too low", out.fit);
+    }
+
+    #[test]
+    fn fit_is_monotone_ish_and_bounded() {
+        let tensor = synth::power_law(&[30, 25, 20], 2_000, 1.5, 7);
+        let opts = CpalsOptions {
+            rank: 8,
+            max_iters: 15,
+            tolerance: 0.0,
+            ntasks: 2,
+            ..Default::default()
+        };
+        let out = cp_als(&tensor, &opts);
+        assert_eq!(out.iterations, 15);
+        assert_eq!(out.fits.len(), 15);
+        for &f in &out.fits {
+            assert!(f <= 1.0 + 1e-9, "fit {f} above 1");
+        }
+        // ALS is non-decreasing in exact arithmetic; allow tiny noise
+        for w in out.fits.windows(2) {
+            assert!(w[1] >= w[0] - 1e-6, "fit decreased: {} -> {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn all_implementations_reach_same_fit() {
+        let (tensor, _) = synth::planted_low_rank(&[18, 14, 22], 2, 1_200, 0.05, 5);
+        let base = CpalsOptions {
+            rank: 4,
+            max_iters: 12,
+            tolerance: 0.0,
+            ntasks: 3,
+            ..Default::default()
+        };
+        let fits: Vec<f64> = [
+            Implementation::Reference,
+            Implementation::PortedInitial,
+            Implementation::PortedOptimized,
+        ]
+        .iter()
+        .map(|&imp| cp_als(&tensor, &base.with_implementation(imp)).fit)
+        .collect();
+        // identical arithmetic, different mechanics: fits agree closely
+        assert!((fits[0] - fits[1]).abs() < 1e-8, "{fits:?}");
+        assert!((fits[0] - fits[2]).abs() < 1e-8, "{fits:?}");
+    }
+
+    #[test]
+    fn task_count_does_not_change_result_much() {
+        let (tensor, _) = synth::planted_low_rank(&[20, 16, 12], 2, 1_000, 0.0, 9);
+        let fit_of = |ntasks| {
+            let opts = CpalsOptions {
+                rank: 2,
+                max_iters: 25,
+                tolerance: 0.0,
+                ntasks,
+                ..Default::default()
+            };
+            cp_als(&tensor, &opts).fit
+        };
+        let f1 = fit_of(1);
+        let f4 = fit_of(4);
+        // MTTKRP reductions reorder float adds; fits agree to solver noise
+        assert!((f1 - f4).abs() < 1e-6, "{f1} vs {f4}");
+    }
+
+    #[test]
+    fn tolerance_stops_early() {
+        let (tensor, _) = synth::planted_low_rank(&[15, 15, 15], 2, 800, 0.0, 3);
+        let opts = CpalsOptions {
+            rank: 2,
+            max_iters: 200,
+            tolerance: 1e-4,
+            ntasks: 1,
+            ..Default::default()
+        };
+        let out = cp_als(&tensor, &opts);
+        assert!(out.iterations < 200, "never converged");
+    }
+
+    #[test]
+    fn timers_are_populated() {
+        let tensor = synth::random_uniform(&[20, 20, 20], 1_000, 1);
+        let opts = CpalsOptions {
+            rank: 5,
+            max_iters: 3,
+            tolerance: 0.0,
+            ntasks: 2,
+            ..Default::default()
+        };
+        let out = cp_als(&tensor, &opts);
+        for r in [Routine::Mttkrp, Routine::Sort, Routine::AtA, Routine::MatNorm, Routine::Fit, Routine::Inverse, Routine::CpdTotal] {
+            assert!(out.timers.get(r) > std::time::Duration::ZERO, "{r:?} never timed");
+        }
+    }
+
+    #[test]
+    fn model_fit_matches_reported_fit() {
+        let (tensor, _) = synth::planted_low_rank(&[12, 10, 14], 2, 600, 0.0, 8);
+        let opts = CpalsOptions {
+            rank: 2,
+            max_iters: 30,
+            tolerance: 0.0,
+            ntasks: 1,
+            ..Default::default()
+        };
+        let out = cp_als(&tensor, &opts);
+        let direct = out.model.fit_to(&tensor);
+        assert!(
+            (direct - out.fit).abs() < 1e-6,
+            "reported fit {} vs direct {}",
+            out.fit,
+            direct
+        );
+    }
+
+    #[test]
+    fn four_mode_decomposition_works() {
+        let (tensor, _) = synth::planted_dense(&[10, 8, 9, 7], 2, 0.0, 6);
+        let opts = CpalsOptions {
+            rank: 2,
+            max_iters: 40,
+            tolerance: 0.0,
+            ntasks: 2,
+            ..Default::default()
+        };
+        let out = cp_als(&tensor, &opts);
+        assert_eq!(out.model.order(), 4);
+        assert!(out.fit > 0.9, "fit {}", out.fit);
+    }
+
+    #[test]
+    fn tiling_matches_untiled_decomposition() {
+        let tensor = synth::power_law(&[30, 18, 40], 2_500, 1.7, 29);
+        let base = CpalsOptions {
+            rank: 5,
+            max_iters: 8,
+            tolerance: 0.0,
+            ntasks: 3,
+            // force the non-root modes away from privatization so tiling
+            // actually replaces the lock path
+            priv_threshold: 0.0,
+            ..Default::default()
+        };
+        let untiled = cp_als(&tensor, &base);
+        let tiled = cp_als(&tensor, &CpalsOptions { tiling: true, ..base });
+        assert!(
+            (untiled.fit - tiled.fit).abs() < 1e-8,
+            "tiled fit {} vs untiled {}",
+            tiled.fit,
+            untiled.fit
+        );
+    }
+
+    #[test]
+    fn nonnegative_constraint_keeps_factors_nonnegative() {
+        let tensor = synth::power_law(&[20, 15, 25], 1_500, 1.8, 13);
+        let opts = CpalsOptions {
+            rank: 5,
+            max_iters: 10,
+            tolerance: 0.0,
+            ntasks: 2,
+            constraint: crate::options::Constraint::NonNegative,
+            ..Default::default()
+        };
+        let out = cp_als(&tensor, &opts);
+        for (m, f) in out.model.factors.iter().enumerate() {
+            assert!(
+                f.as_slice().iter().all(|&v| v >= 0.0),
+                "negative entry in factor {m}"
+            );
+        }
+        assert!(out.fit.is_finite());
+    }
+
+    #[test]
+    fn nonnegative_fits_nonnegative_planted_data() {
+        // planted factors are positive, so the projection should not hurt
+        // the achievable fit much
+        let (tensor, _) = synth::planted_dense(&[14, 12, 10], 2, 0.0, 19);
+        let base = CpalsOptions {
+            rank: 2,
+            max_iters: 50,
+            tolerance: 0.0,
+            ntasks: 1,
+            ..Default::default()
+        };
+        let unconstrained = cp_als(&tensor, &base).fit;
+        let constrained = cp_als(
+            &tensor,
+            &CpalsOptions {
+                constraint: crate::options::Constraint::NonNegative,
+                ..base
+            },
+        )
+        .fit;
+        assert!(constrained > 0.95, "constrained fit {constrained}");
+        assert!(
+            constrained >= unconstrained - 0.05,
+            "projection cost too much: {constrained} vs {unconstrained}"
+        );
+    }
+
+    #[test]
+    fn empty_tensor_is_handled() {
+        let tensor = SparseTensor::new(vec![5, 5, 5]);
+        let opts = CpalsOptions {
+            rank: 2,
+            max_iters: 2,
+            tolerance: 0.0,
+            ntasks: 1,
+            ..Default::default()
+        };
+        let out = cp_als(&tensor, &opts);
+        assert_eq!(out.fit, 0.0);
+        assert!(out.model.lambda.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "rank must be positive")]
+    fn zero_rank_panics() {
+        let tensor = SparseTensor::new(vec![5, 5, 5]);
+        let opts = CpalsOptions { rank: 0, ..Default::default() };
+        let _ = cp_als(&tensor, &opts);
+    }
+}

@@ -1,0 +1,533 @@
+//! Compressed Sparse Fiber (CSF) storage (Smith & Karypis, IA³ 2015).
+//!
+//! CSF generalizes CSR to tensors: nonzeros sorted by a mode permutation
+//! form a tree whose level-`l` nodes are the distinct index prefixes of
+//! length `l + 1`. Each level stores the node ids (`fids`) and a pointer
+//! array (`fptr`) into the next level; the leaves carry the values. SPLATT
+//! can allocate one, two, or one-per-mode CSF representations of the same
+//! tensor ([`CsfAlloc`]), trading memory for lock-free MTTKRP kernels —
+//! the trade at the center of the paper's YELP-vs-NELL-2 behaviour.
+
+use splatt_par::TaskTeam;
+use splatt_tensor::{sort, SortVariant, SparseTensor};
+
+/// How many CSF representations to allocate (SPLATT's `SPLATT_CSF_*`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CsfAlloc {
+    /// One representation rooted at the shortest mode. MTTKRPs for the
+    /// other modes use the internal/leaf kernels (locks or privatization).
+    One,
+    /// Two representations: one rooted at the shortest mode, one at the
+    /// longest. SPLATT's default — the middle mode still needs the
+    /// internal kernel.
+    #[default]
+    Two,
+    /// One representation per mode: every MTTKRP is a lock-free root-mode
+    /// kernel, at `order` times the memory.
+    All,
+}
+
+/// Which MTTKRP kernel a (CSF, mode) pairing requires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelKind {
+    /// Output mode is the CSF root: slice-parallel, no synchronization.
+    Root,
+    /// Output mode is an interior level (depth carried).
+    Internal(usize),
+    /// Output mode is the leaf level.
+    Leaf,
+}
+
+/// One CSF representation of a sparse tensor.
+#[derive(Debug, Clone)]
+pub struct Csf {
+    /// `dim_perm[level]` = original mode stored at that tree level.
+    dim_perm: Vec<usize>,
+    /// Original mode dimensions (unpermuted).
+    dims: Vec<usize>,
+    /// `fptr[l][f] .. fptr[l][f+1]` = children of fiber `f` at level `l`
+    /// (indices into level `l+1`, or into `vals` for `l = order - 2`).
+    fptr: Vec<Vec<usize>>,
+    /// `fids[l]` = original index (in mode `dim_perm[l]`) of each fiber.
+    fids: Vec<Vec<u32>>,
+    /// Nonzero values, in sorted order.
+    vals: Vec<f64>,
+    /// Nonzeros under each root slice — the weights for task partitioning.
+    slice_nnz: Vec<usize>,
+}
+
+impl Csf {
+    /// Build a CSF from `tensor`, rooted at mode `dim_perm[0]` with tree
+    /// levels following `dim_perm`. The tensor is copied and sorted with
+    /// `variant` on `team` (the paper's "Sort" routine runs here).
+    ///
+    /// # Panics
+    /// Panics if `dim_perm` is not a permutation of the tensor's modes.
+    pub fn build(
+        tensor: &SparseTensor,
+        dim_perm: &[usize],
+        team: &TaskTeam,
+        variant: SortVariant,
+    ) -> Self {
+        let mut sorted = tensor.clone();
+        sort::sort_by_perm(&mut sorted, dim_perm, team, variant);
+        Self::from_sorted(&sorted, dim_perm)
+    }
+
+    /// Build from a tensor already sorted by `dim_perm`.
+    pub(crate) fn from_sorted(sorted: &SparseTensor, dim_perm: &[usize]) -> Self {
+        debug_assert!(sorted.is_sorted_by(dim_perm), "tensor must be pre-sorted");
+        let order = sorted.order();
+        let nnz = sorted.nnz();
+        let nlevels = order;
+
+        let mut fptr: Vec<Vec<usize>> = vec![Vec::new(); nlevels - 1];
+        let mut fids: Vec<Vec<u32>> = vec![Vec::new(); nlevels];
+        let vals = sorted.vals().to_vec();
+
+        // index streams in level order
+        let streams: Vec<&[u32]> = dim_perm.iter().map(|&m| sorted.ind(m)).collect();
+
+        // Walk the sorted nonzeros once; a new fiber opens at level l when
+        // any index at levels 0..=l changes.
+        for x in 0..nnz {
+            let mut new_from = if x == 0 { 0 } else { nlevels };
+            if x > 0 {
+                for (l, s) in streams.iter().enumerate() {
+                    if s[x] != s[x - 1] {
+                        new_from = l;
+                        break;
+                    }
+                }
+            }
+            // every nonzero is its own leaf, even a duplicate coordinate
+            let new_from = new_from.min(nlevels - 1);
+            for l in new_from..nlevels {
+                if l < nlevels - 1 {
+                    // child pointer: where the next level currently ends
+                    let child_count = if l + 1 < nlevels - 1 {
+                        fids[l + 1].len()
+                    } else {
+                        x // leaves opened so far == nonzeros consumed
+                    };
+                    fptr[l].push(child_count);
+                }
+                fids[l].push(streams[l][x]);
+            }
+        }
+        // close every pointer array
+        for l in 0..nlevels - 1 {
+            let end = if l + 1 < nlevels - 1 {
+                fids[l + 1].len()
+            } else {
+                nnz
+            };
+            fptr[l].push(end);
+        }
+
+        // per-slice nonzero counts for weighted partitioning
+        let nslices = fids[0].len();
+        let slice_nnz: Vec<usize> = (0..nslices)
+            .map(|s| Self::subtree_nnz(&fptr, s, 0, nlevels))
+            .collect();
+
+        Csf {
+            dim_perm: dim_perm.to_vec(),
+            dims: sorted.dims().to_vec(),
+            fptr,
+            fids,
+            vals,
+            slice_nnz,
+        }
+    }
+
+    fn subtree_nnz(fptr: &[Vec<usize>], fiber: usize, level: usize, nlevels: usize) -> usize {
+        if level == nlevels - 2 {
+            fptr[level][fiber + 1] - fptr[level][fiber]
+        } else {
+            (fptr[level][fiber]..fptr[level][fiber + 1])
+                .map(|c| Self::subtree_nnz(fptr, c, level + 1, nlevels))
+                .sum()
+        }
+    }
+
+    /// Number of modes.
+    #[inline]
+    pub fn order(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Number of stored nonzeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Original mode dimensions.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Mode permutation: `dim_perm()[l]` is the original mode at level `l`.
+    #[inline]
+    pub fn dim_perm(&self) -> &[usize] {
+        &self.dim_perm
+    }
+
+    /// The tree level holding original mode `m`.
+    pub fn level_of_mode(&self, m: usize) -> usize {
+        self.dim_perm
+            .iter()
+            .position(|&p| p == m)
+            .expect("mode not present in this CSF")
+    }
+
+    /// Number of fibers at `level`.
+    #[inline]
+    pub fn nfibers(&self, level: usize) -> usize {
+        self.fids[level].len()
+    }
+
+    /// Fiber ids at `level`.
+    #[inline]
+    pub fn fids(&self, level: usize) -> &[u32] {
+        &self.fids[level]
+    }
+
+    /// Child range of fiber `f` at `level` (children live at `level + 1`,
+    /// or in [`Csf::vals`] when `level == order - 2`).
+    #[inline]
+    pub fn children(&self, level: usize, f: usize) -> std::ops::Range<usize> {
+        self.fptr[level][f]..self.fptr[level][f + 1]
+    }
+
+    /// Nonzero values in tree order.
+    #[inline]
+    pub fn vals(&self) -> &[f64] {
+        &self.vals
+    }
+
+    /// Nonzeros under each root slice.
+    #[inline]
+    pub fn slice_nnz(&self) -> &[usize] {
+        &self.slice_nnz
+    }
+
+    /// Bytes used by the index structure plus values.
+    pub fn storage_bytes(&self) -> usize {
+        let fptr: usize = self.fptr.iter().map(|v| v.len() * 8).sum();
+        let fids: usize = self.fids.iter().map(|v| v.len() * 4).sum();
+        fptr + fids + self.vals.len() * 8
+    }
+
+    /// Rebuild the coordinate tensor (for round-trip tests).
+    pub fn to_coo(&self) -> SparseTensor {
+        let order = self.order();
+        let nnz = self.nnz();
+        let mut inds: Vec<Vec<u32>> = vec![vec![0; nnz]; order];
+        // walk the tree, filling index streams in level order
+        fn walk(
+            csf: &Csf,
+            level: usize,
+            fiber: usize,
+            prefix: &mut Vec<u32>,
+            inds: &mut [Vec<u32>],
+        ) {
+            prefix.push(csf.fids[level][fiber]);
+            if level == csf.order() - 2 {
+                for x in csf.children(level, fiber) {
+                    for (l, &id) in prefix.iter().enumerate() {
+                        inds[csf.dim_perm[l]][x] = id;
+                    }
+                    inds[csf.dim_perm[csf.order() - 1]][x] = csf.fids[csf.order() - 1][x];
+                }
+            } else {
+                for c in csf.children(level, fiber) {
+                    walk(csf, level + 1, c, prefix, inds);
+                }
+            }
+            prefix.pop();
+        }
+        let mut prefix = Vec::with_capacity(order);
+        for s in 0..self.nfibers(0) {
+            walk(self, 0, s, &mut prefix, &mut inds);
+        }
+        SparseTensor::from_parts(self.dims.clone(), inds, self.vals.clone())
+    }
+}
+
+/// A set of CSF representations plus the policy that chose them.
+#[derive(Debug, Clone)]
+pub struct CsfSet {
+    csfs: Vec<Csf>,
+    alloc: CsfAlloc,
+}
+
+/// Mode permutation rooted at `root` with the remaining modes ordered by
+/// ascending dimension (SPLATT sorts shorter modes toward the root to
+/// shrink upper tree levels).
+fn perm_rooted_at(dims: &[usize], root: usize) -> Vec<usize> {
+    let mut rest: Vec<usize> = (0..dims.len()).filter(|&m| m != root).collect();
+    rest.sort_by_key(|&m| (dims[m], m));
+    let mut perm = Vec::with_capacity(dims.len());
+    perm.push(root);
+    perm.extend(rest);
+    perm
+}
+
+impl CsfSet {
+    /// Build the representations dictated by `alloc`, attributing the
+    /// sorting phase (and only it) to the `Sort` timer — the paper's
+    /// "Sort" column times the nonzero sort, not CSF assembly.
+    pub fn build_timed(
+        tensor: &SparseTensor,
+        alloc: CsfAlloc,
+        team: &TaskTeam,
+        variant: SortVariant,
+        timers: &splatt_par::TimerRegistry,
+    ) -> Self {
+        let dims = tensor.dims();
+        let roots = Self::roots_for(dims, alloc);
+        let csfs = roots
+            .iter()
+            .map(|&r| {
+                let perm = perm_rooted_at(dims, r);
+                let mut sorted = tensor.clone();
+                timers.time(splatt_par::Routine::Sort, || {
+                    sort::sort_by_perm(&mut sorted, &perm, team, variant);
+                });
+                Csf::from_sorted(&sorted, &perm)
+            })
+            .collect();
+        CsfSet { csfs, alloc }
+    }
+
+    /// The root modes `alloc` dictates for a tensor with these dims.
+    fn roots_for(dims: &[usize], alloc: CsfAlloc) -> Vec<usize> {
+        let order = dims.len();
+        let by_dim = |m: &usize| (dims[*m], *m);
+        let shortest = (0..order).min_by_key(by_dim).unwrap();
+        let longest = (0..order).max_by_key(by_dim).unwrap();
+        match alloc {
+            CsfAlloc::One => vec![shortest],
+            CsfAlloc::Two => {
+                if shortest == longest {
+                    vec![shortest]
+                } else {
+                    vec![shortest, longest]
+                }
+            }
+            CsfAlloc::All => (0..order).collect(),
+        }
+    }
+
+    /// Build the representations dictated by `alloc`.
+    pub fn build(
+        tensor: &SparseTensor,
+        alloc: CsfAlloc,
+        team: &TaskTeam,
+        variant: SortVariant,
+    ) -> Self {
+        let dims = tensor.dims();
+        let csfs = Self::roots_for(dims, alloc)
+            .iter()
+            .map(|&r| Csf::build(tensor, &perm_rooted_at(dims, r), team, variant))
+            .collect();
+        CsfSet { csfs, alloc }
+    }
+
+    /// The allocation policy used.
+    pub fn alloc(&self) -> CsfAlloc {
+        self.alloc
+    }
+
+    /// All representations.
+    pub fn csfs(&self) -> &[Csf] {
+        &self.csfs
+    }
+
+    /// Pick the representation and kernel for an MTTKRP on `mode`
+    /// (SPLATT's `csf_mode_to_use`): a root pairing if one exists, else a
+    /// leaf pairing, else the internal kernel on the first representation.
+    pub fn for_mode(&self, mode: usize) -> (&Csf, KernelKind) {
+        if let Some(c) = self.csfs.iter().find(|c| c.dim_perm()[0] == mode) {
+            return (c, KernelKind::Root);
+        }
+        if let Some(c) = self
+            .csfs
+            .iter()
+            .find(|c| *c.dim_perm().last().unwrap() == mode)
+        {
+            return (c, KernelKind::Leaf);
+        }
+        let c = &self.csfs[0];
+        let depth = c.level_of_mode(mode);
+        (c, KernelKind::Internal(depth))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splatt_tensor::synth;
+
+    fn team() -> TaskTeam {
+        TaskTeam::new(2)
+    }
+
+    fn tiny() -> SparseTensor {
+        SparseTensor::from_entries(
+            vec![3, 4, 5],
+            &[
+                (vec![0, 0, 0], 1.0),
+                (vec![0, 0, 2], 2.0),
+                (vec![0, 1, 0], 3.0),
+                (vec![2, 3, 4], 4.0),
+                (vec![2, 3, 1], 5.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn tiny_structure_is_correct() {
+        let csf = Csf::build(&tiny(), &[0, 1, 2], &team(), SortVariant::AllOpts);
+        // slices present: 0 and 2
+        assert_eq!(csf.nfibers(0), 2);
+        assert_eq!(csf.fids(0), &[0, 2]);
+        // fibers: (0,0), (0,1), (2,3)
+        assert_eq!(csf.nfibers(1), 3);
+        assert_eq!(csf.fids(1), &[0, 1, 3]);
+        // slice 0 has fibers 0..2, slice 2 has fiber 2..3
+        assert_eq!(csf.children(0, 0), 0..2);
+        assert_eq!(csf.children(0, 1), 2..3);
+        // fiber (0,0) has leaves 0..2 with ids 0,2
+        assert_eq!(csf.children(1, 0), 0..2);
+        assert_eq!(&csf.fids(2)[0..2], &[0, 2]);
+        // values sorted: (0,0,0)=1, (0,0,2)=2, (0,1,0)=3, (2,3,1)=5, (2,3,4)=4
+        assert_eq!(csf.vals(), &[1.0, 2.0, 3.0, 5.0, 4.0]);
+        assert_eq!(csf.slice_nnz(), &[3, 2]);
+    }
+
+    #[test]
+    fn coo_roundtrip_random() {
+        let t = synth::power_law(&[20, 30, 25], 3_000, 1.8, 5);
+        for root in 0..3 {
+            let perm = perm_rooted_at(t.dims(), root);
+            let csf = Csf::build(&t, &perm, &team(), SortVariant::AllOpts);
+            assert_eq!(csf.nnz(), t.nnz());
+            let back = csf.to_coo();
+            assert_eq!(back.canonical_entries(), t.canonical_entries());
+        }
+    }
+
+    #[test]
+    fn coo_roundtrip_four_modes() {
+        let t = synth::random_uniform(&[8, 6, 10, 7], 1_500, 9);
+        let csf = Csf::build(&t, &perm_rooted_at(t.dims(), 2), &team(), SortVariant::AllOpts);
+        assert_eq!(csf.order(), 4);
+        assert_eq!(csf.to_coo().canonical_entries(), t.canonical_entries());
+    }
+
+    #[test]
+    fn slice_nnz_sums_to_total() {
+        let t = synth::power_law(&[15, 10, 12], 800, 2.0, 3);
+        let csf = Csf::build(&t, &[1, 0, 2], &team(), SortVariant::AllOpts);
+        assert_eq!(csf.slice_nnz().iter().sum::<usize>(), t.nnz());
+    }
+
+    #[test]
+    fn single_nonzero_tensor() {
+        let t = SparseTensor::from_entries(vec![5, 5, 5], &[(vec![3, 1, 4], 2.5)]);
+        let csf = Csf::build(&t, &[0, 1, 2], &team(), SortVariant::AllOpts);
+        assert_eq!(csf.nfibers(0), 1);
+        assert_eq!(csf.nfibers(1), 1);
+        assert_eq!(csf.vals(), &[2.5]);
+        assert_eq!(csf.to_coo().canonical_entries(), t.canonical_entries());
+    }
+
+    #[test]
+    fn empty_tensor_builds_empty_csf() {
+        let t = SparseTensor::new(vec![4, 4, 4]);
+        let csf = Csf::build(&t, &[0, 1, 2], &team(), SortVariant::AllOpts);
+        assert_eq!(csf.nnz(), 0);
+        assert_eq!(csf.nfibers(0), 0);
+    }
+
+    #[test]
+    fn level_of_mode_inverts_perm() {
+        let t = tiny();
+        let csf = Csf::build(&t, &[2, 0, 1], &team(), SortVariant::AllOpts);
+        assert_eq!(csf.level_of_mode(2), 0);
+        assert_eq!(csf.level_of_mode(0), 1);
+        assert_eq!(csf.level_of_mode(1), 2);
+    }
+
+    #[test]
+    fn perm_rooted_orders_rest_by_dim() {
+        assert_eq!(perm_rooted_at(&[40, 10, 70], 2), vec![2, 1, 0]);
+        assert_eq!(perm_rooted_at(&[40, 10, 70], 1), vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn alloc_one_uses_shortest_root() {
+        let t = synth::random_uniform(&[40, 10, 70], 500, 1);
+        let set = CsfSet::build(&t, CsfAlloc::One, &team(), SortVariant::AllOpts);
+        assert_eq!(set.csfs().len(), 1);
+        assert_eq!(set.csfs()[0].dim_perm()[0], 1); // dim 10 is shortest
+    }
+
+    #[test]
+    fn alloc_two_roots_shortest_and_longest() {
+        let t = synth::random_uniform(&[40, 10, 70], 500, 1);
+        let set = CsfSet::build(&t, CsfAlloc::Two, &team(), SortVariant::AllOpts);
+        assert_eq!(set.csfs().len(), 2);
+        assert_eq!(set.csfs()[0].dim_perm()[0], 1);
+        assert_eq!(set.csfs()[1].dim_perm()[0], 2); // dim 70 is longest
+    }
+
+    #[test]
+    fn alloc_all_gives_root_kernel_for_every_mode() {
+        let t = synth::random_uniform(&[20, 10, 30], 500, 1);
+        let set = CsfSet::build(&t, CsfAlloc::All, &team(), SortVariant::AllOpts);
+        assert_eq!(set.csfs().len(), 3);
+        for mode in 0..3 {
+            let (_, kind) = set.for_mode(mode);
+            assert_eq!(kind, KernelKind::Root, "mode {mode}");
+        }
+    }
+
+    #[test]
+    fn alloc_two_kernel_selection() {
+        // dims: mode1 shortest (root of csf0), mode2 longest (root of csf1),
+        // mode0 middle -> leaf of csf0? csf0 perm = [1, 0, 2] so mode0 is
+        // internal level 1, mode2 is leaf of csf0 but root of csf1.
+        let t = synth::random_uniform(&[40, 10, 70], 500, 1);
+        let set = CsfSet::build(&t, CsfAlloc::Two, &team(), SortVariant::AllOpts);
+        assert_eq!(set.for_mode(1).1, KernelKind::Root);
+        assert_eq!(set.for_mode(2).1, KernelKind::Root);
+        // mode 0: not a root; csf0 perm [1,0,2] has leaf=2, csf1 perm
+        // [2,1,0] has leaf=0 -> leaf kernel on csf1
+        let (csf, kind) = set.for_mode(0);
+        assert_eq!(kind, KernelKind::Leaf);
+        assert_eq!(csf.dim_perm(), &[2, 1, 0]);
+    }
+
+    #[test]
+    fn alloc_one_kernel_selection_internal() {
+        let t = synth::random_uniform(&[40, 10, 70], 500, 1);
+        let set = CsfSet::build(&t, CsfAlloc::One, &team(), SortVariant::AllOpts);
+        // csf perm [1, 0, 2]: mode 0 internal at depth 1, mode 2 leaf
+        assert_eq!(set.for_mode(0).1, KernelKind::Internal(1));
+        assert_eq!(set.for_mode(2).1, KernelKind::Leaf);
+    }
+
+    #[test]
+    fn storage_bytes_is_positive_and_sane() {
+        let t = synth::random_uniform(&[20, 20, 20], 1_000, 2);
+        let csf = Csf::build(&t, &[0, 1, 2], &team(), SortVariant::AllOpts);
+        let bytes = csf.storage_bytes();
+        assert!(bytes >= t.nnz() * 8, "must at least hold the values");
+        assert!(bytes < t.nnz() * 50, "index overhead looks wrong: {bytes}");
+    }
+}

@@ -1,0 +1,847 @@
+//! Parallel MTTKRP kernels over CSF.
+//!
+//! The matricized-tensor-times-Khatri-Rao-product is the critical routine
+//! of CP-ALS (Algorithm 1 lines 5/8/11) and the kernel the paper spends
+//! Section V-D optimizing. SPLATT provides three kernels depending on
+//! where the output mode sits in the CSF tree:
+//!
+//! * **root** — output rows are owned exclusively by the task that owns
+//!   the slice: no synchronization.
+//! * **internal / leaf** — different slices scatter into the same output
+//!   rows; SPLATT either *privatizes* (per-task output replicas + a
+//!   reduction) when the output mode is small relative to the nonzero
+//!   count, or protects rows with a hashed [`LockPool`]. The decision
+//!   `dim[mode] * ntasks ≤ threshold * nnz` is exactly why the paper's
+//!   YELP runs hit the lock path beyond 2 threads while NELL-2 never does
+//!   (Section V-D.2).
+//!
+//! Every kernel is generic over [`MatrixAccess`] — the paper's Figure 2/3
+//! ablation of how factor-matrix rows are read:
+//!
+//! * `RowCopy` — every row access materializes an owned copy, reproducing
+//!   the overhead class of Chapel array slicing (descriptor + domain setup
+//!   per slice) that made the initial port 18x slower.
+//! * `Index2D` — direct 2D indexing, the paper's first fix (`i * cols + j`
+//!   arithmetic per element).
+//! * `PointerChecked` — a row slice taken once per access, elements read
+//!   through bounds-checked indexing; the paper's final `c_ptrTo` style in
+//!   its safe-Rust equivalent (the "Chapel-optimize" configuration).
+//! * `PointerZip` — row slice with fused iterator traversal, letting LLVM
+//!   drop all bounds checks; the C-reference configuration.
+
+use crate::csf::{Csf, CsfSet, KernelKind};
+use splatt_dense::Matrix;
+use splatt_locks::{LockPool, LockStrategy, DEFAULT_POOL_SIZE};
+use splatt_par::{partition, TaskTeam, ThreadScratch};
+
+/// SPLATT's default privatization threshold (`DEFAULT_PRIV_THRESH`).
+pub const DEFAULT_PRIV_THRESHOLD: f64 = 0.02;
+
+/// Factor-matrix row access strategy (Figures 2/3 of the paper, plus the
+/// C-reference variant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MatrixAccess {
+    /// Owned copy per row access — Chapel array slicing ("Initial").
+    RowCopy,
+    /// Element-wise 2D indexing ("2D Index").
+    Index2D,
+    /// Row slice + bounds-checked element indexing ("Pointer", the
+    /// optimized Chapel port).
+    PointerChecked,
+    /// Row slice + fused iterator traversal (the C reference).
+    #[default]
+    PointerZip,
+}
+
+impl MatrixAccess {
+    /// Legend label used in the figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            MatrixAccess::RowCopy => "Initial",
+            MatrixAccess::Index2D => "2D Index",
+            MatrixAccess::PointerChecked => "Pointer",
+            MatrixAccess::PointerZip => "C-ref",
+        }
+    }
+}
+
+/// Tuning knobs for the MTTKRP kernels.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MttkrpConfig {
+    /// How factor rows are read.
+    pub access: MatrixAccess,
+    /// Lock implementation for the mutex pool.
+    pub locks: LockStrategy,
+    /// Locks in the pool (rounded up to a power of two).
+    pub pool_size: usize,
+    /// Privatize when `dim[mode] * ntasks <= priv_threshold * nnz`.
+    pub priv_threshold: f64,
+}
+
+impl Default for MttkrpConfig {
+    fn default() -> Self {
+        MttkrpConfig {
+            access: MatrixAccess::default(),
+            locks: LockStrategy::default(),
+            pool_size: DEFAULT_POOL_SIZE,
+            priv_threshold: DEFAULT_PRIV_THRESHOLD,
+        }
+    }
+}
+
+/// SPLATT's privatization heuristic: replicate the output per task when
+/// the replicas stay small relative to the work.
+pub fn use_privatization(dim: usize, ntasks: usize, nnz: usize, threshold: f64) -> bool {
+    (dim as f64) * (ntasks as f64) <= threshold * (nnz as f64)
+}
+
+/// Reusable buffers and synchronization state for repeated MTTKRP calls.
+pub struct MttkrpWorkspace {
+    pool: LockPool,
+    replicas: ThreadScratch,
+    ntasks: usize,
+}
+
+impl MttkrpWorkspace {
+    /// Create a workspace for `ntasks`-way kernels under `cfg`.
+    pub fn new(cfg: &MttkrpConfig, ntasks: usize) -> Self {
+        MttkrpWorkspace {
+            pool: LockPool::new(cfg.locks, cfg.pool_size),
+            replicas: ThreadScratch::new(ntasks, 0),
+            ntasks,
+        }
+    }
+
+    /// Number of tasks this workspace serves.
+    pub fn ntasks(&self) -> usize {
+        self.ntasks
+    }
+}
+
+/// Shared writable view of the output matrix for scatter kernels.
+///
+/// Safety protocol: concurrent `row_mut` calls on the *same* row must be
+/// externally synchronized (lock pool), or rows must be partitioned
+/// disjointly across tasks (root kernel).
+struct SharedOut {
+    ptr: *mut f64,
+    cols: usize,
+    #[cfg(debug_assertions)]
+    rows: usize,
+}
+
+unsafe impl Send for SharedOut {}
+unsafe impl Sync for SharedOut {}
+
+impl SharedOut {
+    fn new(m: &mut Matrix) -> Self {
+        SharedOut {
+            ptr: m.as_mut_slice().as_mut_ptr(),
+            cols: m.cols(),
+            #[cfg(debug_assertions)]
+            rows: m.rows(),
+        }
+    }
+
+    /// # Safety
+    /// Callers must guarantee no concurrent access to row `i` (see the
+    /// type-level protocol).
+    #[allow(clippy::mut_from_ref)]
+    #[inline]
+    unsafe fn row_mut(&self, i: usize) -> &mut [f64] {
+        #[cfg(debug_assertions)]
+        debug_assert!(i < self.rows);
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(i * self.cols), self.cols) }
+    }
+}
+
+/// Where a task's scatter contributions land.
+enum OutTarget<'t> {
+    /// Directly into the shared output; `pool` is `None` for the root
+    /// kernel (rows disjoint by partition), `Some` otherwise.
+    Shared {
+        out: &'t SharedOut,
+        pool: Option<&'t LockPool>,
+    },
+    /// Into this task's private replica (flat `dim x rank`).
+    Replica { buf: &'t mut [f64], rank: usize },
+}
+
+impl OutTarget<'_> {
+    /// `row[r] += down[r] * up[r]` on output row `idx`.
+    #[inline]
+    fn add_product(&mut self, idx: usize, down: &[f64], up: &[f64]) {
+        match self {
+            OutTarget::Shared { out, pool } => {
+                let _guard = pool.map(|p| p.lock(idx));
+                // SAFETY: either the lock pool serializes access to this
+                // row's hash class, or (root kernel) the row is owned by
+                // this task alone.
+                let row = unsafe { out.row_mut(idx) };
+                for ((o, &d), &u) in row.iter_mut().zip(down).zip(up) {
+                    *o += d * u;
+                }
+            }
+            OutTarget::Replica { buf, rank } => {
+                let row = &mut buf[idx * *rank..(idx + 1) * *rank];
+                for ((o, &d), &u) in row.iter_mut().zip(down).zip(up) {
+                    *o += d * u;
+                }
+            }
+        }
+    }
+
+    /// `row[r] += v * src[r]` on output row `idx` (leaf scatter).
+    #[inline]
+    fn add_scaled(&mut self, idx: usize, v: f64, src: &[f64]) {
+        match self {
+            OutTarget::Shared { out, pool } => {
+                let _guard = pool.map(|p| p.lock(idx));
+                // SAFETY: as in `add_product`.
+                let row = unsafe { out.row_mut(idx) };
+                for (o, &s) in row.iter_mut().zip(src) {
+                    *o += v * s;
+                }
+            }
+            OutTarget::Replica { buf, rank } => {
+                let row = &mut buf[idx * *rank..(idx + 1) * *rank];
+                for (o, &s) in row.iter_mut().zip(src) {
+                    *o += v * s;
+                }
+            }
+        }
+    }
+}
+
+/// Monomorphized factor-row access operations.
+trait Access {
+    /// `accum[r] += scale * f[idx][r]` — the leaf gather.
+    fn axpy_row(f: &Matrix, idx: usize, scale: f64, accum: &mut [f64]);
+    /// `dst[r] = a[r] * f[idx][r]` — extend the downward prefix product.
+    fn mul_row(f: &Matrix, idx: usize, a: &[f64], dst: &mut [f64]);
+    /// `accum[r] += a[r] * f[idx][r]` — combine a child's upward product.
+    fn fma_row(f: &Matrix, idx: usize, a: &[f64], accum: &mut [f64]);
+}
+
+/// Chapel-slicing analogue: a fresh owned copy per row access.
+///
+/// A Chapel slice expression (`factor[i, ..]`) builds a new domain object
+/// and an array-view descriptor on the heap before any element is touched
+/// (the overhead documented in chapel-lang/chapel#8203 and measured in the
+/// paper's Figures 2/3). We model that per-access constant cost with a
+/// small descriptor allocation plus the row copy itself.
+struct RowCopyAccess;
+
+#[inline]
+fn slice_descriptor(idx: usize, cols: usize) -> Vec<usize> {
+    // black_box prevents the optimizer from recognizing the descriptor as
+    // dead and deleting the modeled allocation.
+    std::hint::black_box(vec![idx * cols, idx * cols + cols])
+}
+
+impl Access for RowCopyAccess {
+    #[inline]
+    fn axpy_row(f: &Matrix, idx: usize, scale: f64, accum: &mut [f64]) {
+        let _desc = slice_descriptor(idx, f.cols());
+        let row = f.row_copy(idx); // allocation: the modeled slicing cost
+        for (a, &v) in accum.iter_mut().zip(&row) {
+            *a += scale * v;
+        }
+    }
+    #[inline]
+    fn mul_row(f: &Matrix, idx: usize, a: &[f64], dst: &mut [f64]) {
+        let _desc = slice_descriptor(idx, f.cols());
+        let row = f.row_copy(idx);
+        for ((d, &x), &v) in dst.iter_mut().zip(a).zip(&row) {
+            *d = x * v;
+        }
+    }
+    #[inline]
+    fn fma_row(f: &Matrix, idx: usize, a: &[f64], accum: &mut [f64]) {
+        let _desc = slice_descriptor(idx, f.cols());
+        let row = f.row_copy(idx);
+        for ((acc, &x), &v) in accum.iter_mut().zip(a).zip(&row) {
+            *acc += x * v;
+        }
+    }
+}
+
+/// Direct 2D indexing: index arithmetic + bounds check per element.
+struct Index2DAccess;
+impl Access for Index2DAccess {
+    #[inline]
+    fn axpy_row(f: &Matrix, idx: usize, scale: f64, accum: &mut [f64]) {
+        for (r, a) in accum.iter_mut().enumerate() {
+            *a += scale * f[(idx, r)];
+        }
+    }
+    #[inline]
+    fn mul_row(f: &Matrix, idx: usize, a: &[f64], dst: &mut [f64]) {
+        for (r, (d, &x)) in dst.iter_mut().zip(a).enumerate() {
+            *d = x * f[(idx, r)];
+        }
+    }
+    #[inline]
+    fn fma_row(f: &Matrix, idx: usize, a: &[f64], accum: &mut [f64]) {
+        for (r, (acc, &x)) in accum.iter_mut().zip(a).enumerate() {
+            *acc += x * f[(idx, r)];
+        }
+    }
+}
+
+/// Row slice once, bounds-checked element reads (optimized Chapel port).
+struct PointerCheckedAccess;
+impl Access for PointerCheckedAccess {
+    #[inline]
+    fn axpy_row(f: &Matrix, idx: usize, scale: f64, accum: &mut [f64]) {
+        let row = f.row(idx);
+        for (r, a) in accum.iter_mut().enumerate() {
+            *a += scale * row[r];
+        }
+    }
+    #[inline]
+    fn mul_row(f: &Matrix, idx: usize, a: &[f64], dst: &mut [f64]) {
+        let row = f.row(idx);
+        for (r, (d, &x)) in dst.iter_mut().zip(a).enumerate() {
+            *d = x * row[r];
+        }
+    }
+    #[inline]
+    fn fma_row(f: &Matrix, idx: usize, a: &[f64], accum: &mut [f64]) {
+        let row = f.row(idx);
+        for (r, (acc, &x)) in accum.iter_mut().zip(a).enumerate() {
+            *acc += x * row[r];
+        }
+    }
+}
+
+/// Row slice with fused iteration — check-free inner loops (C reference).
+struct PointerZipAccess;
+impl Access for PointerZipAccess {
+    #[inline]
+    fn axpy_row(f: &Matrix, idx: usize, scale: f64, accum: &mut [f64]) {
+        for (a, &v) in accum.iter_mut().zip(f.row(idx)) {
+            *a += scale * v;
+        }
+    }
+    #[inline]
+    fn mul_row(f: &Matrix, idx: usize, a: &[f64], dst: &mut [f64]) {
+        for ((d, &x), &v) in dst.iter_mut().zip(a).zip(f.row(idx)) {
+            *d = x * v;
+        }
+    }
+    #[inline]
+    fn fma_row(f: &Matrix, idx: usize, a: &[f64], accum: &mut [f64]) {
+        for ((acc, &x), &v) in accum.iter_mut().zip(a).zip(f.row(idx)) {
+            *acc += x * v;
+        }
+    }
+}
+
+/// Compute the MTTKRP for `mode` into `out` (`dims[mode] x rank`).
+///
+/// Selects the CSF representation and kernel via [`CsfSet::for_mode`],
+/// decides privatization vs. locking with SPLATT's heuristic, and runs
+/// slice-parallel on `team` with nonzero-weighted task partitioning.
+///
+/// ```
+/// use splatt_core::mttkrp::{mttkrp, MttkrpConfig, MttkrpWorkspace};
+/// use splatt_core::{CsfAlloc, CsfSet};
+/// use splatt_dense::Matrix;
+/// use splatt_par::TaskTeam;
+/// use splatt_tensor::{synth, SortVariant};
+///
+/// let tensor = synth::random_uniform(&[20, 15, 25], 500, 7);
+/// let team = TaskTeam::new(2);
+/// let set = CsfSet::build(&tensor, CsfAlloc::Two, &team, SortVariant::AllOpts);
+/// let factors: Vec<Matrix> = tensor.dims().iter().enumerate()
+///     .map(|(m, &d)| Matrix::random(d, 4, m as u64))
+///     .collect();
+/// let cfg = MttkrpConfig::default();
+/// let mut ws = MttkrpWorkspace::new(&cfg, 2);
+/// let mut out = Matrix::zeros(20, 4);
+/// mttkrp(&set, &factors, 0, &mut out, &mut ws, &team, &cfg);
+/// // equals the naive coordinate-form reference:
+/// let expect = splatt_core::reference::mttkrp_coo(&tensor, &factors, 0);
+/// assert!(out.approx_eq(&expect, 1e-9));
+/// ```
+///
+/// # Panics
+/// Panics if shapes disagree (`out` must be `dims[mode] x rank`, factors
+/// must be `dims[m] x rank`).
+pub fn mttkrp(
+    set: &CsfSet,
+    factors: &[Matrix],
+    mode: usize,
+    out: &mut Matrix,
+    ws: &mut MttkrpWorkspace,
+    team: &TaskTeam,
+    cfg: &MttkrpConfig,
+) {
+    let (csf, kind) = set.for_mode(mode);
+    assert_eq!(out.rows(), csf.dims()[mode], "output rows must match mode dim");
+    for (m, f) in factors.iter().enumerate() {
+        assert_eq!(f.rows(), csf.dims()[m], "factor {m} rows mismatch");
+        assert_eq!(f.cols(), out.cols(), "factor {m} rank mismatch");
+    }
+    match cfg.access {
+        MatrixAccess::RowCopy => run::<RowCopyAccess>(csf, kind, factors, mode, out, ws, team, cfg),
+        MatrixAccess::Index2D => run::<Index2DAccess>(csf, kind, factors, mode, out, ws, team, cfg),
+        MatrixAccess::PointerChecked => {
+            run::<PointerCheckedAccess>(csf, kind, factors, mode, out, ws, team, cfg)
+        }
+        MatrixAccess::PointerZip => {
+            run::<PointerZipAccess>(csf, kind, factors, mode, out, ws, team, cfg)
+        }
+    }
+}
+
+/// Compute the MTTKRP for a *tiled* mode: each task runs the lock-free
+/// root kernel over its tile(s), whose output rows are disjoint by
+/// construction — SPLATT's mode-tiling execution (no locks, no replicas,
+/// no reduction).
+///
+/// # Panics
+/// Panics if shapes disagree.
+pub fn mttkrp_tiled(
+    tiled: &crate::tiling::TiledCsf,
+    factors: &[Matrix],
+    out: &mut Matrix,
+    team: &TaskTeam,
+    cfg: &MttkrpConfig,
+) {
+    let mode = tiled.mode();
+    for (m, f) in factors.iter().enumerate() {
+        assert_eq!(f.cols(), out.cols(), "factor {m} rank mismatch");
+    }
+    assert!(
+        tiled.ntiles() == 0 || out.rows() == tiled.tile(0).dims()[mode],
+        "output rows must match mode dim"
+    );
+    match cfg.access {
+        MatrixAccess::RowCopy => run_tiled::<RowCopyAccess>(tiled, factors, out, team),
+        MatrixAccess::Index2D => run_tiled::<Index2DAccess>(tiled, factors, out, team),
+        MatrixAccess::PointerChecked => run_tiled::<PointerCheckedAccess>(tiled, factors, out, team),
+        MatrixAccess::PointerZip => run_tiled::<PointerZipAccess>(tiled, factors, out, team),
+    }
+}
+
+fn run_tiled<A: Access>(
+    tiled: &crate::tiling::TiledCsf,
+    factors: &[Matrix],
+    out: &mut Matrix,
+    team: &TaskTeam,
+) {
+    out.fill(0.0);
+    let rank = out.cols();
+    if rank == 0 || tiled.nnz() == 0 {
+        return;
+    }
+    let ntasks = team.ntasks();
+    let shared = SharedOut::new(out);
+    let shared = &shared;
+    team.coforall(|tid| {
+        for t in partition::block(tiled.ntiles(), ntasks, tid) {
+            let csf = tiled.tile(t);
+            if csf.nnz() == 0 {
+                continue;
+            }
+            let flevel: Vec<&Matrix> = csf.dim_perm().iter().map(|&m| &factors[m]).collect();
+            // SAFETY justification for `pool: None`: tile CSFs are rooted
+            // at the output mode and tiles own disjoint output-row ranges,
+            // so no two tasks ever write the same row.
+            let mut target = OutTarget::Shared { out: shared, pool: None };
+            task_slices::<A>(csf, 0, &flevel, rank, &mut target, 0..csf.nfibers(0));
+        }
+    });
+}
+
+/// Does an MTTKRP on `mode` under this configuration take the lock-based
+/// path (as opposed to root-kernel or privatized execution)? Exposed for
+/// experiment reporting — this is the paper's "YELP requires locks beyond
+/// two tasks" decision made visible.
+pub fn uses_locks(set: &CsfSet, mode: usize, ntasks: usize, cfg: &MttkrpConfig) -> bool {
+    let (csf, kind) = set.for_mode(mode);
+    match kind {
+        KernelKind::Root => false,
+        _ => !use_privatization(csf.dims()[mode], ntasks, csf.nnz(), cfg.priv_threshold),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run<A: Access>(
+    csf: &Csf,
+    kind: KernelKind,
+    factors: &[Matrix],
+    mode: usize,
+    out: &mut Matrix,
+    ws: &mut MttkrpWorkspace,
+    team: &TaskTeam,
+    cfg: &MttkrpConfig,
+) {
+    out.fill(0.0);
+    let rank = out.cols();
+    if rank == 0 || csf.nnz() == 0 {
+        return;
+    }
+    let order = csf.order();
+    let od = match kind {
+        KernelKind::Root => 0,
+        KernelKind::Internal(d) => d,
+        KernelKind::Leaf => order - 1,
+    };
+    debug_assert_eq!(csf.dim_perm()[od], mode);
+
+    // factors in tree-level order
+    let flevel: Vec<&Matrix> = csf.dim_perm().iter().map(|&m| &factors[m]).collect();
+
+    let ntasks = team.ntasks();
+    let prefix = partition::prefix_sum(csf.slice_nnz());
+    let bounds = partition::weighted(&prefix, ntasks);
+
+    let needs_sync = od != 0;
+    let privatize =
+        needs_sync && use_privatization(csf.dims()[mode], ntasks, csf.nnz(), cfg.priv_threshold);
+
+    if privatize {
+        ws.replicas.ensure_len(out.rows() * rank);
+        ws.replicas.reset();
+        let replicas = &ws.replicas;
+        let flevel = &flevel;
+        let bounds = &bounds;
+        team.coforall(|tid| {
+            replicas.with_mut(tid, |buf| {
+                let mut target = OutTarget::Replica { buf, rank };
+                task_slices::<A>(csf, od, flevel, rank, &mut target, bounds[tid]..bounds[tid + 1]);
+            });
+        });
+        // The replicas may be longer than this mode's output (grow-only
+        // scratch); reduce only the live prefix.
+        ws.replicas.reduce_sum_into(out.as_mut_slice());
+    } else {
+        let shared = SharedOut::new(out);
+        let shared = &shared;
+        let pool = needs_sync.then_some(&ws.pool);
+        let flevel = &flevel;
+        let bounds = &bounds;
+        team.coforall(|tid| {
+            let mut target = OutTarget::Shared { out: shared, pool };
+            task_slices::<A>(csf, od, flevel, rank, &mut target, bounds[tid]..bounds[tid + 1]);
+        });
+    }
+}
+
+/// Process a contiguous range of root slices for one task.
+fn task_slices<A: Access>(
+    csf: &Csf,
+    od: usize,
+    flevel: &[&Matrix],
+    rank: usize,
+    target: &mut OutTarget<'_>,
+    slices: std::ops::Range<usize>,
+) {
+    let order = csf.order();
+    let mut up_bufs: Vec<Vec<f64>> = vec![vec![0.0; rank]; order];
+    let mut down_bufs: Vec<Vec<f64>> = vec![vec![0.0; rank]; order];
+    let ones = vec![1.0; rank];
+    for s in slices {
+        descend::<A>(csf, 0, s, od, &ones, flevel, target, &mut up_bufs, &mut down_bufs);
+    }
+}
+
+/// Walk from `fiber` at `level` toward the output depth `od`, carrying the
+/// running product `down` of factor rows at levels `< level` (excluding
+/// the output level).
+#[allow(clippy::too_many_arguments)]
+fn descend<A: Access>(
+    csf: &Csf,
+    level: usize,
+    fiber: usize,
+    od: usize,
+    down: &[f64],
+    flevel: &[&Matrix],
+    target: &mut OutTarget<'_>,
+    up_bufs: &mut [Vec<f64>],
+    down_bufs: &mut [Vec<f64>],
+) {
+    let order = csf.order();
+    if level == od {
+        // up-product of the subtree below (excluding this level's factor)
+        compute_up::<A>(csf, level, fiber, flevel, up_bufs);
+        let fid = csf.fids(level)[fiber] as usize;
+        target.add_product(fid, down, &up_bufs[0]);
+        return;
+    }
+    debug_assert!(level < od);
+    let fid = csf.fids(level)[fiber] as usize;
+    let (cur, rest) = down_bufs.split_first_mut().expect("down buffer underflow");
+    A::mul_row(flevel[level], fid, down, cur);
+    if level == order - 2 {
+        // children are the leaves and the output is the leaf mode:
+        // scatter each nonzero into its leaf row (SPLATT's leaf kernel)
+        debug_assert_eq!(od, order - 1);
+        let leaf_fids = csf.fids(order - 1);
+        let vals = csf.vals();
+        for x in csf.children(level, fiber) {
+            target.add_scaled(leaf_fids[x] as usize, vals[x], cur);
+        }
+    } else {
+        for c in csf.children(level, fiber) {
+            descend::<A>(csf, level + 1, c, od, cur, flevel, target, up_bufs, rest);
+        }
+    }
+}
+
+/// Fill `bufs[0]` with the upward product of `fiber`'s subtree: the sum
+/// over nonzeros below of `val * prod(factor rows at levels > level)`.
+fn compute_up<A: Access>(
+    csf: &Csf,
+    level: usize,
+    fiber: usize,
+    flevel: &[&Matrix],
+    bufs: &mut [Vec<f64>],
+) {
+    let order = csf.order();
+    let (buf, rest) = bufs.split_first_mut().expect("up buffer underflow");
+    buf.fill(0.0);
+    if level == order - 2 {
+        // hot loop: gather leaf nonzeros against the leaf factor
+        let leaf_fids = csf.fids(order - 1);
+        let vals = csf.vals();
+        for x in csf.children(level, fiber) {
+            A::axpy_row(flevel[order - 1], leaf_fids[x] as usize, vals[x], buf);
+        }
+    } else {
+        let child_fids = csf.fids(level + 1);
+        for c in csf.children(level, fiber) {
+            compute_up::<A>(csf, level + 1, c, flevel, rest);
+            A::fma_row(flevel[level + 1], child_fids[c] as usize, &rest[0], buf);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csf::CsfAlloc;
+    use crate::reference::mttkrp_coo;
+    use splatt_tensor::{synth, SortVariant, SparseTensor};
+
+    const ALL_ACCESS: [MatrixAccess; 4] = [
+        MatrixAccess::RowCopy,
+        MatrixAccess::Index2D,
+        MatrixAccess::PointerChecked,
+        MatrixAccess::PointerZip,
+    ];
+
+    fn factors_for(t: &SparseTensor, rank: usize, seed: u64) -> Vec<Matrix> {
+        t.dims()
+            .iter()
+            .enumerate()
+            .map(|(m, &d)| Matrix::random(d, rank, seed + m as u64))
+            .collect()
+    }
+
+    fn run_config(
+        t: &SparseTensor,
+        rank: usize,
+        alloc: CsfAlloc,
+        cfg: &MttkrpConfig,
+        ntasks: usize,
+    ) {
+        let team = TaskTeam::new(ntasks);
+        let set = CsfSet::build(t, alloc, &team, SortVariant::AllOpts);
+        let factors = factors_for(t, rank, 7);
+        let mut ws = MttkrpWorkspace::new(cfg, ntasks);
+        for mode in 0..t.order() {
+            let expect = mttkrp_coo(t, &factors, mode);
+            let mut out = Matrix::zeros(t.dims()[mode], rank);
+            mttkrp(&set, &factors, mode, &mut out, &mut ws, &team, cfg);
+            assert!(
+                out.approx_eq(&expect, 1e-9),
+                "mode {mode} mismatch (alloc {alloc:?}, cfg {cfg:?}, ntasks {ntasks}): max diff {}",
+                out.max_abs_diff(&expect)
+            );
+        }
+    }
+
+    #[test]
+    fn matches_reference_all_access_strategies() {
+        let t = synth::power_law(&[30, 14, 40], 2_500, 1.8, 3);
+        for access in ALL_ACCESS {
+            let cfg = MttkrpConfig { access, ..Default::default() };
+            run_config(&t, 5, CsfAlloc::Two, &cfg, 2);
+        }
+    }
+
+    #[test]
+    fn matches_reference_all_allocs() {
+        let t = synth::power_law(&[25, 18, 33], 2_000, 2.0, 11);
+        for alloc in [CsfAlloc::One, CsfAlloc::Two, CsfAlloc::All] {
+            run_config(&t, 4, alloc, &MttkrpConfig::default(), 3);
+        }
+    }
+
+    #[test]
+    fn matches_reference_forced_locks() {
+        // threshold 0 => never privatize => lock path for non-root modes
+        let t = synth::power_law(&[20, 12, 28], 1_500, 1.5, 5);
+        for locks in LockStrategy::ALL {
+            let cfg = MttkrpConfig { locks, priv_threshold: 0.0, ..Default::default() };
+            run_config(&t, 3, CsfAlloc::One, &cfg, 4);
+        }
+    }
+
+    #[test]
+    fn matches_reference_forced_privatization() {
+        // huge threshold => always privatize non-root modes
+        let t = synth::power_law(&[20, 12, 28], 1_500, 1.5, 6);
+        let cfg = MttkrpConfig { priv_threshold: 1e9, ..Default::default() };
+        run_config(&t, 3, CsfAlloc::One, &cfg, 4);
+    }
+
+    #[test]
+    fn matches_reference_single_task() {
+        let t = synth::random_uniform(&[10, 10, 10], 400, 9);
+        run_config(&t, 6, CsfAlloc::Two, &MttkrpConfig::default(), 1);
+    }
+
+    #[test]
+    fn matches_reference_four_modes() {
+        let t = synth::random_uniform(&[8, 12, 6, 9], 1_200, 13);
+        for alloc in [CsfAlloc::One, CsfAlloc::All] {
+            run_config(&t, 4, alloc, &MttkrpConfig::default(), 2);
+        }
+    }
+
+    #[test]
+    fn handles_single_nonzero() {
+        let t = SparseTensor::from_entries(vec![4, 5, 6], &[(vec![1, 2, 3], 2.0)]);
+        run_config(&t, 3, CsfAlloc::Two, &MttkrpConfig::default(), 2);
+    }
+
+    #[test]
+    fn handles_duplicate_coordinates() {
+        let t = SparseTensor::from_entries(
+            vec![3, 3, 3],
+            &[
+                (vec![1, 1, 1], 2.0),
+                (vec![1, 1, 1], 3.0),
+                (vec![0, 2, 1], 1.0),
+            ],
+        );
+        run_config(&t, 4, CsfAlloc::Two, &MttkrpConfig::default(), 2);
+    }
+
+    #[test]
+    fn empty_tensor_zeroes_output() {
+        let t = SparseTensor::new(vec![3, 4, 5]);
+        let team = TaskTeam::new(2);
+        let set = CsfSet::build(&t, CsfAlloc::One, &team, SortVariant::AllOpts);
+        let factors = factors_for(&t, 3, 1);
+        let cfg = MttkrpConfig::default();
+        let mut ws = MttkrpWorkspace::new(&cfg, 2);
+        let mut out = Matrix::filled(4, 3, 9.0);
+        mttkrp(&set, &factors, 1, &mut out, &mut ws, &team, &cfg);
+        assert!(out.approx_eq(&Matrix::zeros(4, 3), 0.0));
+    }
+
+    #[test]
+    fn rank_one_decomposition_kernel() {
+        let t = synth::random_uniform(&[10, 12, 8], 300, 21);
+        run_config(&t, 1, CsfAlloc::Two, &MttkrpConfig::default(), 2);
+    }
+
+    #[test]
+    fn tiled_mttkrp_matches_reference() {
+        let t = synth::power_law(&[25, 18, 33], 2_500, 1.8, 31);
+        let rank = 5;
+        let factors = factors_for(&t, rank, 11);
+        for ntasks in [1usize, 3] {
+            let team = TaskTeam::new(ntasks);
+            for mode in 0..3 {
+                let tiled = crate::tiling::TiledCsf::build(
+                    &t,
+                    mode,
+                    ntasks,
+                    &team,
+                    splatt_tensor::SortVariant::AllOpts,
+                );
+                for access in ALL_ACCESS {
+                    let cfg = MttkrpConfig { access, ..Default::default() };
+                    let mut out = Matrix::zeros(t.dims()[mode], rank);
+                    mttkrp_tiled(&tiled, &factors, &mut out, &team, &cfg);
+                    let expect = mttkrp_coo(&t, &factors, mode);
+                    assert!(
+                        out.approx_eq(&expect, 1e-9),
+                        "tiled mode {mode} ntasks {ntasks} access {access:?}: diff {}",
+                        out.max_abs_diff(&expect)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_with_more_tiles_than_tasks() {
+        let t = synth::random_uniform(&[30, 20, 25], 1_500, 41);
+        let rank = 4;
+        let factors = factors_for(&t, rank, 2);
+        let team = TaskTeam::new(2);
+        // 7 tiles over 2 tasks: block partition must cover all tiles
+        let tiled =
+            crate::tiling::TiledCsf::build(&t, 1, 7, &team, splatt_tensor::SortVariant::AllOpts);
+        let cfg = MttkrpConfig::default();
+        let mut out = Matrix::zeros(t.dims()[1], rank);
+        mttkrp_tiled(&tiled, &factors, &mut out, &team, &cfg);
+        assert!(out.approx_eq(&mttkrp_coo(&t, &factors, 1), 1e-9));
+    }
+
+    #[test]
+    fn privatization_heuristic_reproduces_paper_decisions() {
+        // Paper Section V-D.2: YELP needs locks beyond ~2-3 tasks, NELL-2
+        // stays privatized at every measured task count (1..32).
+        let sorted_middle = |dims: [usize; 3]| {
+            let mut d = dims.to_vec();
+            d.sort_unstable();
+            d[1]
+        };
+        let yelp_mid = sorted_middle([41_000, 11_000, 75_000]);
+        let nell_mid = sorted_middle([12_000, 9_000, 29_000]);
+        assert!(use_privatization(yelp_mid, 2, 8_000_000, 0.02));
+        assert!(!use_privatization(yelp_mid, 4, 8_000_000, 0.02));
+        assert!(!use_privatization(yelp_mid, 32, 8_000_000, 0.02));
+        for t in [1usize, 2, 4, 8, 16, 32] {
+            assert!(use_privatization(nell_mid, t, 77_000_000, 0.02), "tasks {t}");
+        }
+    }
+
+    #[test]
+    fn uses_locks_reporting() {
+        let t = synth::power_law(&[400, 150, 500], 2_000, 1.5, 2);
+        let team = TaskTeam::new(4);
+        let set = CsfSet::build(&t, CsfAlloc::Two, &team, SortVariant::AllOpts);
+        let cfg = MttkrpConfig::default();
+        // roots (modes with their own CSF) never lock
+        assert!(!uses_locks(&set, 1, 4, &cfg)); // shortest: root of csf0
+        assert!(!uses_locks(&set, 2, 4, &cfg)); // longest: root of csf1
+        // middle mode: dim 400 * 4 tasks = 1600 > 0.02 * 2000 => locks
+        assert!(uses_locks(&set, 0, 4, &cfg));
+        // with a generous threshold it privatizes instead
+        let cfg2 = MttkrpConfig { priv_threshold: 10.0, ..cfg };
+        assert!(!uses_locks(&set, 0, 4, &cfg2));
+    }
+
+    #[test]
+    #[should_panic(expected = "output rows")]
+    fn shape_mismatch_panics() {
+        let t = synth::random_uniform(&[5, 6, 7], 50, 1);
+        let team = TaskTeam::new(1);
+        let set = CsfSet::build(&t, CsfAlloc::One, &team, SortVariant::AllOpts);
+        let factors = factors_for(&t, 2, 1);
+        let cfg = MttkrpConfig::default();
+        let mut ws = MttkrpWorkspace::new(&cfg, 1);
+        let mut out = Matrix::zeros(5, 2); // wrong: mode 1 needs 6 rows
+        mttkrp(&set, &factors, 1, &mut out, &mut ws, &team, &cfg);
+    }
+}

@@ -1,0 +1,213 @@
+//! Cholesky factorization and solves (`potrf` / `potrs` analogues).
+//!
+//! CP-ALS solves the normal equations `A_new = M V^{-1}` where
+//! `V = (*) hadamard of Gram matrices` is `R x R`, symmetric, and — when the
+//! factors have full column rank — positive definite. SPLATT calls LAPACK
+//! `dpotrf` to factor `V = L L^T` and `dpotrs` to apply the inverse to every
+//! row of the `I x R` MTTKRP output. We implement the same pair natively.
+
+use crate::Matrix;
+
+/// Error returned when a matrix is not (numerically) positive definite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CholeskyError {
+    /// The pivot column at which factorization broke down.
+    pub column: usize,
+    /// The offending (non-positive) pivot value.
+    pub pivot: f64,
+}
+
+impl std::fmt::Display for CholeskyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "matrix is not positive definite: pivot {} at column {}",
+            self.pivot, self.column
+        )
+    }
+}
+
+impl std::error::Error for CholeskyError {}
+
+/// Factor a symmetric positive-definite matrix `A = L L^T`, returning the
+/// lower-triangular factor `L` (upper triangle zeroed).
+///
+/// Only the upper triangle of `a` is read, matching LAPACK `dpotrf('U')`
+/// semantics as used by SPLATT (which stores Gram matrices upper-symmetric).
+///
+/// # Errors
+/// Returns [`CholeskyError`] if a pivot is not strictly positive, i.e. the
+/// matrix is singular or indefinite to working precision.
+pub fn cholesky_factor(a: &Matrix) -> Result<Matrix, CholeskyError> {
+    let n = a.rows();
+    assert_eq!(n, a.cols(), "cholesky_factor: matrix must be square");
+    let mut l = Matrix::zeros(n, n);
+    for j in 0..n {
+        // diagonal entry
+        let mut d = a[(j, j)];
+        for k in 0..j {
+            d -= l[(j, k)] * l[(j, k)];
+        }
+        if d <= 0.0 || !d.is_finite() {
+            return Err(CholeskyError { column: j, pivot: d });
+        }
+        let diag = d.sqrt();
+        l[(j, j)] = diag;
+        // column below the diagonal
+        for i in (j + 1)..n {
+            // read the upper triangle of `a`: a[(j, i)] == a[(i, j)]
+            let mut s = a[(j.min(i), j.max(i))];
+            for k in 0..j {
+                s -= l[(i, k)] * l[(j, k)];
+            }
+            l[(i, j)] = s / diag;
+        }
+    }
+    Ok(l)
+}
+
+/// Solve `X L L^T = B` for `X` given the Cholesky factor `L`, overwriting
+/// `b` with the solution. Each *row* of `b` is an independent right-hand
+/// side — this is the orientation CP-ALS needs (`M V^{-1}` with `M` being
+/// the `I x R` MTTKRP output), equivalent to LAPACK `dpotrs` on `B^T`.
+///
+/// # Panics
+/// Panics if `l` is not square or `b.cols() != l.rows()`.
+pub fn cholesky_solve(l: &Matrix, b: &mut Matrix) {
+    let n = l.rows();
+    assert_eq!(n, l.cols(), "cholesky_solve: factor must be square");
+    assert_eq!(
+        b.cols(),
+        n,
+        "cholesky_solve: rhs has {} columns, factor is {}x{}",
+        b.cols(),
+        n,
+        n
+    );
+    for i in 0..b.rows() {
+        let row = b.row_mut(i);
+        // forward solve y L^T = b  =>  treat as L y^T = b^T (y_j computed in order)
+        for j in 0..n {
+            let mut s = row[j];
+            for k in 0..j {
+                s -= l[(j, k)] * row[k];
+            }
+            row[j] = s / l[(j, j)];
+        }
+        // backward solve x L = y
+        for j in (0..n).rev() {
+            let mut s = row[j];
+            for k in (j + 1)..n {
+                s -= l[(k, j)] * row[k];
+            }
+            row[j] = s / l[(j, j)];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{gemm, mat_ata};
+
+    fn spd(n: usize, seed: u64) -> Matrix {
+        // A^T A + n*I is comfortably SPD
+        let a = Matrix::random(n + 3, n, seed);
+        let mut g = mat_ata(&a);
+        for i in 0..n {
+            g[(i, i)] += n as f64;
+        }
+        g
+    }
+
+    #[test]
+    fn factor_reconstructs_matrix() {
+        let a = spd(6, 42);
+        let l = cholesky_factor(&a).unwrap();
+        let rec = gemm(&l, &l.transpose());
+        assert!(rec.approx_eq(&a, 1e-9), "L L^T != A");
+    }
+
+    #[test]
+    fn factor_is_lower_triangular() {
+        let l = cholesky_factor(&spd(5, 1)).unwrap();
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                assert_eq!(l[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn factor_of_identity_is_identity() {
+        let l = cholesky_factor(&Matrix::identity(4)).unwrap();
+        assert!(l.approx_eq(&Matrix::identity(4), 0.0));
+    }
+
+    #[test]
+    fn factor_reads_only_upper_triangle() {
+        let mut a = spd(4, 7);
+        let l_full = cholesky_factor(&a).unwrap();
+        // trash the strict lower triangle; result must be unchanged
+        for i in 0..4 {
+            for j in 0..i {
+                a[(i, j)] = f64::NAN;
+            }
+        }
+        let l_upper = cholesky_factor(&a).unwrap();
+        assert!(l_full.approx_eq(&l_upper, 0.0));
+    }
+
+    #[test]
+    fn singular_matrix_is_rejected() {
+        // rank-1 matrix
+        let a = Matrix::from_fn(3, 3, |_, _| 1.0);
+        let err = cholesky_factor(&a).unwrap_err();
+        assert!(err.column > 0);
+        assert!(err.pivot.abs() < 1e-12);
+    }
+
+    #[test]
+    fn indefinite_matrix_is_rejected() {
+        let mut a = Matrix::identity(2);
+        a[(0, 0)] = -1.0;
+        assert!(cholesky_factor(&a).is_err());
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = spd(5, 3);
+        let x_true = Matrix::random(7, 5, 9);
+        // b = x_true * A   (rows are RHS in x A = b orientation)
+        let b = gemm(&x_true, &a);
+        let l = cholesky_factor(&a).unwrap();
+        let mut x = b;
+        cholesky_solve(&l, &mut x);
+        assert!(x.approx_eq(&x_true, 1e-8));
+    }
+
+    #[test]
+    fn solve_with_identity_is_noop() {
+        let l = cholesky_factor(&Matrix::identity(3)).unwrap();
+        let orig = Matrix::random(4, 3, 5);
+        let mut b = orig.clone();
+        cholesky_solve(&l, &mut b);
+        assert!(b.approx_eq(&orig, 0.0));
+    }
+
+    #[test]
+    fn solve_zero_rows_is_noop() {
+        let l = cholesky_factor(&spd(3, 4)).unwrap();
+        let mut b = Matrix::zeros(0, 3);
+        cholesky_solve(&l, &mut b); // must not panic
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "rhs has")]
+    fn solve_shape_mismatch_panics() {
+        let l = cholesky_factor(&Matrix::identity(3)).unwrap();
+        let mut b = Matrix::zeros(2, 4);
+        cholesky_solve(&l, &mut b);
+    }
+}

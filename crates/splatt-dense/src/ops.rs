@@ -1,0 +1,254 @@
+//! BLAS-like dense kernels: SYRK, GEMM, and Hadamard products.
+//!
+//! CP-ALS spends its dense time in the Gram-matrix products
+//! `A^(n)ᵀ A^(n)` (lines 4/7/10 of Algorithm 1, SPLATT's `mat_aTa`, BLAS
+//! `syrk`) and the element-wise (Hadamard) products that combine them.
+//! These are tall-skinny updates — `I x R` with `R ≈ 35` — so the natural
+//! high-performance formulation accumulates rank-1 outer products of rows,
+//! which is exactly what [`syrk_upper`] does, parallelized over row blocks
+//! with a reduction (the `omp parallel` + per-thread buffer + reduce pattern
+//! of Listing 7 in the paper).
+
+use crate::Matrix;
+use rayon::prelude::*;
+
+/// Minimum number of matrix rows before [`mat_ata`] bothers spawning
+/// parallel tasks; below this the reduction overhead dominates.
+const ATA_PAR_THRESHOLD: usize = 4096;
+
+/// Compute the upper triangle of `A^T A` into a fresh `R x R` matrix,
+/// sequentially. The strict lower triangle is left zero.
+///
+/// Mirrors BLAS `dsyrk(uplo='U', trans='T')` as SPLATT calls it.
+pub fn syrk_upper(a: &Matrix) -> Matrix {
+    let r = a.cols();
+    let mut out = Matrix::zeros(r, r);
+    syrk_upper_into(a, 0, a.rows(), &mut out);
+    out
+}
+
+/// Accumulate the upper triangle of `A[lo..hi]^T A[lo..hi]` into `out`.
+fn syrk_upper_into(a: &Matrix, lo: usize, hi: usize, out: &mut Matrix) {
+    let r = a.cols();
+    for i in lo..hi {
+        let row = a.row(i);
+        for j in 0..r {
+            let aij = row[j];
+            if aij == 0.0 {
+                continue;
+            }
+            let orow = out.row_mut(j);
+            for (k, &ajk) in row.iter().enumerate().skip(j) {
+                orow[k] += aij * ajk;
+            }
+        }
+    }
+    let _ = r;
+}
+
+/// Symmetrize an upper-triangular matrix in place by mirroring the upper
+/// triangle into the lower one.
+fn mirror_upper(m: &mut Matrix) {
+    let n = m.rows();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            m[(j, i)] = m[(i, j)];
+        }
+    }
+}
+
+/// Compute the full symmetric Gram matrix `A^T A` (SPLATT's `mat_aTa`).
+///
+/// Parallelizes over row blocks with per-thread `R x R` accumulators that
+/// are reduced at the end — the same shape as SPLATT's OpenMP
+/// implementation.
+pub fn mat_ata(a: &Matrix) -> Matrix {
+    let r = a.cols();
+    let rows = a.rows();
+    let mut out = if rows >= ATA_PAR_THRESHOLD {
+        let nchunks = rayon::current_num_threads().max(1);
+        let chunk = rows.div_ceil(nchunks);
+        (0..nchunks)
+            .into_par_iter()
+            .map(|c| {
+                let lo = c * chunk;
+                let hi = ((c + 1) * chunk).min(rows);
+                let mut local = Matrix::zeros(r, r);
+                if lo < hi {
+                    syrk_upper_into(a, lo, hi, &mut local);
+                }
+                local
+            })
+            .reduce(
+                || Matrix::zeros(r, r),
+                |mut acc, m| {
+                    acc.add_assign(&m);
+                    acc
+                },
+            )
+    } else {
+        syrk_upper(a)
+    };
+    mirror_upper(&mut out);
+    out
+}
+
+/// Element-wise (Hadamard) product `a .* b` into a fresh matrix.
+///
+/// # Panics
+/// Panics if shapes differ.
+pub fn hadamard(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.shape(), b.shape(), "hadamard: shape mismatch");
+    let mut out = a.clone();
+    hadamard_assign(&mut out, b);
+    out
+}
+
+/// Element-wise product `a .*= b` in place.
+///
+/// # Panics
+/// Panics if shapes differ.
+pub fn hadamard_assign(a: &mut Matrix, b: &Matrix) {
+    assert_eq!(a.shape(), b.shape(), "hadamard_assign: shape mismatch");
+    for (x, y) in a.as_mut_slice().iter_mut().zip(b.as_slice()) {
+        *x *= y;
+    }
+}
+
+/// General matrix multiply `C = A * B`.
+///
+/// Straightforward ikj-ordered triple loop; only used on small (`R x R` or
+/// `I x R` with small `R`) operands, so no blocking is needed.
+///
+/// # Panics
+/// Panics if `a.cols() != b.rows()`.
+pub fn gemm(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "gemm: inner dimensions {} and {} differ",
+        a.cols(),
+        b.rows()
+    );
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut c = Matrix::zeros(m, n);
+    for i in 0..m {
+        for p in 0..k {
+            let aip = a[(i, p)];
+            if aip == 0.0 {
+                continue;
+            }
+            let brow = b.row(p);
+            let crow = c.row_mut(i);
+            for (j, &bpj) in brow.iter().enumerate() {
+                crow[j] += aip * bpj;
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TEST_TOL;
+
+    fn naive_ata(a: &Matrix) -> Matrix {
+        gemm(&a.transpose(), a)
+    }
+
+    #[test]
+    fn syrk_matches_naive_on_small() {
+        let a = Matrix::random(7, 3, 11);
+        let s = {
+            let mut s = syrk_upper(&a);
+            super::mirror_upper(&mut s);
+            s
+        };
+        assert!(s.approx_eq(&naive_ata(&a), TEST_TOL));
+    }
+
+    #[test]
+    fn mat_ata_matches_naive_sequential_path() {
+        let a = Matrix::random(100, 5, 3);
+        assert!(mat_ata(&a).approx_eq(&naive_ata(&a), TEST_TOL));
+    }
+
+    #[test]
+    fn mat_ata_matches_naive_parallel_path() {
+        let a = Matrix::random(5000, 4, 3);
+        assert!(mat_ata(&a).approx_eq(&naive_ata(&a), 1e-7));
+    }
+
+    #[test]
+    fn mat_ata_is_symmetric() {
+        let a = Matrix::random(64, 6, 5);
+        let g = mat_ata(&a);
+        assert!(g.approx_eq(&g.transpose(), 0.0));
+    }
+
+    #[test]
+    fn mat_ata_of_identity_is_identity() {
+        let g = mat_ata(&Matrix::identity(5));
+        assert!(g.approx_eq(&Matrix::identity(5), 0.0));
+    }
+
+    #[test]
+    fn mat_ata_empty_rows() {
+        let a = Matrix::zeros(0, 3);
+        let g = mat_ata(&a);
+        assert!(g.approx_eq(&Matrix::zeros(3, 3), 0.0));
+    }
+
+    #[test]
+    fn hadamard_elementwise() {
+        let a = Matrix::from_fn(2, 2, |i, j| (i + j) as f64);
+        let b = Matrix::filled(2, 2, 3.0);
+        let h = hadamard(&a, &b);
+        assert_eq!(h[(0, 0)], 0.0);
+        assert_eq!(h[(1, 1)], 6.0);
+    }
+
+    #[test]
+    fn hadamard_with_ones_is_identity_op() {
+        let a = Matrix::random(4, 4, 2);
+        let ones = Matrix::filled(4, 4, 1.0);
+        assert!(hadamard(&a, &ones).approx_eq(&a, 0.0));
+    }
+
+    #[test]
+    fn gemm_identity() {
+        let a = Matrix::random(4, 4, 9);
+        assert!(gemm(&a, &Matrix::identity(4)).approx_eq(&a, 0.0));
+        assert!(gemm(&Matrix::identity(4), &a).approx_eq(&a, 0.0));
+    }
+
+    #[test]
+    fn gemm_known_product() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]);
+        let c = gemm(&a, &b);
+        assert!(c.approx_eq(&Matrix::from_vec(2, 2, vec![19.0, 22.0, 43.0, 50.0]), 0.0));
+    }
+
+    #[test]
+    fn gemm_rectangular_shapes() {
+        let a = Matrix::random(3, 5, 1);
+        let b = Matrix::random(5, 2, 2);
+        let c = gemm(&a, &b);
+        assert_eq!(c.shape(), (3, 2));
+        // spot check one entry
+        let mut expect = 0.0;
+        for p in 0..5 {
+            expect += a[(1, p)] * b[(p, 1)];
+        }
+        assert!((c[(1, 1)] - expect).abs() < TEST_TOL);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn gemm_shape_mismatch_panics() {
+        let _ = gemm(&Matrix::zeros(2, 3), &Matrix::zeros(2, 2));
+    }
+}

@@ -1,0 +1,116 @@
+//! Communication-volume accounting for the simulated interconnect.
+//!
+//! The simulation performs exchanges through shared memory, but every
+//! collective charges [`CommStats`] the bytes the textbook algorithm
+//! would move on a real network:
+//!
+//! * ring **allreduce** of `n` bytes over `g` ranks: each rank sends
+//!   `2 (g-1) / g * n` bytes (reduce-scatter + allgather phases);
+//! * **allgather** where each of `g` ranks contributes `n_i` bytes: each
+//!   rank sends its contribution `g - 1` times in the ring.
+//!
+//! Single-rank groups cost nothing — a `1 x 1 x ... x 1` grid reports
+//! zero communication, which the tests pin down.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Byte counters for one distributed solve.
+#[derive(Debug, Default)]
+pub struct CommStats {
+    allreduce_bytes: AtomicU64,
+    allgather_bytes: AtomicU64,
+    collectives: AtomicU64,
+}
+
+impl CommStats {
+    /// Fresh counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charge a ring allreduce of `elems` f64 values over `group_size`
+    /// ranks (total bytes across all ranks).
+    pub fn charge_allreduce(&self, group_size: usize, elems: usize) {
+        if group_size <= 1 {
+            return;
+        }
+        let n = (elems * 8) as u64;
+        let per_rank = 2 * n * (group_size as u64 - 1) / group_size as u64;
+        self.allreduce_bytes
+            .fetch_add(per_rank * group_size as u64, Ordering::Relaxed);
+        self.collectives.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Charge an allgather over `group_size` ranks where together they
+    /// contribute `total_elems` f64 values (total bytes across all ranks:
+    /// every contribution traverses the ring `g - 1` times).
+    pub fn charge_allgather(&self, group_size: usize, total_elems: usize) {
+        if group_size <= 1 {
+            return;
+        }
+        let n = (total_elems * 8) as u64;
+        self.allgather_bytes
+            .fetch_add(n * (group_size as u64 - 1), Ordering::Relaxed);
+        self.collectives.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total allreduce bytes.
+    pub fn allreduce_bytes(&self) -> u64 {
+        self.allreduce_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Total allgather bytes.
+    pub fn allgather_bytes(&self) -> u64 {
+        self.allgather_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes across collective kinds.
+    pub fn total_bytes(&self) -> u64 {
+        self.allreduce_bytes() + self.allgather_bytes()
+    }
+
+    /// Number of collectives issued.
+    pub fn collectives(&self) -> u64 {
+        self.collectives.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_groups_are_free() {
+        let c = CommStats::new();
+        c.charge_allreduce(1, 1_000);
+        c.charge_allgather(1, 1_000);
+        assert_eq!(c.total_bytes(), 0);
+        assert_eq!(c.collectives(), 0);
+    }
+
+    #[test]
+    fn allreduce_ring_cost() {
+        let c = CommStats::new();
+        // 4 ranks, 100 elems = 800 bytes: per-rank 2*800*3/4 = 1200; total 4800
+        c.charge_allreduce(4, 100);
+        assert_eq!(c.allreduce_bytes(), 4_800);
+        assert_eq!(c.collectives(), 1);
+    }
+
+    #[test]
+    fn allgather_cost() {
+        let c = CommStats::new();
+        // 3 ranks, 300 elems total = 2400 bytes, each byte crosses 2 hops
+        c.charge_allgather(3, 300);
+        assert_eq!(c.allgather_bytes(), 4_800);
+    }
+
+    #[test]
+    fn charges_accumulate() {
+        let c = CommStats::new();
+        c.charge_allreduce(2, 10); // 2 * (2*80*1/2) = 160
+        c.charge_allreduce(2, 10);
+        assert_eq!(c.allreduce_bytes(), 320);
+        assert_eq!(c.collectives(), 2);
+    }
+}

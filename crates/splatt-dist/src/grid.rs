@@ -1,0 +1,154 @@
+//! The process grid of the medium-grained algorithm.
+
+/// An `N`-dimensional grid of `p1 * p2 * ... * pN` ranks. Rank `r`'s grid
+/// coordinates follow row-major order (last dimension fastest).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcessGrid {
+    dims: Vec<usize>,
+}
+
+impl ProcessGrid {
+    /// Create a grid with the given per-dimension extents.
+    ///
+    /// # Panics
+    /// Panics if `dims` is empty or any extent is zero.
+    pub fn new(dims: Vec<usize>) -> Self {
+        assert!(!dims.is_empty(), "grid needs at least one dimension");
+        assert!(dims.iter().all(|&d| d > 0), "grid extents must be positive");
+        ProcessGrid { dims }
+    }
+
+    /// A `1 x 1 x ... x 1` grid (single locale; zero communication).
+    pub fn single(order: usize) -> Self {
+        ProcessGrid::new(vec![1; order])
+    }
+
+    /// Grid extents.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of grid dimensions (must equal the tensor order).
+    pub fn order(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total rank count.
+    pub fn nprocs(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Grid coordinates of `rank`.
+    ///
+    /// # Panics
+    /// Panics if `rank >= nprocs()`.
+    pub fn coords_of(&self, rank: usize) -> Vec<usize> {
+        assert!(rank < self.nprocs(), "rank out of range");
+        let mut rest = rank;
+        let mut coords = vec![0; self.order()];
+        for (c, &d) in coords.iter_mut().zip(&self.dims).rev() {
+            *c = rest % d;
+            rest /= d;
+        }
+        coords
+    }
+
+    /// Rank with the given grid coordinates.
+    ///
+    /// # Panics
+    /// Panics on wrong arity or out-of-range coordinates.
+    pub fn rank_of(&self, coords: &[usize]) -> usize {
+        assert_eq!(coords.len(), self.order(), "coordinate arity mismatch");
+        let mut rank = 0;
+        for (&c, &d) in coords.iter().zip(&self.dims) {
+            assert!(c < d, "grid coordinate out of range");
+            rank = rank * d + c;
+        }
+        rank
+    }
+
+    /// The *layer group* of `rank` for `mode`: every rank whose grid
+    /// coordinate along `mode` equals `rank`'s. These ranks share the
+    /// same mode-`mode` index range and are the communicator for that
+    /// mode's factor exchange. The result is sorted; `rank` is included.
+    pub fn layer_group(&self, rank: usize, mode: usize) -> Vec<usize> {
+        assert!(mode < self.order(), "mode out of range");
+        let me = self.coords_of(rank);
+        (0..self.nprocs())
+            .filter(|&r| self.coords_of(r)[mode] == me[mode])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_coord_roundtrip() {
+        let g = ProcessGrid::new(vec![2, 3, 2]);
+        assert_eq!(g.nprocs(), 12);
+        for r in 0..12 {
+            assert_eq!(g.rank_of(&g.coords_of(r)), r);
+        }
+    }
+
+    #[test]
+    fn row_major_layout() {
+        let g = ProcessGrid::new(vec![2, 3]);
+        assert_eq!(g.coords_of(0), vec![0, 0]);
+        assert_eq!(g.coords_of(1), vec![0, 1]);
+        assert_eq!(g.coords_of(3), vec![1, 0]);
+        assert_eq!(g.coords_of(5), vec![1, 2]);
+    }
+
+    #[test]
+    fn layer_groups_partition_ranks() {
+        let g = ProcessGrid::new(vec![2, 2, 2]);
+        for mode in 0..3 {
+            // groups for distinct layer indices are disjoint and cover all
+            let mut seen = [false; 8];
+            for layer_rep in 0..8 {
+                for &r in &g.layer_group(layer_rep, mode) {
+                    if g.coords_of(r)[mode] == g.coords_of(layer_rep)[mode] {
+                        seen[r] = true;
+                    }
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "mode {mode}");
+        }
+    }
+
+    #[test]
+    fn layer_group_size_is_nprocs_over_extent() {
+        let g = ProcessGrid::new(vec![2, 4, 1]);
+        assert_eq!(g.layer_group(0, 0).len(), 4); // 8 / 2
+        assert_eq!(g.layer_group(0, 1).len(), 2); // 8 / 4
+        assert_eq!(g.layer_group(0, 2).len(), 8); // 8 / 1
+    }
+
+    #[test]
+    fn layer_group_contains_self_and_is_sorted() {
+        let g = ProcessGrid::new(vec![3, 2]);
+        for r in 0..6 {
+            for mode in 0..2 {
+                let grp = g.layer_group(r, mode);
+                assert!(grp.contains(&r));
+                assert!(grp.windows(2).all(|w| w[0] < w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn single_grid_has_one_rank() {
+        let g = ProcessGrid::single(3);
+        assert_eq!(g.nprocs(), 1);
+        assert_eq!(g.layer_group(0, 1), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_extent_rejected() {
+        let _ = ProcessGrid::new(vec![2, 0]);
+    }
+}

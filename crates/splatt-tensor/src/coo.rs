@@ -1,0 +1,501 @@
+//! Coordinate-format sparse tensor in SPLATT's memory layout.
+//!
+//! SPLATT's `sptensor_t` stores an order-`N` tensor as `N` parallel index
+//! arrays (`ind[0..N]`, each of length `nnz`) plus one value array — not an
+//! array of coordinate tuples. The layout matters: the pre-processing sort
+//! permutes each array independently (the "array of arrays" the paper's
+//! Section IV-C discusses), and MTTKRP construction walks single-mode index
+//! streams. Indices are `u32` (the paper's largest mode is 480 k).
+
+/// An order-`N` sparse tensor in coordinate (COO) format.
+///
+/// Duplicate coordinates are permitted (their values add, matching the
+/// multilinear semantics); [`SparseTensor::coalesce`] merges them.
+///
+/// ```
+/// use splatt_tensor::SparseTensor;
+///
+/// let mut t = SparseTensor::new(vec![4, 5, 6]);
+/// t.push(&[0, 1, 2], 3.5);
+/// t.push(&[3, 4, 5], -1.0);
+/// assert_eq!(t.nnz(), 2);
+/// assert_eq!(t.coord(1), vec![3, 4, 5]);
+/// assert!((t.norm_squared() - 13.25).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseTensor {
+    dims: Vec<usize>,
+    inds: Vec<Vec<u32>>,
+    vals: Vec<f64>,
+}
+
+impl SparseTensor {
+    /// An empty tensor with the given mode dimensions.
+    ///
+    /// # Panics
+    /// Panics if fewer than two modes, or any dimension is 0 or exceeds
+    /// `u32::MAX`.
+    pub fn new(dims: Vec<usize>) -> Self {
+        assert!(dims.len() >= 2, "tensors need at least two modes");
+        assert!(
+            dims.iter().all(|&d| d > 0 && d <= u32::MAX as usize),
+            "mode dimensions must be in 1..=u32::MAX"
+        );
+        let order = dims.len();
+        SparseTensor {
+            dims,
+            inds: vec![Vec::new(); order],
+            vals: Vec::new(),
+        }
+    }
+
+    /// Build from parallel index arrays and values (SPLATT layout).
+    ///
+    /// # Panics
+    /// Panics if array lengths disagree or any index is out of range.
+    pub fn from_parts(dims: Vec<usize>, inds: Vec<Vec<u32>>, vals: Vec<f64>) -> Self {
+        assert_eq!(inds.len(), dims.len(), "one index array per mode required");
+        for (m, ind) in inds.iter().enumerate() {
+            assert_eq!(ind.len(), vals.len(), "index array {m} length mismatch");
+            assert!(
+                ind.iter().all(|&i| (i as usize) < dims[m]),
+                "index out of range in mode {m}"
+            );
+        }
+        assert!(dims.len() >= 2, "tensors need at least two modes");
+        SparseTensor { dims, inds, vals }
+    }
+
+    /// Build from `(coordinate, value)` tuples.
+    ///
+    /// # Panics
+    /// Panics if any coordinate has the wrong arity or is out of range.
+    pub fn from_entries(dims: Vec<usize>, entries: &[(Vec<u32>, f64)]) -> Self {
+        let mut t = SparseTensor::new(dims);
+        for (coord, val) in entries {
+            t.push(coord, *val);
+        }
+        t
+    }
+
+    /// Append one nonzero.
+    ///
+    /// # Panics
+    /// Panics if `coord.len() != order` or any index is out of range.
+    pub fn push(&mut self, coord: &[u32], val: f64) {
+        assert_eq!(coord.len(), self.order(), "coordinate arity mismatch");
+        for (m, (&i, &d)) in coord.iter().zip(&self.dims).enumerate() {
+            assert!((i as usize) < d, "index {i} out of range for mode {m} (dim {d})");
+        }
+        for (ind, &i) in self.inds.iter_mut().zip(coord) {
+            ind.push(i);
+        }
+        self.vals.push(val);
+    }
+
+    /// Number of modes.
+    #[inline]
+    pub fn order(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Number of stored nonzeros (duplicates counted separately).
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Mode dimensions.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Index array of mode `m`.
+    #[inline]
+    pub fn ind(&self, m: usize) -> &[u32] {
+        &self.inds[m]
+    }
+
+    /// Values array.
+    #[inline]
+    pub fn vals(&self) -> &[f64] {
+        &self.vals
+    }
+
+    /// Mutable access to all index arrays and the value array at once —
+    /// what the sort needs to permute everything in lock step.
+    pub(crate) fn parts_mut(&mut self) -> (&mut [Vec<u32>], &mut Vec<f64>) {
+        (&mut self.inds, &mut self.vals)
+    }
+
+    /// The coordinate of nonzero `x` as a fresh vector.
+    pub fn coord(&self, x: usize) -> Vec<u32> {
+        self.inds.iter().map(|ind| ind[x]).collect()
+    }
+
+    /// Fraction of possible positions that hold a stored nonzero.
+    pub fn density(&self) -> f64 {
+        let cells: f64 = self.dims.iter().map(|&d| d as f64).product();
+        self.nnz() as f64 / cells
+    }
+
+    /// Squared Frobenius norm `sum(v^2)` — `normX^2` in the CP-ALS fit.
+    pub fn norm_squared(&self) -> f64 {
+        self.vals.iter().map(|v| v * v).sum()
+    }
+
+    /// A copy of this tensor with its modes reordered: mode `m` of the
+    /// result is mode `perm[m]` of `self`.
+    ///
+    /// # Panics
+    /// Panics if `perm` is not a permutation of `0..order`.
+    pub fn permute_modes(&self, perm: &[usize]) -> SparseTensor {
+        let order = self.order();
+        assert_eq!(perm.len(), order, "perm must cover every mode");
+        let mut seen = vec![false; order];
+        for &m in perm {
+            assert!(m < order && !seen[m], "perm must be a permutation of modes");
+            seen[m] = true;
+        }
+        SparseTensor {
+            dims: perm.iter().map(|&m| self.dims[m]).collect(),
+            inds: perm.iter().map(|&m| self.inds[m].clone()).collect(),
+            vals: self.vals.clone(),
+        }
+    }
+
+    /// Deterministically split the nonzeros into a `(train, test)` pair,
+    /// assigning roughly `holdout_fraction` of them to `test` — the
+    /// standard preparation for completion experiments.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 <= holdout_fraction <= 1.0`.
+    pub fn split_holdout(&self, holdout_fraction: f64, seed: u64) -> (SparseTensor, SparseTensor) {
+        assert!(
+            (0.0..=1.0).contains(&holdout_fraction),
+            "holdout fraction must be in [0, 1]"
+        );
+        let mut train = SparseTensor::new(self.dims.clone());
+        let mut test = SparseTensor::new(self.dims.clone());
+        // cheap per-entry hash -> uniform in [0, 1): splitmix64 of (seed, x)
+        let uniform = |x: usize| -> f64 {
+            let mut z = seed ^ (x as u64).wrapping_mul(0x9E3779B97F4A7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            (z ^ (z >> 31)) as f64 / u64::MAX as f64
+        };
+        let mut coord = vec![0u32; self.order()];
+        for x in 0..self.nnz() {
+            for (c, ind) in coord.iter_mut().zip(&self.inds) {
+                *c = ind[x];
+            }
+            if uniform(x) < holdout_fraction {
+                test.push(&coord, self.vals[x]);
+            } else {
+                train.push(&coord, self.vals[x]);
+            }
+        }
+        (train, test)
+    }
+
+    /// Merge duplicate coordinates by summing their values, dropping exact
+    /// zeros produced by cancellation. Ordering of the result is the
+    /// lexicographic coordinate order.
+    pub fn coalesce(&mut self) {
+        let n = self.nnz();
+        if n == 0 {
+            return;
+        }
+        let order = self.order();
+        let mut perm: Vec<usize> = (0..n).collect();
+        perm.sort_unstable_by(|&a, &b| {
+            for ind in &self.inds {
+                match ind[a].cmp(&ind[b]) {
+                    std::cmp::Ordering::Equal => continue,
+                    other => return other,
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        let mut new_inds: Vec<Vec<u32>> = vec![Vec::with_capacity(n); order];
+        let mut new_vals: Vec<f64> = Vec::with_capacity(n);
+        for &x in &perm {
+            let same_as_last = !new_vals.is_empty()
+                && new_inds.iter().zip(&self.inds).all(|(ni, oi)| *ni.last().unwrap() == oi[x]);
+            if same_as_last {
+                *new_vals.last_mut().unwrap() += self.vals[x];
+            } else {
+                for (ni, oi) in new_inds.iter_mut().zip(&self.inds) {
+                    ni.push(oi[x]);
+                }
+                new_vals.push(self.vals[x]);
+            }
+        }
+        // drop exact-zero entries created by cancellation
+        let mut keep = vec![true; new_vals.len()];
+        for (k, v) in keep.iter_mut().zip(&new_vals) {
+            *k = *v != 0.0;
+        }
+        if keep.iter().any(|k| !k) {
+            for ind in &mut new_inds {
+                let mut it = keep.iter();
+                ind.retain(|_| *it.next().unwrap());
+            }
+            let mut it = keep.iter();
+            new_vals.retain(|_| *it.next().unwrap());
+        }
+        self.inds = new_inds;
+        self.vals = new_vals;
+    }
+
+    /// `true` if nonzeros are sorted lexicographically by the mode order
+    /// `perm` (e.g. `[1, 0, 2]` = sort by mode 1, ties by mode 0, then 2).
+    pub fn is_sorted_by(&self, perm: &[usize]) -> bool {
+        (1..self.nnz()).all(|x| {
+            for &m in perm {
+                match self.inds[m][x - 1].cmp(&self.inds[m][x]) {
+                    std::cmp::Ordering::Less => return true,
+                    std::cmp::Ordering::Greater => return false,
+                    std::cmp::Ordering::Equal => continue,
+                }
+            }
+            true
+        })
+    }
+
+    /// Multiset of `(coordinate, value)` pairs, sorted — for equivalence
+    /// checks in tests (sorting must be a permutation of this multiset).
+    pub fn canonical_entries(&self) -> Vec<(Vec<u32>, f64)> {
+        let mut out: Vec<(Vec<u32>, f64)> =
+            (0..self.nnz()).map(|x| (self.coord(x), self.vals[x])).collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SparseTensor {
+        SparseTensor::from_entries(
+            vec![3, 4, 5],
+            &[
+                (vec![0, 0, 0], 1.0),
+                (vec![2, 3, 4], 2.0),
+                (vec![1, 2, 3], 3.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn construction_basics() {
+        let t = small();
+        assert_eq!(t.order(), 3);
+        assert_eq!(t.nnz(), 3);
+        assert_eq!(t.dims(), &[3, 4, 5]);
+        assert_eq!(t.ind(0), &[0, 2, 1]);
+        assert_eq!(t.vals(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn coord_roundtrip() {
+        let t = small();
+        assert_eq!(t.coord(1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn density_and_norm() {
+        let t = small();
+        assert!((t.density() - 3.0 / 60.0).abs() < 1e-15);
+        assert!((t.norm_squared() - 14.0).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn push_out_of_range_panics() {
+        let mut t = SparseTensor::new(vec![2, 2]);
+        t.push(&[2, 0], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn push_wrong_arity_panics() {
+        let mut t = SparseTensor::new(vec![2, 2]);
+        t.push(&[0], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two modes")]
+    fn single_mode_rejected() {
+        let _ = SparseTensor::new(vec![5]);
+    }
+
+    #[test]
+    fn from_parts_validates_lengths() {
+        let t = SparseTensor::from_parts(
+            vec![2, 2],
+            vec![vec![0, 1], vec![1, 0]],
+            vec![1.0, 2.0],
+        );
+        assert_eq!(t.nnz(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn from_parts_rejects_ragged() {
+        let _ = SparseTensor::from_parts(vec![2, 2], vec![vec![0], vec![1, 0]], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn coalesce_merges_duplicates() {
+        let mut t = SparseTensor::from_entries(
+            vec![2, 2],
+            &[
+                (vec![0, 1], 1.0),
+                (vec![0, 1], 2.0),
+                (vec![1, 0], 5.0),
+            ],
+        );
+        t.coalesce();
+        assert_eq!(t.nnz(), 2);
+        assert_eq!(t.canonical_entries(), vec![(vec![0, 1], 3.0), (vec![1, 0], 5.0)]);
+    }
+
+    #[test]
+    fn coalesce_drops_cancelled_entries() {
+        let mut t = SparseTensor::from_entries(
+            vec![2, 2],
+            &[(vec![0, 0], 1.0), (vec![0, 0], -1.0), (vec![1, 1], 2.0)],
+        );
+        t.coalesce();
+        assert_eq!(t.nnz(), 1);
+        assert_eq!(t.canonical_entries(), vec![(vec![1, 1], 2.0)]);
+    }
+
+    #[test]
+    fn coalesce_empty_is_noop() {
+        let mut t = SparseTensor::new(vec![2, 2]);
+        t.coalesce();
+        assert_eq!(t.nnz(), 0);
+    }
+
+    #[test]
+    fn is_sorted_by_detects_order() {
+        let t = SparseTensor::from_entries(
+            vec![3, 3],
+            &[(vec![0, 2], 1.0), (vec![1, 1], 1.0), (vec![2, 0], 1.0)],
+        );
+        assert!(t.is_sorted_by(&[0, 1]));
+        assert!(!t.is_sorted_by(&[1, 0]));
+    }
+
+    #[test]
+    fn is_sorted_handles_ties() {
+        let t = SparseTensor::from_entries(
+            vec![3, 3],
+            &[(vec![1, 0], 1.0), (vec![1, 2], 1.0)],
+        );
+        assert!(t.is_sorted_by(&[0, 1]));
+        assert!(t.is_sorted_by(&[0])); // prefix order with ties allowed
+    }
+
+    #[test]
+    fn canonical_entries_is_order_invariant() {
+        let a = SparseTensor::from_entries(
+            vec![2, 2],
+            &[(vec![0, 1], 1.0), (vec![1, 0], 2.0)],
+        );
+        let b = SparseTensor::from_entries(
+            vec![2, 2],
+            &[(vec![1, 0], 2.0), (vec![0, 1], 1.0)],
+        );
+        assert_eq!(a.canonical_entries(), b.canonical_entries());
+    }
+
+    #[test]
+    fn permute_modes_relabels_coordinates() {
+        let t = small();
+        let p = t.permute_modes(&[2, 0, 1]);
+        assert_eq!(p.dims(), &[5, 3, 4]);
+        // entry (1, 2, 3) in `t` becomes (3, 1, 2)
+        assert!(p
+            .canonical_entries()
+            .contains(&(vec![3, 1, 2], 3.0)));
+        assert_eq!(p.nnz(), t.nnz());
+    }
+
+    #[test]
+    fn permute_modes_identity_is_noop() {
+        let t = small();
+        assert_eq!(t.permute_modes(&[0, 1, 2]), t);
+    }
+
+    #[test]
+    fn permute_then_inverse_roundtrips() {
+        let t = small();
+        let p = t.permute_modes(&[1, 2, 0]);
+        // inverse of [1,2,0] is [2,0,1]
+        assert_eq!(p.permute_modes(&[2, 0, 1]), t);
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn permute_rejects_bad_perm() {
+        let _ = small().permute_modes(&[0, 0, 1]);
+    }
+
+    #[test]
+    fn split_holdout_partitions_entries() {
+        let mut t = SparseTensor::new(vec![50, 50]);
+        for i in 0..50u32 {
+            for j in 0..20u32 {
+                t.push(&[i, j], (i + j) as f64);
+            }
+        }
+        let (train, test) = t.split_holdout(0.25, 7);
+        assert_eq!(train.nnz() + test.nnz(), t.nnz());
+        // fraction is approximate but must be in the right ballpark
+        let frac = test.nnz() as f64 / t.nnz() as f64;
+        assert!((0.15..0.35).contains(&frac), "holdout fraction {frac}");
+        // union of entries equals the original multiset
+        let mut all = train.canonical_entries();
+        all.extend(test.canonical_entries());
+        all.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+        assert_eq!(all, t.canonical_entries());
+    }
+
+    #[test]
+    fn split_holdout_is_deterministic() {
+        let t = SparseTensor::from_entries(
+            vec![4, 4],
+            &[(vec![0, 1], 1.0), (vec![1, 2], 2.0), (vec![2, 3], 3.0)],
+        );
+        let (a1, b1) = t.split_holdout(0.5, 3);
+        let (a2, b2) = t.split_holdout(0.5, 3);
+        assert_eq!(a1, a2);
+        assert_eq!(b1, b2);
+    }
+
+    #[test]
+    fn split_holdout_extremes() {
+        let t = small();
+        let (train, test) = t.split_holdout(0.0, 1);
+        assert_eq!(train.nnz(), t.nnz());
+        assert_eq!(test.nnz(), 0);
+        let (train, test) = t.split_holdout(1.0, 1);
+        assert_eq!(train.nnz(), 0);
+        assert_eq!(test.nnz(), t.nnz());
+    }
+
+    #[test]
+    fn four_mode_tensor_supported() {
+        let t = SparseTensor::from_entries(
+            vec![2, 3, 4, 5],
+            &[(vec![1, 2, 3, 4], 7.0), (vec![0, 0, 0, 0], 1.0)],
+        );
+        assert_eq!(t.order(), 4);
+        assert_eq!(t.coord(0), vec![1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,227 @@
+//! FROSTT-style `.tns` text I/O.
+//!
+//! The data sets in the paper's Table I ship as whitespace-separated text:
+//! one nonzero per line, `order` 1-based coordinates followed by the value.
+//! Lines starting with `#` are comments. Mode dimensions are inferred as
+//! the per-mode maximum unless provided explicitly.
+
+use crate::SparseTensor;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Errors produced while parsing a `.tns` stream.
+#[derive(Debug)]
+pub enum TnsError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A data line could not be parsed; carries the 1-based line number
+    /// and a description.
+    Parse { line: usize, message: String },
+}
+
+impl std::fmt::Display for TnsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TnsError::Io(e) => write!(f, "I/O error: {e}"),
+            TnsError::Parse { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for TnsError {}
+
+impl From<std::io::Error> for TnsError {
+    fn from(e: std::io::Error) -> Self {
+        TnsError::Io(e)
+    }
+}
+
+/// Parse a `.tns` stream, inferring mode dimensions from the data.
+///
+/// # Errors
+/// [`TnsError::Parse`] on malformed lines (wrong arity, non-numeric
+/// fields, zero indices — the format is 1-based); [`TnsError::Io`] on read
+/// failures. An empty stream is an error (the order cannot be inferred).
+pub fn read_tns(reader: impl Read) -> Result<SparseTensor, TnsError> {
+    let reader = BufReader::new(reader);
+    let mut order: Option<usize> = None;
+    let mut inds: Vec<Vec<u32>> = Vec::new();
+    let mut vals: Vec<f64> = Vec::new();
+    let mut dims: Vec<usize> = Vec::new();
+
+    let mut line_buf = String::new();
+    let mut reader = reader;
+    let mut lineno = 0usize;
+    loop {
+        line_buf.clear();
+        if reader.read_line(&mut line_buf)? == 0 {
+            break;
+        }
+        lineno += 1;
+        let line = line_buf.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        let ord = *order.get_or_insert_with(|| fields.len().saturating_sub(1));
+        if ord < 2 {
+            return Err(TnsError::Parse {
+                line: lineno,
+                message: format!("expected at least 3 fields, found {}", fields.len()),
+            });
+        }
+        if fields.len() != ord + 1 {
+            return Err(TnsError::Parse {
+                line: lineno,
+                message: format!("expected {} fields, found {}", ord + 1, fields.len()),
+            });
+        }
+        if inds.is_empty() {
+            inds = vec![Vec::new(); ord];
+            dims = vec![0; ord];
+        }
+        for (m, f) in fields[..ord].iter().enumerate() {
+            let idx: u64 = f.parse().map_err(|_| TnsError::Parse {
+                line: lineno,
+                message: format!("invalid index '{f}' in mode {m}"),
+            })?;
+            if idx == 0 || idx > u32::MAX as u64 {
+                return Err(TnsError::Parse {
+                    line: lineno,
+                    message: format!("index {idx} out of range (format is 1-based)"),
+                });
+            }
+            let zero_based = (idx - 1) as u32;
+            inds[m].push(zero_based);
+            dims[m] = dims[m].max(idx as usize);
+        }
+        let v: f64 = fields[ord].parse().map_err(|_| TnsError::Parse {
+            line: lineno,
+            message: format!("invalid value '{}'", fields[ord]),
+        })?;
+        vals.push(v);
+    }
+
+    if order.is_none() {
+        return Err(TnsError::Parse {
+            line: 0,
+            message: "empty tensor file: cannot infer order".to_string(),
+        });
+    }
+    Ok(SparseTensor::from_parts(dims, inds, vals))
+}
+
+/// Read a `.tns` file from disk.
+///
+/// # Errors
+/// See [`read_tns`].
+pub fn read_tns_file(path: impl AsRef<Path>) -> Result<SparseTensor, TnsError> {
+    read_tns(std::fs::File::open(path)?)
+}
+
+/// Write a tensor as 1-based `.tns` text.
+///
+/// # Errors
+/// Propagates I/O failures.
+pub fn write_tns(tensor: &SparseTensor, writer: impl Write) -> Result<(), std::io::Error> {
+    let mut w = BufWriter::new(writer);
+    for x in 0..tensor.nnz() {
+        for m in 0..tensor.order() {
+            write!(w, "{} ", tensor.ind(m)[x] as u64 + 1)?;
+        }
+        writeln!(w, "{}", tensor.vals()[x])?;
+    }
+    w.flush()
+}
+
+/// Write a tensor to a `.tns` file on disk.
+///
+/// # Errors
+/// Propagates I/O failures.
+pub fn write_tns_file(tensor: &SparseTensor, path: impl AsRef<Path>) -> Result<(), std::io::Error> {
+    write_tns(tensor, std::fs::File::create(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_file() {
+        let text = "1 1 1 1.5\n2 3 4 -2.0\n";
+        let t = read_tns(text.as_bytes()).unwrap();
+        assert_eq!(t.order(), 3);
+        assert_eq!(t.nnz(), 2);
+        assert_eq!(t.dims(), &[2, 3, 4]);
+        assert_eq!(t.coord(1), vec![1, 2, 3]);
+        assert_eq!(t.vals(), &[1.5, -2.0]);
+    }
+
+    #[test]
+    fn skips_comments_and_blanks() {
+        let text = "# header\n\n1 1 2.0\n  # another\n2 2 3.0\n";
+        let t = read_tns(text.as_bytes()).unwrap();
+        assert_eq!(t.order(), 2);
+        assert_eq!(t.nnz(), 2);
+    }
+
+    #[test]
+    fn roundtrip_preserves_entries() {
+        let t = SparseTensor::from_entries(
+            vec![3, 4, 5],
+            &[(vec![0, 1, 2], 1.25), (vec![2, 3, 4], -0.5)],
+        );
+        let mut buf = Vec::new();
+        write_tns(&t, &mut buf).unwrap();
+        let back = read_tns(buf.as_slice()).unwrap();
+        assert_eq!(back.canonical_entries(), t.canonical_entries());
+    }
+
+    #[test]
+    fn inferred_dims_are_maxima() {
+        let t = read_tns("5 1 1.0\n1 7 2.0\n".as_bytes()).unwrap();
+        assert_eq!(t.dims(), &[5, 7]);
+    }
+
+    #[test]
+    fn rejects_zero_index() {
+        let err = read_tns("0 1 1.0\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, TnsError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_ragged_lines() {
+        let err = read_tns("1 1 1 1.0\n1 1 2.0\n".as_bytes()).unwrap_err();
+        match err {
+            TnsError::Parse { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("fields"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_value() {
+        let err = read_tns("1 1 abc\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, TnsError::Parse { .. }));
+    }
+
+    #[test]
+    fn rejects_empty_stream() {
+        assert!(read_tns("".as_bytes()).is_err());
+        assert!(read_tns("# only comments\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("splatt_tns_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.tns");
+        let t = SparseTensor::from_entries(vec![2, 2], &[(vec![1, 1], 4.0)]);
+        write_tns_file(&t, &path).unwrap();
+        let back = read_tns_file(&path).unwrap();
+        assert_eq!(back.canonical_entries(), t.canonical_entries());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

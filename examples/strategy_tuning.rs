@@ -1,0 +1,105 @@
+//! Strategy tuning: measure the paper's optimization knobs on your tensor.
+//!
+//! Runs the MTTKRP under every matrix-access strategy (Figures 2/3) and
+//! every lock strategy (Figure 4), plus the three bundled implementation
+//! presets (Table III / Figures 9-10), and prints a comparison — the
+//! workflow a user would follow to pick a configuration for a new data
+//! set.
+//!
+//! ```sh
+//! cargo run --release --example strategy_tuning [ntasks]
+//! ```
+
+use splatt::core::mttkrp::{mttkrp, uses_locks, MttkrpConfig, MttkrpWorkspace};
+use splatt::par::TaskTeam;
+use splatt::{cp_als, CpalsOptions, CsfSet, Implementation, LockStrategy, Matrix, MatrixAccess, SortVariant};
+use std::time::Instant;
+
+const RANK: usize = 16;
+const REPS: usize = 10;
+
+fn main() {
+    let ntasks: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+
+    // YELP-shaped: sparse modes force the lock path at higher task counts.
+    let tensor = splatt::tensor::synth::YELP.generate(1.0 / 80.0, 3);
+    println!("tensor: {}", splatt::tensor::TensorStats::compute(&tensor));
+    println!("tasks:  {ntasks}\n");
+
+    let team = TaskTeam::new(ntasks);
+    let set = CsfSet::build(&tensor, Default::default(), &team, SortVariant::AllOpts);
+    let factors: Vec<Matrix> = tensor
+        .dims()
+        .iter()
+        .enumerate()
+        .map(|(m, &d)| Matrix::random(d, RANK, m as u64))
+        .collect();
+
+    let time_mttkrp = |cfg: &MttkrpConfig| -> f64 {
+        let mut ws = MttkrpWorkspace::new(cfg, ntasks);
+        let mut outs: Vec<Matrix> = tensor
+            .dims()
+            .iter()
+            .map(|&d| Matrix::zeros(d, RANK))
+            .collect();
+        let start = Instant::now();
+        for _ in 0..REPS {
+            for (mode, out) in outs.iter_mut().enumerate() {
+                mttkrp(&set, &factors, mode, out, &mut ws, &team, cfg);
+            }
+        }
+        start.elapsed().as_secs_f64()
+    };
+
+    println!("matrix-access strategies (all modes x {REPS} reps):");
+    for access in [
+        MatrixAccess::RowCopy,
+        MatrixAccess::Index2D,
+        MatrixAccess::PointerChecked,
+        MatrixAccess::PointerZip,
+    ] {
+        let cfg = MttkrpConfig { access, ..Default::default() };
+        println!("  {:<10} {:>8.3} s", access.label(), time_mttkrp(&cfg));
+    }
+
+    println!("\nlock strategies (same workload):");
+    for locks in LockStrategy::ALL {
+        let cfg = MttkrpConfig { locks, ..Default::default() };
+        let locked_modes: Vec<usize> = (0..tensor.order())
+            .filter(|&m| uses_locks(&set, m, ntasks, &cfg))
+            .collect();
+        println!(
+            "  {:<10} {:>8.3} s   (locks used on modes {:?})",
+            locks.label(),
+            time_mttkrp(&cfg),
+            locked_modes
+        );
+    }
+
+    println!("\nfull CP-ALS under the paper's implementation presets:");
+    for imp in [
+        Implementation::Reference,
+        Implementation::PortedInitial,
+        Implementation::PortedOptimized,
+    ] {
+        let opts = CpalsOptions {
+            rank: RANK,
+            max_iters: 5,
+            tolerance: 0.0,
+            ntasks,
+            ..Default::default()
+        }
+        .with_implementation(imp);
+        let start = Instant::now();
+        let out = cp_als(&tensor, &opts);
+        println!(
+            "  {:<16} {:>8.3} s  (fit {:.4})",
+            imp.label(),
+            start.elapsed().as_secs_f64(),
+            out.fit
+        );
+    }
+}

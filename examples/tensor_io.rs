@@ -1,0 +1,70 @@
+//! Tensor I/O, sorting, and CSF inspection — the pre-processing pipeline.
+//!
+//! Demonstrates the FROSTT `.tns` round trip the paper's data sets use,
+//! the pre-processing sort in all four optimization states (Figure 1's
+//! variants), and what the CSF representations look like for each
+//! allocation policy.
+//!
+//! ```sh
+//! cargo run --release --example tensor_io
+//! ```
+
+use splatt::par::TaskTeam;
+use splatt::tensor::{io, sort, stats, SortVariant};
+use splatt::{CsfAlloc, CsfSet};
+use std::time::Instant;
+
+fn main() {
+    // Generate a NELL-2-shaped tensor and write it as .tns text.
+    let shape = splatt::tensor::synth::NELL2;
+    let tensor = shape.generate(1.0 / 400.0, 11);
+    let dir = std::env::temp_dir().join("splatt_example_io");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let path = dir.join("nell2_small.tns");
+
+    io::write_tns_file(&tensor, &path).expect("write .tns");
+    let on_disk = std::fs::metadata(&path).expect("stat").len() as usize;
+    println!(
+        "wrote {} nonzeros to {} ({})",
+        tensor.nnz(),
+        path.display(),
+        stats::human_bytes(on_disk)
+    );
+
+    let back = io::read_tns_file(&path).expect("read .tns");
+    assert_eq!(back.canonical_entries(), tensor.canonical_entries());
+    println!("round trip OK; stats:");
+    print!("{}", splatt::tensor::TensorStats::compute(&back));
+
+    // The pre-processing sort, in every optimization state.
+    let team = TaskTeam::new(4);
+    println!("\nsort (mode 0, 4 tasks) across Figure 1's variants:");
+    for variant in SortVariant::ALL {
+        let mut t = tensor.clone();
+        let start = Instant::now();
+        sort::sort_for_mode(&mut t, 0, &team, variant);
+        println!("  {:<10} {:>8.2} ms", variant.label(), start.elapsed().as_secs_f64() * 1e3);
+    }
+
+    // CSF representations under each allocation policy.
+    println!("\nCSF allocation policies:");
+    for alloc in [CsfAlloc::One, CsfAlloc::Two, CsfAlloc::All] {
+        let set = CsfSet::build(&tensor, alloc, &team, SortVariant::AllOpts);
+        let bytes: usize = set.csfs().iter().map(|c| c.storage_bytes()).sum();
+        let roots: Vec<usize> = set.csfs().iter().map(|c| c.dim_perm()[0]).collect();
+        println!(
+            "  {alloc:?}: {} representation(s), roots {roots:?}, {}",
+            set.csfs().len(),
+            stats::human_bytes(bytes)
+        );
+        for mode in 0..tensor.order() {
+            let (csf, kind) = set.for_mode(mode);
+            println!(
+                "    MTTKRP mode {mode}: {kind:?} kernel on CSF rooted at mode {}",
+                csf.dim_perm()[0]
+            );
+        }
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,364 @@
+//! `splatt` — command-line sparse tensor decomposition.
+//!
+//! The Rust counterpart of SPLATT's CLI:
+//!
+//! ```sh
+//! splatt cpd tensor.tns --rank 35 --iters 20 --tasks 8 --out factors
+//! splatt stats tensor.tns
+//! splatt check tensor.tns
+//! splatt generate yelp --scale 0.01 --out yelp_small.tns
+//! ```
+
+use splatt::core::{
+    rmse_observed, tensor_complete, tensor_complete_ccd, tensor_complete_sgd, CcdOptions,
+    CompletionOptions, SgdOptions,
+};
+use splatt::par::Routine;
+use splatt::tensor::{io, synth, TensorStats};
+use splatt::{
+    corcondia, cp_als, Constraint, CpalsOptions, CsfAlloc, Implementation, KruskalModel, Matrix,
+};
+use std::io::Write;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  \
+         splatt cpd <tensor.tns> [--rank R] [--iters N] [--tol T] [--tasks N]\n              \
+         [--impl reference|ported-initial|ported-optimized]\n              \
+         [--csf one|two|all] [--seed S] [--nonneg 1] [--diagnose 1]\n              \
+         [--out PREFIX]\n  \
+         splatt complete <train.tns> [--solver als|sgd|ccd] [--rank R] [--iters N]\n              \
+         [--tol T] [--reg MU] [--tasks N] [--seed S]\n              \
+         [--test FILE.tns] [--out PREFIX] [--model FILE]\n  \
+         splatt predict <model.kruskal> <coords.tns>\n  \
+         splatt stats <tensor.tns>\n  \
+         splatt check <tensor.tns>\n  \
+         splatt generate <yelp|rate-beer|beer-advocate|nell-2|netflix|random>\n              \
+         [--scale F] [--seed S] [--dims IxJxK --nnz N] --out FILE"
+    );
+    ExitCode::from(2)
+}
+
+/// Minimal flag parser: `--key value` pairs after the positional args.
+struct Flags(Vec<(String, String)>);
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut out = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let key = a
+                .strip_prefix("--")
+                .ok_or_else(|| format!("unexpected argument '{a}'"))?;
+            let val = it
+                .next()
+                .ok_or_else(|| format!("flag --{key} needs a value"))?;
+            out.push((key.to_string(), val.clone()));
+        }
+        Ok(Flags(out))
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value '{v}' for --{key}")),
+        }
+    }
+}
+
+fn load(path: &str) -> Result<splatt::SparseTensor, String> {
+    io::read_tns_file(path).map_err(|e| format!("{path}: {e}"))
+}
+
+fn write_matrix(path: &std::path::Path, m: &Matrix) -> std::io::Result<()> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    for i in 0..m.rows() {
+        let row: Vec<String> = m.row(i).iter().map(|v| format!("{v:.17e}")).collect();
+        writeln!(f, "{}", row.join(" "))?;
+    }
+    f.flush()
+}
+
+fn cmd_cpd(path: &str, flags: &Flags) -> Result<(), String> {
+    let tensor = load(path)?;
+    println!("{path}:");
+    print!("{}", TensorStats::compute(&tensor));
+
+    let imp = match flags.get("impl").unwrap_or("reference") {
+        "reference" => Implementation::Reference,
+        "ported-initial" => Implementation::PortedInitial,
+        "ported-optimized" => Implementation::PortedOptimized,
+        other => return Err(format!("unknown --impl '{other}'")),
+    };
+    let csf_alloc = match flags.get("csf").unwrap_or("two") {
+        "one" => CsfAlloc::One,
+        "two" => CsfAlloc::Two,
+        "all" => CsfAlloc::All,
+        other => return Err(format!("unknown --csf '{other}'")),
+    };
+    let constraint = if flags.parse_or("nonneg", 0u8)? != 0 {
+        Constraint::NonNegative
+    } else {
+        Constraint::None
+    };
+    let opts = CpalsOptions {
+        rank: flags.parse_or("rank", 10)?,
+        max_iters: flags.parse_or("iters", 50)?,
+        tolerance: flags.parse_or("tol", 1e-5)?,
+        ntasks: flags.parse_or("tasks", 1)?,
+        seed: flags.parse_or("seed", 0xC0FFEE_u64)?,
+        csf_alloc,
+        constraint,
+        ..Default::default()
+    }
+    .with_implementation(imp);
+
+    println!(
+        "\nCP-ALS: rank {}, max {} iterations, {} task(s), {} implementation",
+        opts.rank,
+        opts.max_iters,
+        opts.ntasks,
+        imp.label()
+    );
+    let out = cp_als(&tensor, &opts);
+    println!("converged: fit {:.6} after {} iterations", out.fit, out.iterations);
+    println!("\nper-routine seconds:");
+    for r in Routine::ALL {
+        println!("  {:<10} {:>10.4}", r.label(), out.timers.seconds(r));
+    }
+
+    if flags.parse_or("diagnose", 0u8)? != 0 {
+        if tensor.order() == 3 {
+            println!("\ncore consistency (CORCONDIA): {:.1}", corcondia(&out.model, &tensor));
+        } else {
+            println!("\n--diagnose: CORCONDIA requires a 3rd-order tensor; skipped");
+        }
+    }
+
+    if let Some(prefix) = flags.get("out") {
+        let lambda_path = format!("{prefix}.lambda.txt");
+        let mut f = std::fs::File::create(&lambda_path)
+            .map_err(|e| format!("{lambda_path}: {e}"))?;
+        for l in &out.model.lambda {
+            writeln!(f, "{l:.17e}").map_err(|e| e.to_string())?;
+        }
+        println!("\nwrote {lambda_path}");
+        for (m, factor) in out.model.factors.iter().enumerate() {
+            let p = format!("{prefix}.mode{m}.txt");
+            write_matrix(std::path::Path::new(&p), factor).map_err(|e| format!("{p}: {e}"))?;
+            println!("wrote {p} ({}x{})", factor.rows(), factor.cols());
+        }
+    }
+    if let Some(model_path) = flags.get("model") {
+        save_model(&out.model, model_path)?;
+    }
+    Ok(())
+}
+
+fn save_model(model: &KruskalModel, path: &str) -> Result<(), String> {
+    let f = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+    model.write(f).map_err(|e| format!("{path}: {e}"))?;
+    println!("wrote {path} (rank {}, {} modes)", model.rank(), model.order());
+    Ok(())
+}
+
+fn cmd_predict(model_path: &str, coords_path: &str) -> Result<(), String> {
+    let model = KruskalModel::read(
+        std::fs::File::open(model_path).map_err(|e| format!("{model_path}: {e}"))?,
+    )
+    .map_err(|e| format!("{model_path}: {e}"))?;
+    let queries = load(coords_path)?;
+    if queries.order() != model.order() {
+        return Err(format!(
+            "model has {} modes but queries have {}",
+            model.order(),
+            queries.order()
+        ));
+    }
+    let mut sse = 0.0;
+    for x in 0..queries.nnz() {
+        let coord = queries.coord(x);
+        let pred = model.value_at(&coord);
+        let actual = queries.vals()[x];
+        sse += (pred - actual) * (pred - actual);
+        let printable: Vec<String> = coord.iter().map(|&c| (c as u64 + 1).to_string()).collect();
+        println!("{} {pred:.6}", printable.join(" "));
+    }
+    if queries.nnz() > 0 {
+        eprintln!(
+            "RMSE vs provided values: {:.6}",
+            (sse / queries.nnz() as f64).sqrt()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_complete(path: &str, flags: &Flags) -> Result<(), String> {
+    let train = load(path)?;
+    println!("{path}:");
+    print!("{}", TensorStats::compute(&train));
+
+    let rank = flags.parse_or("rank", 10)?;
+    let max_iters = flags.parse_or("iters", 50)?;
+    let tolerance = flags.parse_or("tol", 1e-5)?;
+    let regularization = flags.parse_or("reg", 1e-2)?;
+    let ntasks = flags.parse_or("tasks", 1)?;
+    let seed = flags.parse_or("seed", 0xBEEF_u64)?;
+    let solver = flags.get("solver").unwrap_or("als");
+    println!(
+        "\ntensor completion: solver {solver}, rank {rank}, max {max_iters} sweeps, \
+         mu {regularization}, {ntasks} task(s)"
+    );
+    let out = match solver {
+        "als" => tensor_complete(
+            &train,
+            &CompletionOptions {
+                rank, max_iters, tolerance, regularization, ntasks, seed,
+                ..Default::default()
+            },
+        ),
+        "sgd" => tensor_complete_sgd(
+            &train,
+            &SgdOptions {
+                rank,
+                max_epochs: max_iters,
+                tolerance,
+                regularization,
+                ntasks,
+                seed,
+                step: flags.parse_or("step", 0.1)?,
+                decay: flags.parse_or("decay", 0.05)?,
+                ..Default::default()
+            },
+        ),
+        "ccd" => tensor_complete_ccd(
+            &train,
+            &CcdOptions {
+                rank,
+                max_sweeps: max_iters,
+                tolerance,
+                regularization,
+                ntasks,
+                seed,
+                ..Default::default()
+            },
+        ),
+        other => return Err(format!("unknown --solver '{other}' (als|sgd|ccd)")),
+    };
+    println!("train RMSE {:.6} after {} sweeps", out.rmse, out.iterations);
+
+    if let Some(test_path) = flags.get("test") {
+        let test = load(test_path)?;
+        println!("held-out RMSE {:.6} on {test_path}", rmse_observed(&out.model, &test));
+    }
+    if let Some(prefix) = flags.get("out") {
+        for (m, factor) in out.model.factors.iter().enumerate() {
+            let p = format!("{prefix}.mode{m}.txt");
+            write_matrix(std::path::Path::new(&p), factor).map_err(|e| format!("{p}: {e}"))?;
+            println!("wrote {p} ({}x{})", factor.rows(), factor.cols());
+        }
+    }
+    if let Some(model_path) = flags.get("model") {
+        save_model(&out.model, model_path)?;
+    }
+    Ok(())
+}
+
+fn cmd_stats(path: &str) -> Result<(), String> {
+    let tensor = load(path)?;
+    println!("{path}:");
+    print!("{}", TensorStats::compute(&tensor));
+    Ok(())
+}
+
+fn cmd_check(path: &str) -> Result<(), String> {
+    let tensor = load(path)?;
+    let entries = tensor.canonical_entries();
+    let mut dups = 0usize;
+    for w in entries.windows(2) {
+        if w[0].0 == w[1].0 {
+            dups += 1;
+        }
+    }
+    let zeros = tensor.vals().iter().filter(|&&v| v == 0.0).count();
+    println!(
+        "{path}: order {}, {} nonzeros, {} duplicate coordinate pair(s), {} explicit zero(s)",
+        tensor.order(),
+        tensor.nnz(),
+        dups,
+        zeros
+    );
+    if dups > 0 {
+        println!("note: duplicates are summed by CP-ALS; `coalesce` merges them");
+    }
+    Ok(())
+}
+
+fn cmd_generate(which: &str, flags: &Flags) -> Result<(), String> {
+    let out_path = flags.get("out").ok_or("generate requires --out FILE")?;
+    let seed: u64 = flags.parse_or("seed", 42)?;
+    let tensor = if which == "random" {
+        let dims_s = flags.get("dims").ok_or("random requires --dims IxJxK")?;
+        let dims: Vec<usize> = dims_s
+            .split('x')
+            .map(|d| d.parse().map_err(|_| format!("bad dims '{dims_s}'")))
+            .collect::<Result<_, _>>()?;
+        let nnz: usize = flags.parse_or("nnz", 10_000)?;
+        synth::random_uniform(&dims, nnz, seed)
+    } else {
+        let shape = synth::ALL_SHAPES
+            .iter()
+            .find(|s| s.name.eq_ignore_ascii_case(which))
+            .ok_or_else(|| format!("unknown data set '{which}'"))?;
+        let scale: f64 = flags.parse_or("scale", 0.01)?;
+        shape.generate(scale, seed)
+    };
+    io::write_tns_file(&tensor, out_path).map_err(|e| format!("{out_path}: {e}"))?;
+    println!("wrote {} nonzeros to {out_path}", tensor.nnz());
+    print!("{}", TensorStats::compute(&tensor));
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((c, r)) => (c.as_str(), r),
+        None => return usage(),
+    };
+    let result = match (cmd, rest.split_first()) {
+        ("cpd", Some((path, flag_args))) => {
+            Flags::parse(flag_args).and_then(|f| cmd_cpd(path, &f))
+        }
+        ("complete", Some((path, flag_args))) => {
+            Flags::parse(flag_args).and_then(|f| cmd_complete(path, &f))
+        }
+        ("predict", Some((model_path, rest2))) => match rest2.first() {
+            Some(coords) => cmd_predict(model_path, coords),
+            None => return usage(),
+        },
+        ("stats", Some((path, _))) => cmd_stats(path),
+        ("check", Some((path, _))) => cmd_check(path),
+        ("generate", Some((which, flag_args))) => {
+            Flags::parse(flag_args).and_then(|f| cmd_generate(which, &f))
+        }
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! # splatt-rs — parallel sparse tensor decomposition
+//!
+//! A from-scratch Rust implementation of shared-memory sparse CP-ALS over
+//! compressed sparse fibers, reproducing both systems studied in
+//! *"Parallel Sparse Tensor Decomposition in Chapel"* (Rolinger, Simon &
+//! Krieger, IPDPSW 2018): **SPLATT** (the C/OpenMP reference) and the
+//! paper's **Chapel port** in its initial and optimized states — all as
+//! configurations of one code base.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`mod@core`] | CSF format, MTTKRP kernels, CP-ALS driver |
+//! | [`tensor`] | COO tensors, `.tns` I/O, synthetic data sets, sorting |
+//! | [`dense`] | matrices, SYRK, Cholesky, eigen, normal-equation solves |
+//! | [`par`] | task teams (`coforall`), partitioning, scratch, timers |
+//! | [`locks`] | mutex pools: spin / sleeping / OS-adaptive |
+//!
+//! The most common entry points are also re-exported at the top level.
+//!
+//! ```
+//! use splatt::{cp_als, CpalsOptions};
+//!
+//! // a small, exactly rank-3 tensor with known factors
+//! let (tensor, _truth) = splatt::tensor::synth::planted_dense(&[15, 12, 10], 3, 0.0, 1);
+//! let opts = CpalsOptions { rank: 3, max_iters: 30, ntasks: 2, ..Default::default() };
+//! let out = cp_als(&tensor, &opts);
+//! assert!(out.fit > 0.95);
+//! ```
+
+/// The decomposition core: CSF, MTTKRP, CP-ALS.
+pub mod core {
+    pub use splatt_core::*;
+}
+
+/// Sparse tensor storage, I/O, synthesis, and sorting.
+pub mod tensor {
+    pub use splatt_tensor::*;
+}
+
+/// Dense linear algebra substrate.
+pub mod dense {
+    pub use splatt_dense::*;
+}
+
+/// Tasking substrate: teams, partitioning, scratch buffers, timers.
+pub mod par {
+    pub use splatt_par::*;
+}
+
+/// Lock pools and strategies.
+pub mod locks {
+    pub use splatt_locks::*;
+}
+
+/// Simulated distributed-memory (multi-locale) decomposition.
+pub mod dist {
+    pub use splatt_dist::*;
+}
+
+pub use splatt_core::{
+    corcondia, cp_als, tensor_complete, tensor_complete_ccd, tensor_complete_sgd, CcdOptions,
+    CompletionOptions, CompletionOutput, Constraint, CpalsOptions, CpalsOutput, Csf, CsfAlloc,
+    CsfSet, Implementation, KruskalModel, MatrixAccess, SgdOptions,
+};
+pub use splatt_dense::Matrix;
+pub use splatt_locks::LockStrategy;
+pub use splatt_tensor::{SortVariant, SparseTensor};

@@ -1,0 +1,141 @@
+//! End-to-end tests of the `splatt` CLI binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn splatt() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_splatt"))
+}
+
+fn workdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("splatt_cli_test_{name}"));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn generate_stats_check_roundtrip() {
+    let dir = workdir("gen");
+    let tns = dir.join("t.tns");
+    let out = splatt()
+        .args(["generate", "yelp", "--scale", "0.001", "--seed", "5"])
+        .args(["--out", tns.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("wrote"), "{stdout}");
+
+    let out = splatt().args(["stats", tns.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("density"));
+
+    let out = splatt().args(["check", tns.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("nonzeros"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cpd_writes_factors_and_model_then_predict() {
+    let dir = workdir("cpd");
+    let tns = dir.join("t.tns");
+    let model = dir.join("t.kruskal");
+    let prefix = dir.join("fac");
+
+    assert!(splatt()
+        .args(["generate", "random", "--dims", "12x10x8", "--nnz", "400", "--seed", "3"])
+        .args(["--out", tns.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+
+    let out = splatt()
+        .args(["cpd", tns.to_str().unwrap(), "--rank", "3", "--iters", "5", "--tasks", "2"])
+        .args(["--out", prefix.to_str().unwrap(), "--model", model.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("fit"), "{stdout}");
+    for m in 0..3 {
+        assert!(dir.join(format!("fac.mode{m}.txt")).exists());
+    }
+    assert!(model.exists());
+
+    // predict on the training coordinates: prints one value per line
+    let out = splatt()
+        .args(["predict", model.to_str().unwrap(), tns.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let lines = String::from_utf8_lossy(&out.stdout).lines().count();
+    assert_eq!(lines, 400);
+    assert!(String::from_utf8_lossy(&out.stderr).contains("RMSE"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn complete_runs_each_solver() {
+    let dir = workdir("complete");
+    let tns = dir.join("t.tns");
+    assert!(splatt()
+        .args(["generate", "random", "--dims", "10x8x6", "--nnz", "300", "--seed", "4"])
+        .args(["--out", tns.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    for solver in ["als", "sgd", "ccd"] {
+        let out = splatt()
+            .args(["complete", tns.to_str().unwrap()])
+            .args(["--solver", solver, "--rank", "2", "--iters", "3"])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{solver}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(
+            String::from_utf8_lossy(&out.stdout).contains("train RMSE"),
+            "{solver}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn nonneg_flag_is_accepted() {
+    let dir = workdir("nonneg");
+    let tns = dir.join("t.tns");
+    assert!(splatt()
+        .args(["generate", "random", "--dims", "8x8x8", "--nnz", "200", "--seed", "6"])
+        .args(["--out", tns.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    let out = splatt()
+        .args(["cpd", tns.to_str().unwrap(), "--rank", "2", "--iters", "3", "--nonneg", "1"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_usage_exits_nonzero() {
+    assert!(!splatt().output().unwrap().status.success());
+    assert!(!splatt().args(["cpd"]).output().unwrap().status.success());
+    assert!(!splatt()
+        .args(["cpd", "/definitely/not/a/file.tns"])
+        .output()
+        .unwrap()
+        .status
+        .success());
+    assert!(!splatt()
+        .args(["frobnicate", "x"])
+        .output()
+        .unwrap()
+        .status
+        .success());
+}

@@ -1,0 +1,195 @@
+//! Cross-crate integration tests: the full pipeline from synthetic data
+//! through sorting, CSF construction, MTTKRP, and CP-ALS.
+
+use splatt::core::mttkrp::{mttkrp, MttkrpConfig, MttkrpWorkspace};
+use splatt::core::reference::mttkrp_coo;
+use splatt::par::TaskTeam;
+use splatt::tensor::{io, synth, SortVariant};
+use splatt::{
+    cp_als, CpalsOptions, CsfAlloc, CsfSet, Implementation, LockStrategy, Matrix, MatrixAccess,
+};
+
+#[test]
+fn full_pipeline_recovers_planted_structure() {
+    let (tensor, truth) = synth::planted_dense(&[20, 18, 16], 3, 0.0, 1234);
+    let opts = CpalsOptions {
+        rank: 3,
+        max_iters: 80,
+        tolerance: 1e-10,
+        ntasks: 3,
+        ..Default::default()
+    };
+    let out = cp_als(&tensor, &opts);
+    assert!(out.fit > 0.98, "fit {}", out.fit);
+
+    // modeled values must match the tensor entries closely
+    let mut worst: f64 = 0.0;
+    for x in 0..tensor.nnz() {
+        let coord = tensor.coord(x);
+        let err = (out.model.value_at(&coord) - tensor.vals()[x]).abs();
+        worst = worst.max(err / tensor.vals()[x].abs().max(1.0));
+    }
+    assert!(worst < 0.15, "worst relative entry error {worst}");
+    let _ = truth;
+}
+
+#[test]
+fn implementations_agree_numerically_end_to_end() {
+    let tensor = synth::power_law(&[40, 25, 55], 6_000, 1.8, 99);
+    let base = CpalsOptions {
+        rank: 6,
+        max_iters: 8,
+        tolerance: 0.0,
+        ntasks: 4,
+        ..Default::default()
+    };
+    let reference = cp_als(&tensor, &base.with_implementation(Implementation::Reference));
+    for imp in [Implementation::PortedInitial, Implementation::PortedOptimized] {
+        let other = cp_als(&tensor, &base.with_implementation(imp));
+        assert!(
+            (reference.fit - other.fit).abs() < 1e-8,
+            "{imp:?}: fit {} vs reference {}",
+            other.fit,
+            reference.fit
+        );
+        assert_eq!(other.iterations, reference.iterations);
+    }
+}
+
+#[test]
+fn mttkrp_grid_consistency_across_all_knobs() {
+    // one tensor, every (access x lock x alloc x ntasks) combination must
+    // produce the same MTTKRP result as the COO reference
+    let tensor = synth::power_law(&[30, 12, 45], 3_000, 1.6, 55);
+    let rank = 5;
+    let factors: Vec<Matrix> = tensor
+        .dims()
+        .iter()
+        .enumerate()
+        .map(|(m, &d)| Matrix::random(d, rank, 500 + m as u64))
+        .collect();
+    let expected: Vec<Matrix> = (0..3).map(|m| mttkrp_coo(&tensor, &factors, m)).collect();
+
+    for ntasks in [1, 3] {
+        let team = TaskTeam::new(ntasks);
+        for alloc in [CsfAlloc::One, CsfAlloc::Two, CsfAlloc::All] {
+            let set = CsfSet::build(&tensor, alloc, &team, SortVariant::AllOpts);
+            for access in [
+                MatrixAccess::RowCopy,
+                MatrixAccess::Index2D,
+                MatrixAccess::PointerChecked,
+                MatrixAccess::PointerZip,
+            ] {
+                for locks in LockStrategy::ALL {
+                    // force the lock path so the strategies are exercised
+                    let cfg = MttkrpConfig {
+                        access,
+                        locks,
+                        priv_threshold: 0.0,
+                        ..Default::default()
+                    };
+                    let mut ws = MttkrpWorkspace::new(&cfg, ntasks);
+                    for (mode, expect) in expected.iter().enumerate() {
+                        let mut out = Matrix::zeros(tensor.dims()[mode], rank);
+                        mttkrp(&set, &factors, mode, &mut out, &mut ws, &team, &cfg);
+                        assert!(
+                            out.approx_eq(expect, 1e-9),
+                            "mismatch: mode {mode} alloc {alloc:?} access {access:?} \
+                             locks {locks:?} ntasks {ntasks}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn tns_file_to_decomposition() {
+    // write a planted tensor to disk, read it back, decompose the copy
+    let (tensor, _) = synth::planted_dense(&[12, 10, 8], 2, 0.0, 31);
+    let dir = std::env::temp_dir().join("splatt_integration_io");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("planted.tns");
+    io::write_tns_file(&tensor, &path).unwrap();
+    let loaded = io::read_tns_file(&path).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+
+    let opts = CpalsOptions {
+        rank: 2,
+        max_iters: 50,
+        tolerance: 0.0,
+        ntasks: 2,
+        ..Default::default()
+    };
+    let out = cp_als(&loaded, &opts);
+    assert!(out.fit > 0.97, "fit {}", out.fit);
+}
+
+#[test]
+fn sort_variant_does_not_change_decomposition() {
+    let tensor = synth::power_law(&[25, 15, 35], 2_500, 2.0, 77);
+    let base = CpalsOptions {
+        rank: 4,
+        max_iters: 6,
+        tolerance: 0.0,
+        ntasks: 2,
+        ..Default::default()
+    };
+    let fits: Vec<f64> = SortVariant::ALL
+        .iter()
+        .map(|&sv| cp_als(&tensor, &CpalsOptions { sort_variant: sv, ..base }).fit)
+        .collect();
+    for w in fits.windows(2) {
+        assert!((w[0] - w[1]).abs() < 1e-10, "{fits:?}");
+    }
+}
+
+#[test]
+fn csf_alloc_does_not_change_decomposition() {
+    let tensor = synth::power_law(&[25, 15, 35], 2_500, 2.0, 78);
+    let base = CpalsOptions {
+        rank: 4,
+        max_iters: 6,
+        tolerance: 0.0,
+        ntasks: 2,
+        ..Default::default()
+    };
+    let fits: Vec<f64> = [CsfAlloc::One, CsfAlloc::Two, CsfAlloc::All]
+        .iter()
+        .map(|&a| cp_als(&tensor, &CpalsOptions { csf_alloc: a, ..base }).fit)
+        .collect();
+    for w in fits.windows(2) {
+        assert!((w[0] - w[1]).abs() < 1e-6, "{fits:?}");
+    }
+}
+
+#[test]
+fn paper_protocol_runs_exactly_twenty_iterations() {
+    let tensor = synth::random_uniform(&[30, 20, 25], 2_000, 5);
+    let out = cp_als(&tensor, &CpalsOptions::paper_protocol(2));
+    assert_eq!(out.iterations, 20);
+    assert_eq!(out.fits.len(), 20);
+    assert_eq!(out.model.rank(), 35);
+}
+
+#[test]
+fn dataset_shapes_decompose_at_small_scale() {
+    for shape in &synth::ALL_SHAPES {
+        let tensor = shape.generate(1.0 / 2000.0, 8);
+        let opts = CpalsOptions {
+            rank: 4,
+            max_iters: 3,
+            tolerance: 0.0,
+            ntasks: 2,
+            ..Default::default()
+        };
+        let out = cp_als(&tensor, &opts);
+        assert!(out.fit.is_finite(), "{}: fit not finite", shape.name);
+        assert!(
+            out.model.lambda.iter().all(|l| l.is_finite()),
+            "{}: lambda not finite",
+            shape.name
+        );
+    }
+}

@@ -1,0 +1,212 @@
+//! Property-based tests over the core data structures and kernels.
+
+use proptest::prelude::*;
+use splatt::core::mttkrp::{mttkrp, MttkrpConfig, MttkrpWorkspace};
+use splatt::core::reference::mttkrp_coo;
+use splatt::dense::{cholesky_factor, cholesky_solve, gemm, jacobi_eigen, mat_ata};
+use splatt::par::TaskTeam;
+use splatt::tensor::{sort, SortVariant};
+use splatt::{Csf, CsfAlloc, CsfSet, Matrix, SparseTensor};
+
+/// Strategy: a random small 3rd-order tensor (dims 2..=12, nnz 0..=200,
+/// duplicate coordinates allowed).
+fn arb_tensor() -> impl Strategy<Value = SparseTensor> {
+    (2usize..=12, 2usize..=12, 2usize..=12)
+        .prop_flat_map(|(d0, d1, d2)| {
+            let entry = (0..d0 as u32, 0..d1 as u32, 0..d2 as u32, -5.0f64..5.0);
+            (Just([d0, d1, d2]), proptest::collection::vec(entry, 0..200))
+        })
+        .prop_map(|(dims, entries)| {
+            let mut t = SparseTensor::new(dims.to_vec());
+            for (i, j, k, v) in entries {
+                t.push(&[i, j, k], v);
+            }
+            t
+        })
+}
+
+/// Strategy: a mode permutation of a 3rd-order tensor.
+fn arb_perm() -> impl Strategy<Value = Vec<usize>> {
+    prop_oneof![
+        Just(vec![0, 1, 2]),
+        Just(vec![0, 2, 1]),
+        Just(vec![1, 0, 2]),
+        Just(vec![1, 2, 0]),
+        Just(vec![2, 0, 1]),
+        Just(vec![2, 1, 0]),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sort_is_a_permutation_and_ordered(t in arb_tensor(), perm in arb_perm(),
+                                         variant_idx in 0usize..4, ntasks in 1usize..4) {
+        let variant = SortVariant::ALL[variant_idx];
+        let team = TaskTeam::new(ntasks);
+        let before = t.canonical_entries();
+        let mut sorted = t.clone();
+        sort::sort_by_perm(&mut sorted, &perm, &team, variant);
+        prop_assert!(sorted.is_sorted_by(&perm));
+        prop_assert_eq!(sorted.canonical_entries(), before);
+    }
+
+    #[test]
+    fn csf_roundtrips_coo(t in arb_tensor(), perm in arb_perm()) {
+        let team = TaskTeam::new(2);
+        let csf = Csf::build(&t, &perm, &team, SortVariant::AllOpts);
+        prop_assert_eq!(csf.nnz(), t.nnz());
+        if t.nnz() > 0 {
+            prop_assert_eq!(csf.to_coo().canonical_entries(), t.canonical_entries());
+            prop_assert_eq!(csf.slice_nnz().iter().sum::<usize>(), t.nnz());
+        }
+    }
+
+    #[test]
+    fn mttkrp_matches_reference(t in arb_tensor(), mode in 0usize..3,
+                                rank in 1usize..6, priv_force in proptest::bool::ANY) {
+        let team = TaskTeam::new(2);
+        let set = CsfSet::build(&t, CsfAlloc::Two, &team, SortVariant::AllOpts);
+        let factors: Vec<Matrix> = t.dims().iter().enumerate()
+            .map(|(m, &d)| Matrix::random(d, rank, 77 + m as u64))
+            .collect();
+        let cfg = MttkrpConfig {
+            priv_threshold: if priv_force { 1e12 } else { 0.0 },
+            ..Default::default()
+        };
+        let mut ws = MttkrpWorkspace::new(&cfg, 2);
+        let mut out = Matrix::zeros(t.dims()[mode], rank);
+        mttkrp(&set, &factors, mode, &mut out, &mut ws, &team, &cfg);
+        let expect = mttkrp_coo(&t, &factors, mode);
+        prop_assert!(out.approx_eq(&expect, 1e-8),
+                     "max diff {}", out.max_abs_diff(&expect));
+    }
+
+    #[test]
+    fn gramians_are_psd(rows in 1usize..30, cols in 1usize..8, seed in 0u64..1000) {
+        let a = Matrix::random(rows, cols, seed);
+        let g = mat_ata(&a);
+        // symmetric
+        prop_assert!(g.approx_eq(&g.transpose(), 1e-12));
+        // eigenvalues nonnegative
+        let e = jacobi_eigen(&g);
+        for &w in &e.values {
+            prop_assert!(w > -1e-9, "negative eigenvalue {w}");
+        }
+    }
+
+    #[test]
+    fn cholesky_solve_is_inverse_application(n in 1usize..8, seed in 0u64..1000) {
+        let a = Matrix::random(n + 3, n, seed);
+        let mut v = mat_ata(&a);
+        for i in 0..n {
+            v[(i, i)] += 1.0; // guarantee SPD
+        }
+        let x_true = Matrix::random(4, n, seed + 1);
+        let mut b = gemm(&x_true, &v);
+        let l = cholesky_factor(&v).unwrap();
+        cholesky_solve(&l, &mut b);
+        prop_assert!(b.approx_eq(&x_true, 1e-6),
+                     "max diff {}", b.max_abs_diff(&x_true));
+    }
+
+    #[test]
+    fn eigen_reconstructs(n in 1usize..8, seed in 0u64..1000) {
+        let g = mat_ata(&Matrix::random(n + 2, n, seed));
+        let e = jacobi_eigen(&g);
+        prop_assert!(e.reconstruct().approx_eq(&g, 1e-8));
+    }
+
+    #[test]
+    fn coalesce_preserves_coordinate_sums(t in arb_tensor()) {
+        // total mass at each coordinate is invariant under coalescing
+        use std::collections::HashMap;
+        let mut sums: HashMap<Vec<u32>, f64> = HashMap::new();
+        for x in 0..t.nnz() {
+            *sums.entry(t.coord(x)).or_insert(0.0) += t.vals()[x];
+        }
+        let mut c = t.clone();
+        c.coalesce();
+        // every surviving entry matches the summed mass, and no duplicates
+        let entries = c.canonical_entries();
+        for w in entries.windows(2) {
+            prop_assert_ne!(&w[0].0, &w[1].0);
+        }
+        for (coord, v) in &entries {
+            let expect = sums.get(coord).copied().unwrap_or(0.0);
+            prop_assert!((v - expect).abs() < 1e-12);
+        }
+        // entries that cancelled exactly are dropped, everything else kept
+        let nonzero_sums = sums.values().filter(|v| **v != 0.0).count();
+        prop_assert_eq!(entries.len(), nonzero_sums);
+    }
+
+    #[test]
+    fn tiled_mttkrp_matches_reference(t in arb_tensor(), mode in 0usize..3,
+                                      ntiles in 1usize..5, rank in 1usize..5) {
+        prop_assume!(t.nnz() > 0);
+        let team = TaskTeam::new(2);
+        let tiled = splatt::core::TiledCsf::build(&t, mode, ntiles, &team, SortVariant::AllOpts);
+        let factors: Vec<Matrix> = t.dims().iter().enumerate()
+            .map(|(m, &d)| Matrix::random(d, rank, 31 + m as u64))
+            .collect();
+        let cfg = MttkrpConfig::default();
+        let mut out = Matrix::zeros(t.dims()[mode], rank);
+        splatt::core::mttkrp::mttkrp_tiled(&tiled, &factors, &mut out, &team, &cfg);
+        let expect = mttkrp_coo(&t, &factors, mode);
+        prop_assert!(out.approx_eq(&expect, 1e-8),
+                     "max diff {}", out.max_abs_diff(&expect));
+    }
+
+    #[test]
+    fn permute_modes_preserves_values(t in arb_tensor()) {
+        let p = t.permute_modes(&[2, 0, 1]);
+        prop_assert_eq!(p.nnz(), t.nnz());
+        let mut vals_a: Vec<f64> = t.vals().to_vec();
+        let mut vals_b: Vec<f64> = p.vals().to_vec();
+        vals_a.sort_by(f64::total_cmp);
+        vals_b.sort_by(f64::total_cmp);
+        prop_assert_eq!(vals_a, vals_b);
+        // inverse permutation restores the original
+        prop_assert_eq!(p.permute_modes(&[1, 2, 0]), t);
+    }
+
+    #[test]
+    fn split_holdout_partitions(t in arb_tensor(), frac in 0.0f64..1.0, seed in 0u64..100) {
+        let (train, test) = t.split_holdout(frac, seed);
+        prop_assert_eq!(train.nnz() + test.nnz(), t.nnz());
+        let mut all = train.canonical_entries();
+        all.extend(test.canonical_entries());
+        all.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+        prop_assert_eq!(all, t.canonical_entries());
+    }
+
+    #[test]
+    fn kruskal_model_roundtrips(rank in 1usize..5, seed in 0u64..100) {
+        let model = splatt::KruskalModel {
+            lambda: (0..rank).map(|r| (r + 1) as f64).collect(),
+            factors: vec![
+                Matrix::random(6, rank, seed),
+                Matrix::random(4, rank, seed + 1),
+                Matrix::random(5, rank, seed + 2),
+            ],
+        };
+        let mut buf = Vec::new();
+        model.write(&mut buf).unwrap();
+        let back = splatt::KruskalModel::read(buf.as_slice()).unwrap();
+        prop_assert_eq!(back.lambda, model.lambda);
+        for (a, b) in back.factors.iter().zip(&model.factors) {
+            prop_assert!(a.approx_eq(b, 0.0));
+        }
+    }
+
+    #[test]
+    fn tns_roundtrip(t in arb_tensor()) {
+        prop_assume!(t.nnz() > 0);
+        let mut buf = Vec::new();
+        splatt::tensor::io::write_tns(&t, &mut buf).unwrap();
+        let back = splatt::tensor::io::read_tns(buf.as_slice()).unwrap();
+        prop_assert_eq!(back.canonical_entries(), t.canonical_entries());
+    }
+}
