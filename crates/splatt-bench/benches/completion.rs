@@ -2,7 +2,8 @@
 //! rank scaling (each sweep is `O(nnz * R^2)` plus `O(rows * R^3)`
 //! Cholesky solves).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use splatt_bench::microbench::{BenchmarkId, Criterion};
+use splatt_bench::{criterion_group, criterion_main};
 use splatt_core::{tensor_complete, CompletionOptions};
 use splatt_tensor::synth;
 

@@ -2,7 +2,8 @@
 //! preset (the Table III / Figure 9 comparison in micro form), plus CSF
 //! construction.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use splatt_bench::microbench::{BenchmarkId, Criterion};
+use splatt_bench::{criterion_group, criterion_main};
 use splatt_core::{cp_als, CpalsOptions, CsfAlloc, CsfSet, Implementation};
 use splatt_par::{TaskTeam, TeamConfig};
 use splatt_tensor::{synth, SortVariant};

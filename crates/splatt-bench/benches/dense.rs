@@ -2,7 +2,8 @@
 //! product (SYRK), Cholesky solve (the paper's "Inverse" routine), the
 //! eigen fallback, and column normalization.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use splatt_bench::microbench::{self as criterion, BenchmarkId, Criterion};
+use splatt_bench::{criterion_group, criterion_main};
 use splatt_dense::{
     cholesky_factor, cholesky_solve, jacobi_eigen, mat_ata, normalize_columns, solve_normals,
     MatNorm, Matrix,

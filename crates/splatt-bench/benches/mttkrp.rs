@@ -1,7 +1,8 @@
 //! Criterion micro-benchmarks for the MTTKRP kernels: access strategies,
 //! kernel kinds (root/internal/leaf), and synchronization modes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use splatt_bench::microbench::{BenchmarkId, Criterion};
+use splatt_bench::{criterion_group, criterion_main};
 use splatt_core::mttkrp::{mttkrp, MttkrpConfig, MttkrpWorkspace};
 use splatt_core::{CsfAlloc, CsfSet, MatrixAccess};
 use splatt_dense::Matrix;
@@ -30,7 +31,10 @@ fn bench_access_strategies(c: &mut Criterion) {
         MatrixAccess::PointerChecked,
         MatrixAccess::PointerZip,
     ] {
-        let cfg = MttkrpConfig { access, ..Default::default() };
+        let cfg = MttkrpConfig {
+            access,
+            ..Default::default()
+        };
         let mut ws = MttkrpWorkspace::new(&cfg, 2);
         let mut out = Matrix::zeros(tensor.dims()[0], RANK);
         group.bench_function(BenchmarkId::from_parameter(access.label()), |b| {
@@ -93,24 +97,119 @@ fn bench_sync_modes(c: &mut Criterion) {
     group.sample_size(10);
     // privatized
     {
-        let cfg = MttkrpConfig { priv_threshold: 1e12, ..Default::default() };
+        let cfg = MttkrpConfig {
+            priv_threshold: 1e12,
+            ..Default::default()
+        };
         let mut ws = MttkrpWorkspace::new(&cfg, 4);
         let mut out = Matrix::zeros(tensor.dims()[internal_mode], RANK);
         group.bench_function("privatized", |b| {
-            b.iter(|| mttkrp(&set, &factors, internal_mode, &mut out, &mut ws, &team, &cfg))
+            b.iter(|| {
+                mttkrp(
+                    &set,
+                    &factors,
+                    internal_mode,
+                    &mut out,
+                    &mut ws,
+                    &team,
+                    &cfg,
+                )
+            })
         });
     }
     // each lock strategy, forced
     for locks in LockStrategy::ALL {
-        let cfg = MttkrpConfig { locks, priv_threshold: 0.0, ..Default::default() };
+        let cfg = MttkrpConfig {
+            locks,
+            priv_threshold: 0.0,
+            ..Default::default()
+        };
         let mut ws = MttkrpWorkspace::new(&cfg, 4);
         let mut out = Matrix::zeros(tensor.dims()[internal_mode], RANK);
         group.bench_function(BenchmarkId::new("locks", locks.label()), |b| {
-            b.iter(|| mttkrp(&set, &factors, internal_mode, &mut out, &mut ws, &team, &cfg))
+            b.iter(|| {
+                mttkrp(
+                    &set,
+                    &factors,
+                    internal_mode,
+                    &mut out,
+                    &mut ws,
+                    &team,
+                    &cfg,
+                )
+            })
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_access_strategies, bench_kernel_kinds, bench_sync_modes);
+fn bench_probe_overhead(c: &mut Criterion) {
+    // Acceptance gate for the observability layer: with no probe attached
+    // the instrumented MTTKRP must stay within noise of its pre-probe
+    // cost, and the "probed" row shows what enabling everything costs.
+    use splatt_probe::MttkrpProbe;
+    use std::sync::Arc;
+
+    let tensor = synth::YELP.generate(1.0 / 400.0, 4);
+    let team = TaskTeam::with_config(2, TeamConfig::short_spin());
+    let set = CsfSet::build(&tensor, CsfAlloc::One, &team, SortVariant::AllOpts);
+    let factors: Vec<Matrix> = tensor
+        .dims()
+        .iter()
+        .enumerate()
+        .map(|(m, &d)| Matrix::random(d, RANK, m as u64))
+        .collect();
+    let internal_mode = set.csfs()[0].dim_perm()[1];
+    let cfg = MttkrpConfig {
+        priv_threshold: 0.0,
+        ..Default::default()
+    };
+
+    let mut group = c.benchmark_group("mttkrp_probe");
+    group.sample_size(10);
+    {
+        let mut ws = MttkrpWorkspace::new(&cfg, 2);
+        let mut out = Matrix::zeros(tensor.dims()[internal_mode], RANK);
+        group.bench_function("disabled", |b| {
+            b.iter(|| {
+                mttkrp(
+                    &set,
+                    &factors,
+                    internal_mode,
+                    &mut out,
+                    &mut ws,
+                    &team,
+                    &cfg,
+                )
+            })
+        });
+    }
+    {
+        let mut ws = MttkrpWorkspace::new(&cfg, 2);
+        ws.set_probe(Some(Arc::new(MttkrpProbe::new(2))));
+        let mut out = Matrix::zeros(tensor.dims()[internal_mode], RANK);
+        group.bench_function("probed", |b| {
+            b.iter(|| {
+                mttkrp(
+                    &set,
+                    &factors,
+                    internal_mode,
+                    &mut out,
+                    &mut ws,
+                    &team,
+                    &cfg,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_access_strategies,
+    bench_kernel_kinds,
+    bench_sync_modes,
+    bench_probe_overhead
+);
 criterion_main!(benches);

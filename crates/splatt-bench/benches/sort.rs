@@ -1,7 +1,8 @@
 //! Criterion micro-benchmarks for the pre-processing sort (Figure 1's
 //! variants) and its two phases.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use splatt_bench::microbench::{self as criterion, BenchmarkId, Criterion};
+use splatt_bench::{criterion_group, criterion_main};
 use splatt_par::{TaskTeam, TeamConfig};
 use splatt_tensor::{sort, synth, SortVariant};
 

@@ -21,7 +21,9 @@ pub fn scale_multiplier() -> f64 {
 
 /// `true` when `SPLATT_BENCH_FAST=1` (smoke-run mode).
 pub fn fast_mode() -> bool {
-    std::env::var("SPLATT_BENCH_FAST").map(|v| v == "1").unwrap_or(false)
+    std::env::var("SPLATT_BENCH_FAST")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// CP-ALS iterations per run: the paper's 20, or 5 in fast mode.
@@ -75,8 +77,18 @@ mod tests {
         d.sort_unstable();
         let mid = d[1];
         // the paper's decision boundary must survive scaling
-        assert!(splatt_core::mttkrp::use_privatization(mid, 2, t.nnz(), 0.02));
-        assert!(!splatt_core::mttkrp::use_privatization(mid, 8, t.nnz(), 0.02));
+        assert!(splatt_core::mttkrp::use_privatization(
+            mid,
+            2,
+            t.nnz(),
+            0.02
+        ));
+        assert!(!splatt_core::mttkrp::use_privatization(
+            mid,
+            8,
+            t.nnz(),
+            0.02
+        ));
     }
 
     #[test]
@@ -85,7 +97,12 @@ mod tests {
         let mut d = t.dims().to_vec();
         d.sort_unstable();
         let mid = d[1];
-        assert!(splatt_core::mttkrp::use_privatization(mid, 32, t.nnz(), 0.02));
+        assert!(splatt_core::mttkrp::use_privatization(
+            mid,
+            32,
+            t.nnz(),
+            0.02
+        ));
     }
 
     #[test]

@@ -43,8 +43,8 @@ pub fn table1() -> Table {
         } * datasets::scale_multiplier();
         let inst = shape.generate(scale, 0xE3);
         let stats = TensorStats::compute(&inst);
-        let paper_density = shape.nnz as f64
-            / shape.dims.iter().map(|&d| d as f64).product::<f64>();
+        let paper_density =
+            shape.nnz as f64 / shape.dims.iter().map(|&d| d as f64).product::<f64>();
         t.push(vec![
             shape.name.to_string(),
             format!("{}x{}x{}", shape.dims[0], shape.dims[1], shape.dims[2]),
@@ -63,7 +63,12 @@ pub fn table1() -> Table {
     t
 }
 
-fn per_routine_row(dataset: &str, tasks: usize, code: &str, s: crate::harness::RoutineSeconds) -> Vec<String> {
+fn per_routine_row(
+    dataset: &str,
+    tasks: usize,
+    code: &str,
+    s: crate::harness::RoutineSeconds,
+) -> Vec<String> {
     vec![
         dataset.to_string(),
         tasks.to_string(),
@@ -335,8 +340,14 @@ pub fn ablation_a() -> Table {
 
     let rows_cfg: [(&str, Option<TeamConfig>); 4] = [
         ("none", None),
-        ("spin=300000 (Qthreads default)", Some(TeamConfig::default())),
-        ("spin=300 (QT_SPINCOUNT=300)", Some(TeamConfig::short_spin())),
+        (
+            "spin=300000 (Qthreads default)",
+            Some(TeamConfig::default()),
+        ),
+        (
+            "spin=300 (QT_SPINCOUNT=300)",
+            Some(TeamConfig::short_spin()),
+        ),
         ("spin=0 (fifo)", Some(TeamConfig::fifo())),
     ];
 
@@ -412,14 +423,21 @@ pub fn ablation_b() -> Table {
             ..Default::default()
         };
         let out = cp_als_with_team(&tensor, &opts, &team);
-        let cfg = MttkrpConfig { priv_threshold: threshold, ..Default::default() };
+        let cfg = MttkrpConfig {
+            priv_threshold: threshold,
+            ..Default::default()
+        };
         let locked: Vec<String> = (0..tensor.order())
             .filter(|&m| uses_locks(&set, m, tasks, &cfg))
             .map(|m| m.to_string())
             .collect();
         t.push(vec![
             format!("{threshold}"),
-            if locked.is_empty() { "-".to_string() } else { locked.join("+") },
+            if locked.is_empty() {
+                "-".to_string()
+            } else {
+                locked.join("+")
+            },
             fmt_secs(out.timers.seconds(splatt_par::Routine::Mttkrp)),
         ]);
     }
@@ -458,7 +476,11 @@ pub fn ablation_c() -> Table {
         t.push(vec![
             format!("{alloc:?}"),
             format!("{:.1}", bytes as f64 / (1024.0 * 1024.0)),
-            if locked.is_empty() { "-".to_string() } else { locked.join("+") },
+            if locked.is_empty() {
+                "-".to_string()
+            } else {
+                locked.join("+")
+            },
             fmt_secs(out.timers.seconds(splatt_par::Routine::Mttkrp)),
         ]);
     }
@@ -484,9 +506,28 @@ pub fn ablation_d() -> Table {
         ..Default::default()
     };
     let regimes: [(&str, CpalsOptions); 3] = [
-        ("locks", CpalsOptions { priv_threshold: 0.0, ..base }),
-        ("privatized", CpalsOptions { priv_threshold: 1e12, ..base }),
-        ("tiled", CpalsOptions { priv_threshold: 0.0, tiling: true, ..base }),
+        (
+            "locks",
+            CpalsOptions {
+                priv_threshold: 0.0,
+                ..base
+            },
+        ),
+        (
+            "privatized",
+            CpalsOptions {
+                priv_threshold: 1e12,
+                ..base
+            },
+        ),
+        (
+            "tiled",
+            CpalsOptions {
+                priv_threshold: 0.0,
+                tiling: true,
+                ..base
+            },
+        ),
     ];
     for (label, opts) in regimes {
         progress(&format!("ablationD: regime={label}"));
@@ -527,7 +568,10 @@ pub fn experiment_e() -> Table {
         let out = dist_cp_als(&dist, &opts);
         let mb = |b: u64| format!("{:.1}", b as f64 / (1024.0 * 1024.0));
         t.push(vec![
-            grid.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("x"),
+            grid.iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("x"),
             mb(out.comm.allreduce_bytes()),
             mb(out.comm.allgather_bytes()),
             mb(out.comm.total_bytes()),
@@ -617,10 +661,49 @@ pub fn experiment_f() -> Table {
     t
 }
 
+/// Profile: one fully-probed CP-ALS run on the YELP stand-in, emitted in
+/// the Table III per-routine layout via [`crate::report::profile_table`].
+/// The full report (threads, locks, alloc, span tree) prints alongside.
+pub fn profile() -> Table {
+    let tensor = datasets::yelp();
+    let tasks = 4.min(*datasets::task_counts().last().unwrap());
+    progress(&format!("profile: YELP, {tasks} tasks, probes on"));
+    let opts = CpalsOptions {
+        rank: datasets::BENCH_RANK,
+        max_iters: datasets::bench_iters(),
+        tolerance: 0.0,
+        ntasks: tasks,
+        profile: true,
+        ..Default::default()
+    };
+    let team = team_for(tasks);
+    let out = cp_als_with_team(&tensor, &opts, &team);
+    let report = out.profile.expect("profiling was enabled");
+    println!("\n{}", report.render());
+    crate::report::profile_table(&report)
+}
+
 /// Every experiment id the repro binary accepts, in run order.
-pub const ALL_EXPERIMENTS: [&str; 18] = [
-    "table1", "table3", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-    "fig10", "ablationA", "ablationB", "ablationC", "ablationD", "expE", "expF",
+pub const ALL_EXPERIMENTS: [&str; 19] = [
+    "table1",
+    "table3",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "ablationA",
+    "ablationB",
+    "ablationC",
+    "ablationD",
+    "expE",
+    "expF",
+    "profile",
 ];
 
 /// Run one experiment by id.
@@ -644,6 +727,7 @@ pub fn run(id: &str) -> Option<Table> {
         "ablationD" => ablation_d(),
         "expE" => experiment_e(),
         "expF" => experiment_f(),
+        "profile" => profile(),
         _ => return None,
     })
 }

@@ -1,9 +1,9 @@
 //! Timing wrappers shared by every experiment.
 
 use crate::datasets::{bench_iters, BENCH_RANK};
+use splatt_core::MatrixAccess;
 use splatt_core::{cp_als_with_team, CpalsOptions, Implementation};
 use splatt_locks::LockStrategy;
-use splatt_core::MatrixAccess;
 use splatt_par::{Routine, TaskTeam, TeamConfig};
 use splatt_tensor::{SortVariant, SparseTensor};
 
@@ -54,7 +54,12 @@ impl RunSpec {
     /// The knobs bundled by an [`Implementation`] preset.
     pub fn of(imp: Implementation, ntasks: usize) -> Self {
         let (access, locks, sort_variant) = imp.knobs();
-        RunSpec { access, locks, sort_variant, ntasks }
+        RunSpec {
+            access,
+            locks,
+            sort_variant,
+            ntasks,
+        }
     }
 }
 

@@ -29,4 +29,5 @@
 pub mod datasets;
 pub mod experiments;
 pub mod harness;
+pub mod microbench;
 pub mod report;

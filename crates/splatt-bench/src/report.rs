@@ -54,7 +54,13 @@ impl Table {
             println!("{}", out.trim_end());
         };
         line(&self.headers);
-        println!("{}", widths.iter().map(|w| "-".repeat(*w + 2)).collect::<String>());
+        println!(
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w + 2))
+                .collect::<String>()
+        );
         for row in &self.rows {
             line(row);
         }
@@ -87,6 +93,31 @@ impl Table {
     }
 }
 
+/// Lay a [`splatt_probe::ProfileReport`] out as the paper's Table III:
+/// one row per routine with absolute seconds and share of CPD total,
+/// ready for [`Table::emit`] alongside the other experiment tables.
+pub fn profile_table(report: &splatt_probe::ProfileReport) -> Table {
+    let title = format!(
+        "Per-routine runtime, Table III layout (tasks={}, rank={}, iterations={}, locks={})",
+        report.ntasks, report.rank, report.iterations, report.lock_strategy
+    );
+    let mut t = Table::new("profile", &title, &["routine", "seconds", "share"]);
+    let total = report.cpd_seconds();
+    for row in &report.routines {
+        let share = if total > 0.0 {
+            100.0 * row.seconds / total
+        } else {
+            0.0
+        };
+        t.push(vec![
+            row.routine.clone(),
+            format!("{:.4}", row.seconds),
+            format!("{share:.1}%"),
+        ]);
+    }
+    t
+}
+
 /// Directory experiment CSVs land in (`./results` under the workspace, or
 /// the current directory's `results/` when run elsewhere).
 pub fn results_dir() -> PathBuf {
@@ -116,6 +147,32 @@ mod tests {
     fn bad_arity_panics() {
         let mut t = Table::new("t", "title", &["a", "b"]);
         t.push(vec!["1".into()]);
+    }
+
+    #[test]
+    fn profile_table_lays_out_routine_rows() {
+        let report = splatt_probe::ProfileReport {
+            ntasks: 2,
+            rank: 35,
+            iterations: 20,
+            lock_strategy: "Atomic".into(),
+            routines: vec![
+                splatt_probe::RoutineRow {
+                    routine: "MTTKRP".into(),
+                    seconds: 1.5,
+                },
+                splatt_probe::RoutineRow {
+                    routine: "CPD total".into(),
+                    seconds: 3.0,
+                },
+            ],
+            ..Default::default()
+        };
+        let t = profile_table(&report);
+        assert_eq!(t.headers, vec!["routine", "seconds", "share"]);
+        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.rows[0], vec!["MTTKRP", "1.5000", "50.0%"]);
+        assert!(t.title.contains("rank=35"));
     }
 
     #[test]

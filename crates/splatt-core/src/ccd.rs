@@ -129,12 +129,11 @@ pub fn tensor_complete_ccd(tensor: &SparseTensor, opts: &CcdOptions) -> Completi
     let mut iterations = 0;
 
     // component contribution at observation x: prod_m A_m[i_m, r]
-    let contrib =
-        |factors: &[Matrix], x: usize, r: usize| -> f64 {
-            (0..order)
-                .map(|m| factors[m][(tensor.ind(m)[x] as usize, r)])
-                .product()
-        };
+    let contrib = |factors: &[Matrix], x: usize, r: usize| -> f64 {
+        (0..order)
+            .map(|m| factors[m][(tensor.ind(m)[x] as usize, r)])
+            .product()
+    };
 
     for _sweep in 0..opts.max_sweeps {
         iterations += 1;
@@ -222,7 +221,7 @@ fn refit_column(
 
     let mut new_col = vec![0.0; dim];
     {
-        let slots: Vec<parking_lot::Mutex<&mut [f64]>> = {
+        let slots: Vec<splatt_rt::sync::Mutex<&mut [f64]>> = {
             let ntasks = team.ntasks();
             let mut rest: &mut [f64] = &mut new_col;
             let mut chunks = Vec::with_capacity(ntasks);
@@ -230,7 +229,7 @@ fn refit_column(
                 let range = partition::block(dim, ntasks, tid);
                 let (head, tail) = std::mem::take(&mut rest).split_at_mut(range.len());
                 rest = tail;
-                chunks.push(parking_lot::Mutex::new(head));
+                chunks.push(splatt_rt::sync::Mutex::new(head));
             }
             chunks
         };
@@ -348,7 +347,10 @@ mod tests {
         );
         let test_rmse = rmse_observed(&out.model, &test);
         let scale = (test.norm_squared() / test.nnz() as f64).sqrt();
-        assert!(test_rmse < 0.1 * scale, "held-out rmse {test_rmse} vs scale {scale}");
+        assert!(
+            test_rmse < 0.1 * scale,
+            "held-out rmse {test_rmse} vs scale {scale}"
+        );
     }
 
     #[test]
@@ -359,7 +361,12 @@ mod tests {
         );
         let out = tensor_complete_ccd(
             &t,
-            &CcdOptions { rank: 2, max_sweeps: 3, ntasks: 2, ..Default::default() },
+            &CcdOptions {
+                rank: 2,
+                max_sweeps: 3,
+                ntasks: 2,
+                ..Default::default()
+            },
         );
         for f in &out.model.factors {
             assert!(f.as_slice().iter().all(|v| v.is_finite()));
@@ -369,7 +376,13 @@ mod tests {
     #[test]
     fn ccd_empty_tensor() {
         let t = SparseTensor::new(vec![3, 3, 3]);
-        let out = tensor_complete_ccd(&t, &CcdOptions { max_sweeps: 2, ..Default::default() });
+        let out = tensor_complete_ccd(
+            &t,
+            &CcdOptions {
+                max_sweeps: 2,
+                ..Default::default()
+            },
+        );
         assert_eq!(out.rmse, 0.0);
     }
 

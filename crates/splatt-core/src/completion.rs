@@ -109,7 +109,12 @@ pub fn rmse_observed(model: &KruskalModel, tensor: &SparseTensor) -> f64 {
 pub fn tensor_complete(tensor: &SparseTensor, opts: &CompletionOptions) -> CompletionOutput {
     assert!(opts.rank > 0, "rank must be positive");
     assert!(opts.max_iters > 0, "max_iters must be positive");
-    let team = TaskTeam::with_config(opts.ntasks, TeamConfig { spin_count: opts.spin_count });
+    let team = TaskTeam::with_config(
+        opts.ntasks,
+        TeamConfig {
+            spin_count: opts.spin_count,
+        },
+    );
 
     let order = tensor.order();
     let rank = opts.rank;
@@ -181,8 +186,9 @@ fn update_mode(csf: &Csf, factors: &mut [Matrix], mode: usize, mu: f64, team: &T
     // each task writes disjoint rows of the output; collect per-task row
     // updates and apply afterwards (keeps the closure free of aliasing)
     type RowUpdates = Vec<(usize, Vec<f64>)>;
-    let updates: Vec<parking_lot::Mutex<RowUpdates>> =
-        (0..team.ntasks()).map(|_| parking_lot::Mutex::new(Vec::new())).collect();
+    let updates: Vec<splatt_rt::sync::Mutex<RowUpdates>> = (0..team.ntasks())
+        .map(|_| splatt_rt::sync::Mutex::new(Vec::new()))
+        .collect();
     let bounds_ref = &bounds;
     let flevel_ref = &flevel;
     let updates_ref = &updates;
@@ -413,10 +419,7 @@ mod tests {
     fn rmse_observed_matches_manual() {
         let model = KruskalModel {
             lambda: vec![1.0],
-            factors: vec![
-                Matrix::filled(2, 1, 1.0),
-                Matrix::filled(2, 1, 1.0),
-            ],
+            factors: vec![Matrix::filled(2, 1, 1.0), Matrix::filled(2, 1, 1.0)],
         };
         // model value is 1 everywhere; entries 3 and 1 -> errors 2 and 0
         let t = SparseTensor::from_entries(vec![2, 2], &[(vec![0, 0], 3.0), (vec![1, 1], 1.0)]);
@@ -427,7 +430,11 @@ mod tests {
     #[test]
     fn empty_tensor_is_handled() {
         let t = SparseTensor::new(vec![3, 3, 3]);
-        let opts = CompletionOptions { rank: 2, max_iters: 2, ..Default::default() };
+        let opts = CompletionOptions {
+            rank: 2,
+            max_iters: 2,
+            ..Default::default()
+        };
         let out = tensor_complete(&t, &opts);
         assert_eq!(out.rmse, 0.0);
     }

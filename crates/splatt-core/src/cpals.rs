@@ -15,13 +15,14 @@
 
 use crate::csf::CsfSet;
 use crate::kruskal::KruskalModel;
-use crate::mttkrp::{mttkrp, MttkrpConfig, MttkrpWorkspace};
+use crate::mttkrp::{mttkrp, uses_locks, MttkrpConfig, MttkrpWorkspace};
 use crate::options::CpalsOptions;
-use splatt_dense::{
-    hadamard_assign, mat_ata, normalize_columns, solve_normals, MatNorm, Matrix,
-};
+use splatt_dense::{hadamard_assign, mat_ata, normalize_columns, solve_normals, MatNorm, Matrix};
 use splatt_par::{Routine, TaskTeam, TimerRegistry};
+use splatt_probe::{MttkrpProbe, ProfileReport, RoutineRow, SpanNode};
 use splatt_tensor::SparseTensor;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Result of a CP-ALS run.
 #[derive(Debug)]
@@ -36,6 +37,28 @@ pub struct CpalsOutput {
     pub fits: Vec<f64>,
     /// Per-routine wall-clock timers (the paper's Table III instrument).
     pub timers: TimerRegistry,
+    /// Full observability report, present when
+    /// [`CpalsOptions::profile`] was set.
+    pub profile: Option<ProfileReport>,
+}
+
+/// Time `f` under `which`, and — when a span parent is given — append a
+/// leaf with the same wall time under `label`.
+fn span_time<R>(
+    timers: &TimerRegistry,
+    which: Routine,
+    parent: Option<(&mut SpanNode, &str)>,
+    f: impl FnOnce() -> R,
+) -> R {
+    match parent {
+        None => timers.time(which, f),
+        Some((node, label)) => {
+            let start = Instant::now();
+            let out = timers.time(which, f);
+            node.push(SpanNode::leaf(label, start.elapsed().as_nanos() as u64));
+            out
+        }
+    }
 }
 
 /// Run CP-ALS on `tensor` under `opts`.
@@ -51,7 +74,9 @@ pub struct CpalsOutput {
 pub fn cp_als(tensor: &SparseTensor, opts: &CpalsOptions) -> CpalsOutput {
     let team = TaskTeam::with_config(
         opts.ntasks,
-        splatt_par::TeamConfig { spin_count: opts.spin_count },
+        splatt_par::TeamConfig {
+            spin_count: opts.spin_count,
+        },
     );
     cp_als_with_team(tensor, opts, &team)
 }
@@ -99,6 +124,22 @@ pub fn cp_als_with_team(
     };
     let mut ws = MttkrpWorkspace::new(&mtt_cfg, opts.ntasks);
 
+    // ---- observability (tentpole): probes are attached only on request,
+    // so the unprofiled hot path pays one `Option` branch per site ----
+    let probe = if opts.profile {
+        let p = Arc::new(MttkrpProbe::new(opts.ntasks));
+        ws.set_probe(Some(Arc::clone(&p)));
+        Some(p)
+    } else {
+        None
+    };
+    let alloc_before = opts.profile.then(|| {
+        let was_enabled = splatt_probe::alloc::enabled();
+        splatt_probe::alloc::enable();
+        (splatt_probe::alloc::snapshot(), was_enabled)
+    });
+    let mut span_root = opts.profile.then(|| SpanNode::new("CPD total"));
+
     // ---- initialization (SPLATT: uniform random factors) ----
     let mut factors: Vec<Matrix> = tensor
         .dims()
@@ -122,55 +163,112 @@ pub fn cp_als_with_team(
     let mut oldfit = 0.0;
     let mut iterations = 0;
 
-    let loop_start = std::time::Instant::now();
+    let loop_start = Instant::now();
     for it in 0..opts.max_iters {
         iterations = it + 1;
+        let iter_start = Instant::now();
+        let mut iter_node = span_root
+            .is_some()
+            .then(|| SpanNode::new(format!("iteration {it}")));
         for mode in 0..order {
-            timers.time(Routine::Mttkrp, || {
-                if let Some(tc) = &tiled[mode] {
-                    crate::mttkrp::mttkrp_tiled(tc, &factors, &mut mout[mode], team, &mtt_cfg);
-                } else {
-                    mttkrp(&set, &factors, mode, &mut mout[mode], &mut ws, team, &mtt_cfg);
-                }
-            });
-
-            timers.time(Routine::Inverse, || {
-                // V = hadamard of the other Gramians (Algorithm 1 lines 4/7/10)
-                let mut v = Matrix::filled(rank, rank, 1.0);
-                for (m, g) in ata.iter().enumerate() {
-                    if m != mode {
-                        hadamard_assign(&mut v, g);
+            let mode_start = Instant::now();
+            let mut mode_node = iter_node
+                .is_some()
+                .then(|| SpanNode::new(format!("mode {mode}")));
+            span_time(
+                &timers,
+                Routine::Mttkrp,
+                mode_node.as_mut().map(|n| (n, "mttkrp")),
+                || {
+                    if let Some(tc) = &tiled[mode] {
+                        crate::mttkrp::mttkrp_tiled(tc, &factors, &mut mout[mode], team, &mtt_cfg);
+                    } else {
+                        mttkrp(
+                            &set,
+                            &factors,
+                            mode,
+                            &mut mout[mode],
+                            &mut ws,
+                            team,
+                            &mtt_cfg,
+                        );
                     }
-                }
-                // A <- M V^+ (Cholesky fast path, eigen pseudo-inverse fallback)
-                factors[mode]
-                    .as_mut_slice()
-                    .copy_from_slice(mout[mode].as_slice());
-                solve_normals(&v, &mut factors[mode]);
-                if opts.constraint == crate::options::Constraint::NonNegative {
-                    // projected ALS: clamp onto the nonnegative orthant
-                    for val in factors[mode].as_mut_slice() {
-                        if *val < 0.0 {
-                            *val = 0.0;
+                },
+            );
+
+            span_time(
+                &timers,
+                Routine::Inverse,
+                mode_node.as_mut().map(|n| (n, "inverse")),
+                || {
+                    // V = hadamard of the other Gramians (Algorithm 1 lines 4/7/10)
+                    let mut v = Matrix::filled(rank, rank, 1.0);
+                    for (m, g) in ata.iter().enumerate() {
+                        if m != mode {
+                            hadamard_assign(&mut v, g);
                         }
                     }
-                }
-            });
+                    // A <- M V^+ (Cholesky fast path, eigen pseudo-inverse fallback)
+                    factors[mode]
+                        .as_mut_slice()
+                        .copy_from_slice(mout[mode].as_slice());
+                    solve_normals(&v, &mut factors[mode]);
+                    if opts.constraint == crate::options::Constraint::NonNegative {
+                        // projected ALS: clamp onto the nonnegative orthant
+                        for val in factors[mode].as_mut_slice() {
+                            if *val < 0.0 {
+                                *val = 0.0;
+                            }
+                        }
+                    }
+                },
+            );
 
-            timers.time(Routine::MatNorm, || {
-                let which = if it == 0 { MatNorm::Two } else { MatNorm::Max };
-                normalize_columns(&mut factors[mode], &mut lambda, which);
-            });
+            span_time(
+                &timers,
+                Routine::MatNorm,
+                mode_node.as_mut().map(|n| (n, "norm")),
+                || {
+                    let which = if it == 0 { MatNorm::Two } else { MatNorm::Max };
+                    normalize_columns(&mut factors[mode], &mut lambda, which);
+                },
+            );
 
-            timers.time(Routine::AtA, || {
-                ata[mode] = mat_ata(&factors[mode]);
-            });
+            span_time(
+                &timers,
+                Routine::AtA,
+                mode_node.as_mut().map(|n| (n, "ata")),
+                || {
+                    ata[mode] = mat_ata(&factors[mode]);
+                },
+            );
+
+            if let (Some(iter), Some(mut node)) = (iter_node.as_mut(), mode_node) {
+                node.nanos = mode_start.elapsed().as_nanos() as u64;
+                iter.push(node);
+            }
         }
 
-        let fit = timers.time(Routine::Fit, || {
-            compute_fit(norm_x_sq, &lambda, &ata, &factors[order - 1], &mout[order - 1])
-        });
+        let fit = span_time(
+            &timers,
+            Routine::Fit,
+            iter_node.as_mut().map(|n| (n, "fit")),
+            || {
+                compute_fit(
+                    norm_x_sq,
+                    &lambda,
+                    &ata,
+                    &factors[order - 1],
+                    &mout[order - 1],
+                )
+            },
+        );
         fits.push(fit);
+
+        if let (Some(root), Some(mut node)) = (span_root.as_mut(), iter_node) {
+            node.nanos = iter_start.elapsed().as_nanos() as u64;
+            root.push(node);
+        }
 
         if opts.tolerance > 0.0 && it > 0 && (fit - oldfit).abs() < opts.tolerance {
             break;
@@ -179,12 +277,43 @@ pub fn cp_als_with_team(
     }
     timers.add(Routine::CpdTotal, loop_start.elapsed());
 
+    let profile = probe.map(|p| {
+        let (before, was_enabled) = alloc_before.expect("probe implies alloc snapshot");
+        let alloc = splatt_probe::alloc::snapshot().since(&before);
+        if !was_enabled {
+            splatt_probe::alloc::disable();
+        }
+        let mut span = span_root.take().expect("probe implies span root");
+        span.nanos = loop_start.elapsed().as_nanos() as u64;
+        let used_locks =
+            (0..order).any(|m| tiled[m].is_none() && uses_locks(&set, m, opts.ntasks, &mtt_cfg));
+        ProfileReport {
+            ntasks: opts.ntasks,
+            rank,
+            iterations,
+            lock_strategy: opts.locks.label().to_string(),
+            used_locks,
+            routines: Routine::ALL
+                .iter()
+                .map(|&r| RoutineRow {
+                    routine: r.label().to_string(),
+                    seconds: timers.seconds(r),
+                })
+                .collect(),
+            threads: p.tasks.snapshot(),
+            locks: p.locks.snapshot(),
+            alloc,
+            span,
+        }
+    });
+
     CpalsOutput {
         model: KruskalModel { lambda, factors },
         fit: fits.last().copied().unwrap_or(0.0),
         iterations,
         fits,
         timers,
+        profile,
     }
 }
 
@@ -355,8 +484,19 @@ mod tests {
             ..Default::default()
         };
         let out = cp_als(&tensor, &opts);
-        for r in [Routine::Mttkrp, Routine::Sort, Routine::AtA, Routine::MatNorm, Routine::Fit, Routine::Inverse, Routine::CpdTotal] {
-            assert!(out.timers.get(r) > std::time::Duration::ZERO, "{r:?} never timed");
+        for r in [
+            Routine::Mttkrp,
+            Routine::Sort,
+            Routine::AtA,
+            Routine::MatNorm,
+            Routine::Fit,
+            Routine::Inverse,
+            Routine::CpdTotal,
+        ] {
+            assert!(
+                out.timers.get(r) > std::time::Duration::ZERO,
+                "{r:?} never timed"
+            );
         }
     }
 
@@ -409,7 +549,13 @@ mod tests {
             ..Default::default()
         };
         let untiled = cp_als(&tensor, &base);
-        let tiled = cp_als(&tensor, &CpalsOptions { tiling: true, ..base });
+        let tiled = cp_als(
+            &tensor,
+            &CpalsOptions {
+                tiling: true,
+                ..base
+            },
+        );
         assert!(
             (untiled.fit - tiled.fit).abs() < 1e-8,
             "tiled fit {} vs untiled {}",
@@ -443,7 +589,7 @@ mod tests {
     fn nonnegative_fits_nonnegative_planted_data() {
         // planted factors are positive, so the projection should not hurt
         // the achievable fit much
-        let (tensor, _) = synth::planted_dense(&[14, 12, 10], 2, 0.0, 19);
+        let (tensor, _) = synth::planted_dense(&[14, 12, 10], 2, 0.0, 21);
         let base = CpalsOptions {
             rank: 2,
             max_iters: 50,
@@ -468,6 +614,95 @@ mod tests {
     }
 
     #[test]
+    fn profile_disabled_by_default() {
+        let tensor = synth::random_uniform(&[10, 10, 10], 200, 2);
+        let opts = CpalsOptions {
+            rank: 2,
+            max_iters: 2,
+            tolerance: 0.0,
+            ntasks: 1,
+            ..Default::default()
+        };
+        assert!(cp_als(&tensor, &opts).profile.is_none());
+    }
+
+    #[test]
+    fn profile_report_is_collected_and_consistent() {
+        let tensor = synth::power_law(&[25, 20, 15], 2_000, 1.6, 11);
+        let opts = CpalsOptions {
+            rank: 4,
+            max_iters: 3,
+            tolerance: 0.0,
+            ntasks: 2,
+            profile: true,
+            // force the lock path (no privatization) with the slicing
+            // access variant so every probe family observes traffic
+            priv_threshold: 0.0,
+            ..Default::default()
+        }
+        .with_implementation(Implementation::PortedInitial);
+        let out = cp_als(&tensor, &opts);
+        let p = out.profile.expect("profile requested");
+
+        assert_eq!(p.ntasks, 2);
+        assert_eq!(p.rank, 4);
+        assert_eq!(p.iterations, 3);
+        assert_eq!(p.lock_strategy, "Sync");
+        assert!(p.used_locks);
+        let labels: Vec<&str> = p.routines.iter().map(|r| r.routine.as_str()).collect();
+        let expect: Vec<&str> = Routine::ALL.iter().map(|r| r.label()).collect();
+        assert_eq!(labels, expect);
+        assert!(p.cpd_seconds() > 0.0);
+
+        // span tree: CPD total -> 3 iterations -> 3 modes + fit each
+        assert_eq!(p.span.label, "CPD total");
+        assert_eq!(p.span.children.len(), 3);
+        for (it, iter) in p.span.children.iter().enumerate() {
+            assert_eq!(iter.label, format!("iteration {it}"));
+            assert_eq!(iter.children.len(), 4); // 3 modes + fit
+            assert!(iter.find("fit").is_some());
+            assert_eq!(iter.children[0].children.len(), 4); // kernels
+        }
+        // children must nest within parents up to clock slack
+        assert!(p.span.is_nested(2_000_000), "span tree not nested");
+
+        // per-thread busy time was recorded for both tasks
+        assert_eq!(p.threads.threads.len(), 2);
+        assert!(p.threads.busy_nanos() > 0);
+        assert!(p.threads.threads.iter().all(|t| t.invocations > 0));
+
+        // lock-pool counters balance
+        assert!(p.locks.acquisitions > 0, "lock path never taken");
+        assert_eq!(p.locks.acquisitions, p.locks.releases);
+
+        // RowCopy access records slice allocations
+        assert!(p.alloc.row_copies > 0);
+        assert!(p.alloc.row_copy_bytes >= p.alloc.row_copies * 8);
+        assert!(p.alloc.descriptor_allocs > 0);
+    }
+
+    #[test]
+    fn profile_reports_privatized_runs() {
+        let (tensor, _) = synth::planted_low_rank(&[16, 12, 10], 2, 800, 0.0, 4);
+        let opts = CpalsOptions {
+            rank: 2,
+            max_iters: 2,
+            tolerance: 0.0,
+            ntasks: 2,
+            profile: true,
+            // huge threshold: every mode privatizes instead of locking
+            priv_threshold: 1e12,
+            ..Default::default()
+        };
+        let out = cp_als(&tensor, &opts);
+        let p = out.profile.expect("profile requested");
+        assert!(!p.used_locks);
+        assert_eq!(p.locks.acquisitions, 0);
+        assert!(p.alloc.replica_reductions > 0);
+        assert!(p.alloc.replica_bytes > 0);
+    }
+
+    #[test]
     fn empty_tensor_is_handled() {
         let tensor = SparseTensor::new(vec![5, 5, 5]);
         let opts = CpalsOptions {
@@ -486,7 +721,10 @@ mod tests {
     #[should_panic(expected = "rank must be positive")]
     fn zero_rank_panics() {
         let tensor = SparseTensor::new(vec![5, 5, 5]);
-        let opts = CpalsOptions { rank: 0, ..Default::default() };
+        let opts = CpalsOptions {
+            rank: 0,
+            ..Default::default()
+        };
         let _ = cp_als(&tensor, &opts);
     }
 }

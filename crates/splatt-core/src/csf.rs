@@ -424,7 +424,12 @@ mod tests {
     #[test]
     fn coo_roundtrip_four_modes() {
         let t = synth::random_uniform(&[8, 6, 10, 7], 1_500, 9);
-        let csf = Csf::build(&t, &perm_rooted_at(t.dims(), 2), &team(), SortVariant::AllOpts);
+        let csf = Csf::build(
+            &t,
+            &perm_rooted_at(t.dims(), 2),
+            &team(),
+            SortVariant::AllOpts,
+        );
         assert_eq!(csf.order(), 4);
         assert_eq!(csf.to_coo().canonical_entries(), t.canonical_entries());
     }

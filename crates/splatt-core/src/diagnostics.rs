@@ -43,7 +43,11 @@ fn pinv_left(m: &Matrix) -> Matrix {
 /// # Panics
 /// Panics if the tensor (or model) is not 3rd order, or shapes disagree.
 pub fn corcondia(model: &KruskalModel, tensor: &SparseTensor) -> f64 {
-    assert_eq!(tensor.order(), 3, "corcondia is defined here for 3rd-order tensors");
+    assert_eq!(
+        tensor.order(),
+        3,
+        "corcondia is defined here for 3rd-order tensors"
+    );
     assert_eq!(model.order(), 3, "model must be 3rd order");
     let rank = model.rank();
     for (m, f) in model.factors.iter().enumerate() {
@@ -120,7 +124,11 @@ mod tests {
             ..Default::default()
         };
         let out = cp_als(&tensor, &opts);
-        assert!(out.fit > 0.98, "fit {} — model must converge first", out.fit);
+        assert!(
+            out.fit > 0.98,
+            "fit {} — model must converge first",
+            out.fit
+        );
         let cc = corcondia(&out.model, &tensor);
         assert!(cc > 90.0, "corcondia {cc} for exact-rank model");
     }

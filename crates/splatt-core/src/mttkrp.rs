@@ -100,6 +100,7 @@ pub struct MttkrpWorkspace {
     pool: LockPool,
     replicas: ThreadScratch,
     ntasks: usize,
+    probe: Option<std::sync::Arc<splatt_probe::MttkrpProbe>>,
 }
 
 impl MttkrpWorkspace {
@@ -109,12 +110,28 @@ impl MttkrpWorkspace {
             pool: LockPool::new(cfg.locks, cfg.pool_size),
             replicas: ThreadScratch::new(ntasks, 0),
             ntasks,
+            probe: None,
         }
     }
 
     /// Number of tasks this workspace serves.
     pub fn ntasks(&self) -> usize {
         self.ntasks
+    }
+
+    /// Attach observability probes: per-thread kernel times and lock-pool
+    /// contention counters are recorded into `probe` from every subsequent
+    /// [`mttkrp`] call through this workspace. Pass `None` to detach and
+    /// return the kernels to their unobserved (branch-only) fast path.
+    pub fn set_probe(&mut self, probe: Option<std::sync::Arc<splatt_probe::MttkrpProbe>>) {
+        self.pool
+            .set_counters(probe.as_ref().map(|p| std::sync::Arc::clone(&p.locks)));
+        self.probe = probe;
+    }
+
+    /// The attached probe, if any.
+    pub fn probe(&self) -> Option<&std::sync::Arc<splatt_probe::MttkrpProbe>> {
+        self.probe.as_ref()
     }
 }
 
@@ -236,14 +253,23 @@ struct RowCopyAccess;
 fn slice_descriptor(idx: usize, cols: usize) -> Vec<usize> {
     // black_box prevents the optimizer from recognizing the descriptor as
     // dead and deleting the modeled allocation.
+    splatt_probe::alloc::record_descriptor(2 * std::mem::size_of::<usize>());
     std::hint::black_box(vec![idx * cols, idx * cols + cols])
+}
+
+/// `f.row_copy(idx)` with allocation accounting — the measurable half of
+/// the paper's 18x slice-overhead story.
+#[inline]
+fn counted_row_copy(f: &Matrix, idx: usize) -> Vec<f64> {
+    splatt_probe::alloc::record_row_copy(f.cols() * std::mem::size_of::<f64>());
+    f.row_copy(idx)
 }
 
 impl Access for RowCopyAccess {
     #[inline]
     fn axpy_row(f: &Matrix, idx: usize, scale: f64, accum: &mut [f64]) {
         let _desc = slice_descriptor(idx, f.cols());
-        let row = f.row_copy(idx); // allocation: the modeled slicing cost
+        let row = counted_row_copy(f, idx); // allocation: the modeled slicing cost
         for (a, &v) in accum.iter_mut().zip(&row) {
             *a += scale * v;
         }
@@ -251,7 +277,7 @@ impl Access for RowCopyAccess {
     #[inline]
     fn mul_row(f: &Matrix, idx: usize, a: &[f64], dst: &mut [f64]) {
         let _desc = slice_descriptor(idx, f.cols());
-        let row = f.row_copy(idx);
+        let row = counted_row_copy(f, idx);
         for ((d, &x), &v) in dst.iter_mut().zip(a).zip(&row) {
             *d = x * v;
         }
@@ -259,7 +285,7 @@ impl Access for RowCopyAccess {
     #[inline]
     fn fma_row(f: &Matrix, idx: usize, a: &[f64], accum: &mut [f64]) {
         let _desc = slice_descriptor(idx, f.cols());
-        let row = f.row_copy(idx);
+        let row = counted_row_copy(f, idx);
         for ((acc, &x), &v) in accum.iter_mut().zip(a).zip(&row) {
             *acc += x * v;
         }
@@ -379,7 +405,11 @@ pub fn mttkrp(
     cfg: &MttkrpConfig,
 ) {
     let (csf, kind) = set.for_mode(mode);
-    assert_eq!(out.rows(), csf.dims()[mode], "output rows must match mode dim");
+    assert_eq!(
+        out.rows(),
+        csf.dims()[mode],
+        "output rows must match mode dim"
+    );
     for (m, f) in factors.iter().enumerate() {
         assert_eq!(f.rows(), csf.dims()[m], "factor {m} rows mismatch");
         assert_eq!(f.cols(), out.cols(), "factor {m} rank mismatch");
@@ -421,7 +451,9 @@ pub fn mttkrp_tiled(
     match cfg.access {
         MatrixAccess::RowCopy => run_tiled::<RowCopyAccess>(tiled, factors, out, team),
         MatrixAccess::Index2D => run_tiled::<Index2DAccess>(tiled, factors, out, team),
-        MatrixAccess::PointerChecked => run_tiled::<PointerCheckedAccess>(tiled, factors, out, team),
+        MatrixAccess::PointerChecked => {
+            run_tiled::<PointerCheckedAccess>(tiled, factors, out, team)
+        }
         MatrixAccess::PointerZip => run_tiled::<PointerZipAccess>(tiled, factors, out, team),
     }
 }
@@ -450,7 +482,10 @@ fn run_tiled<A: Access>(
             // SAFETY justification for `pool: None`: tile CSFs are rooted
             // at the output mode and tiles own disjoint output-row ranges,
             // so no two tasks ever write the same row.
-            let mut target = OutTarget::Shared { out: shared, pool: None };
+            let mut target = OutTarget::Shared {
+                out: shared,
+                pool: None,
+            };
             task_slices::<A>(csf, 0, &flevel, rank, &mut target, 0..csf.nfibers(0));
         }
     });
@@ -506,15 +541,32 @@ fn run<A: Access>(
     if privatize {
         ws.replicas.ensure_len(out.rows() * rank);
         ws.replicas.reset();
+        splatt_probe::alloc::record_privatization(
+            ntasks * out.rows() * rank * std::mem::size_of::<f64>(),
+        );
         let replicas = &ws.replicas;
         let flevel = &flevel;
         let bounds = &bounds;
-        team.coforall(|tid| {
+        let body = |tid: usize| {
             replicas.with_mut(tid, |buf| {
                 let mut target = OutTarget::Replica { buf, rank };
-                task_slices::<A>(csf, od, flevel, rank, &mut target, bounds[tid]..bounds[tid + 1]);
+                task_slices::<A>(
+                    csf,
+                    od,
+                    flevel,
+                    rank,
+                    &mut target,
+                    bounds[tid]..bounds[tid + 1],
+                );
             });
-        });
+        };
+        match &ws.probe {
+            None => team.coforall(body),
+            Some(probe) => team.coforall_timed(&probe.tasks, |tid| {
+                body(tid);
+                (bounds[tid + 1] - bounds[tid]) as u64
+            }),
+        }
         // The replicas may be longer than this mode's output (grow-only
         // scratch); reduce only the live prefix.
         ws.replicas.reduce_sum_into(out.as_mut_slice());
@@ -524,10 +576,24 @@ fn run<A: Access>(
         let pool = needs_sync.then_some(&ws.pool);
         let flevel = &flevel;
         let bounds = &bounds;
-        team.coforall(|tid| {
+        let body = |tid: usize| {
             let mut target = OutTarget::Shared { out: shared, pool };
-            task_slices::<A>(csf, od, flevel, rank, &mut target, bounds[tid]..bounds[tid + 1]);
-        });
+            task_slices::<A>(
+                csf,
+                od,
+                flevel,
+                rank,
+                &mut target,
+                bounds[tid]..bounds[tid + 1],
+            );
+        };
+        match &ws.probe {
+            None => team.coforall(body),
+            Some(probe) => team.coforall_timed(&probe.tasks, |tid| {
+                body(tid);
+                (bounds[tid + 1] - bounds[tid]) as u64
+            }),
+        }
     }
 }
 
@@ -545,7 +611,17 @@ fn task_slices<A: Access>(
     let mut down_bufs: Vec<Vec<f64>> = vec![vec![0.0; rank]; order];
     let ones = vec![1.0; rank];
     for s in slices {
-        descend::<A>(csf, 0, s, od, &ones, flevel, target, &mut up_bufs, &mut down_bufs);
+        descend::<A>(
+            csf,
+            0,
+            s,
+            od,
+            &ones,
+            flevel,
+            target,
+            &mut up_bufs,
+            &mut down_bufs,
+        );
     }
 }
 
@@ -669,7 +745,10 @@ mod tests {
     fn matches_reference_all_access_strategies() {
         let t = synth::power_law(&[30, 14, 40], 2_500, 1.8, 3);
         for access in ALL_ACCESS {
-            let cfg = MttkrpConfig { access, ..Default::default() };
+            let cfg = MttkrpConfig {
+                access,
+                ..Default::default()
+            };
             run_config(&t, 5, CsfAlloc::Two, &cfg, 2);
         }
     }
@@ -687,7 +766,11 @@ mod tests {
         // threshold 0 => never privatize => lock path for non-root modes
         let t = synth::power_law(&[20, 12, 28], 1_500, 1.5, 5);
         for locks in LockStrategy::ALL {
-            let cfg = MttkrpConfig { locks, priv_threshold: 0.0, ..Default::default() };
+            let cfg = MttkrpConfig {
+                locks,
+                priv_threshold: 0.0,
+                ..Default::default()
+            };
             run_config(&t, 3, CsfAlloc::One, &cfg, 4);
         }
     }
@@ -696,7 +779,10 @@ mod tests {
     fn matches_reference_forced_privatization() {
         // huge threshold => always privatize non-root modes
         let t = synth::power_law(&[20, 12, 28], 1_500, 1.5, 6);
-        let cfg = MttkrpConfig { priv_threshold: 1e9, ..Default::default() };
+        let cfg = MttkrpConfig {
+            priv_threshold: 1e9,
+            ..Default::default()
+        };
         run_config(&t, 3, CsfAlloc::One, &cfg, 4);
     }
 
@@ -768,7 +854,10 @@ mod tests {
                     splatt_tensor::SortVariant::AllOpts,
                 );
                 for access in ALL_ACCESS {
-                    let cfg = MttkrpConfig { access, ..Default::default() };
+                    let cfg = MttkrpConfig {
+                        access,
+                        ..Default::default()
+                    };
                     let mut out = Matrix::zeros(t.dims()[mode], rank);
                     mttkrp_tiled(&tiled, &factors, &mut out, &team, &cfg);
                     let expect = mttkrp_coo(&t, &factors, mode);
@@ -812,7 +901,10 @@ mod tests {
         assert!(!use_privatization(yelp_mid, 4, 8_000_000, 0.02));
         assert!(!use_privatization(yelp_mid, 32, 8_000_000, 0.02));
         for t in [1usize, 2, 4, 8, 16, 32] {
-            assert!(use_privatization(nell_mid, t, 77_000_000, 0.02), "tasks {t}");
+            assert!(
+                use_privatization(nell_mid, t, 77_000_000, 0.02),
+                "tasks {t}"
+            );
         }
     }
 
@@ -825,10 +917,13 @@ mod tests {
         // roots (modes with their own CSF) never lock
         assert!(!uses_locks(&set, 1, 4, &cfg)); // shortest: root of csf0
         assert!(!uses_locks(&set, 2, 4, &cfg)); // longest: root of csf1
-        // middle mode: dim 400 * 4 tasks = 1600 > 0.02 * 2000 => locks
+                                                // middle mode: dim 400 * 4 tasks = 1600 > 0.02 * 2000 => locks
         assert!(uses_locks(&set, 0, 4, &cfg));
         // with a generous threshold it privatizes instead
-        let cfg2 = MttkrpConfig { priv_threshold: 10.0, ..cfg };
+        let cfg2 = MttkrpConfig {
+            priv_threshold: 10.0,
+            ..cfg
+        };
         assert!(!uses_locks(&set, 0, 4, &cfg2));
     }
 

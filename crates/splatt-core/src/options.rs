@@ -103,6 +103,11 @@ pub struct CpalsOptions {
     /// locks or privatization (SPLATT's tiling option; the paper's
     /// future-work item). Tiles are bound to the task count.
     pub tiling: bool,
+    /// Collect a [`splatt_probe::ProfileReport`] during the run:
+    /// per-routine times (Table III rows), per-thread MTTKRP busy time,
+    /// lock-pool contention, allocation counters, and the span tree.
+    /// Off by default; the disabled path costs one branch per probe site.
+    pub profile: bool,
 }
 
 impl Default for CpalsOptions {
@@ -122,6 +127,7 @@ impl Default for CpalsOptions {
             spin_count: 300,
             constraint: Constraint::None,
             tiling: false,
+            profile: false,
         }
     }
 }

@@ -153,7 +153,10 @@ pub fn tensor_complete_sgd(tensor: &SparseTensor, opts: &SgdOptions) -> Completi
         let eta = opts.step / (1.0 + opts.decay * epoch as f64);
         if nnz > 0 {
             let shared = FactorsShared {
-                ptrs: factors.iter_mut().map(|f| f.as_mut_slice().as_mut_ptr()).collect(),
+                ptrs: factors
+                    .iter_mut()
+                    .map(|f| f.as_mut_slice().as_mut_ptr())
+                    .collect(),
                 rank,
             };
             let shared = &shared;
@@ -275,7 +278,10 @@ mod tests {
         let serial = run(1);
         let parallel = run(4);
         // different step interleavings, same optimization: quality close
-        assert!(parallel < serial * 3.0 + 0.05, "serial {serial}, parallel {parallel}");
+        assert!(
+            parallel < serial * 3.0 + 0.05,
+            "serial {serial}, parallel {parallel}"
+        );
     }
 
     #[test]
@@ -318,7 +324,13 @@ mod tests {
     #[test]
     fn sgd_empty_tensor() {
         let t = SparseTensor::new(vec![4, 4, 4]);
-        let out = tensor_complete_sgd(&t, &SgdOptions { max_epochs: 2, ..Default::default() });
+        let out = tensor_complete_sgd(
+            &t,
+            &SgdOptions {
+                max_epochs: 2,
+                ..Default::default()
+            },
+        );
         assert_eq!(out.rmse, 0.0);
     }
 

@@ -20,8 +20,8 @@
 
 use crate::csf::Csf;
 use splatt_par::partition;
-use splatt_tensor::{sort, SortVariant, SparseTensor};
 use splatt_par::TaskTeam;
+use splatt_tensor::{sort, SortVariant, SparseTensor};
 
 /// A tensor tiled along one mode: `tiles[t]` holds the nonzeros whose
 /// index in `mode` falls in `row_bounds[t]..row_bounds[t + 1]`, stored as

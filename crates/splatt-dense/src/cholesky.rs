@@ -49,7 +49,10 @@ pub fn cholesky_factor(a: &Matrix) -> Result<Matrix, CholeskyError> {
             d -= l[(j, k)] * l[(j, k)];
         }
         if d <= 0.0 || !d.is_finite() {
-            return Err(CholeskyError { column: j, pivot: d });
+            return Err(CholeskyError {
+                column: j,
+                pivot: d,
+            });
         }
         let diag = d.sqrt();
         l[(j, j)] = diag;

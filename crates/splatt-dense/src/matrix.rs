@@ -6,8 +6,7 @@
 //! strategies studied in the paper (row copies vs. 2D indexing vs. pointer
 //! arithmetic) are meaningful distinctions over identical memory.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use splatt_rt::rng::{RngExt, SeedableRng, StdRng};
 use std::fmt;
 
 /// A dense row-major `f64` matrix.

@@ -8,7 +8,7 @@
 //! "Mat norm" timer covers exactly this routine.
 
 use crate::Matrix;
-use rayon::prelude::*;
+use splatt_rt::par;
 
 /// Which column norm to use, matching SPLATT's `MAT_NORM_2` / `MAT_NORM_MAX`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,23 +66,29 @@ pub fn normalize_columns(a: &mut Matrix, lambda: &mut [f64], which: MatNorm) {
     };
 
     let combined: Vec<f64> = if a.rows() >= NORM_PAR_THRESHOLD {
-        let nchunks = rayon::current_num_threads().max(1);
+        let nchunks = par::current_num_threads().max(1);
         let rows_per = a.rows().div_ceil(nchunks).max(1);
-        a.as_slice()
-            .par_chunks(rows_per * cols)
-            .map(accumulate)
-            .reduce(
-                || vec![0.0; cols],
-                |mut acc, local| {
-                    for (a, l) in acc.iter_mut().zip(local) {
-                        match which {
-                            MatNorm::Two => *a += l,
-                            MatNorm::Max => *a = a.max(l),
-                        }
+        let chunk_len = rows_per * cols;
+        let data = a.as_slice();
+        let n_chunks = data.len().div_ceil(chunk_len);
+        par::par_map_reduce(
+            n_chunks,
+            || vec![0.0; cols],
+            |c| {
+                let lo = c * chunk_len;
+                let hi = (lo + chunk_len).min(data.len());
+                accumulate(&data[lo..hi])
+            },
+            |mut acc, local| {
+                for (a, l) in acc.iter_mut().zip(local) {
+                    match which {
+                        MatNorm::Two => *a += l,
+                        MatNorm::Max => *a = a.max(l),
                     }
-                    acc
-                },
-            )
+                }
+                acc
+            },
+        )
     } else {
         accumulate(a.as_slice())
     };
@@ -117,7 +123,10 @@ mod tests {
     use super::*;
 
     fn col_norm2(a: &Matrix, j: usize) -> f64 {
-        (0..a.rows()).map(|i| a[(i, j)] * a[(i, j)]).sum::<f64>().sqrt()
+        (0..a.rows())
+            .map(|i| a[(i, j)] * a[(i, j)])
+            .sum::<f64>()
+            .sqrt()
     }
 
     #[test]

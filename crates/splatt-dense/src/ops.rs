@@ -10,7 +10,7 @@
 //! of Listing 7 in the paper).
 
 use crate::Matrix;
-use rayon::prelude::*;
+use splatt_rt::par;
 
 /// Minimum number of matrix rows before [`mat_ata`] bothers spawning
 /// parallel tasks; below this the reduction overhead dominates.
@@ -66,11 +66,12 @@ pub fn mat_ata(a: &Matrix) -> Matrix {
     let r = a.cols();
     let rows = a.rows();
     let mut out = if rows >= ATA_PAR_THRESHOLD {
-        let nchunks = rayon::current_num_threads().max(1);
+        let nchunks = par::current_num_threads().max(1);
         let chunk = rows.div_ceil(nchunks);
-        (0..nchunks)
-            .into_par_iter()
-            .map(|c| {
+        par::par_map_reduce(
+            nchunks,
+            || Matrix::zeros(r, r),
+            |c| {
                 let lo = c * chunk;
                 let hi = ((c + 1) * chunk).min(rows);
                 let mut local = Matrix::zeros(r, r);
@@ -78,14 +79,12 @@ pub fn mat_ata(a: &Matrix) -> Matrix {
                     syrk_upper_into(a, lo, hi, &mut local);
                 }
                 local
-            })
-            .reduce(
-                || Matrix::zeros(r, r),
-                |mut acc, m| {
-                    acc.add_assign(&m);
-                    acc
-                },
-            )
+            },
+            |mut acc, m| {
+                acc.add_assign(&m);
+                acc
+            },
+        )
     } else {
         syrk_upper(a)
     };

@@ -133,7 +133,15 @@ pub fn dist_cp_als(dist: &TensorDistribution, opts: &DistCpalsOptions) -> DistCp
                     continue;
                 }
                 let mut partial = Matrix::zeros(dim, rank);
-                mttkrp(&sets[r], &factors, mode, &mut partial, &mut workspaces[r], &team, &cfg);
+                mttkrp(
+                    &sets[r],
+                    &factors,
+                    mode,
+                    &mut partial,
+                    &mut workspaces[r],
+                    &team,
+                    &cfg,
+                );
                 m_global.add_assign(&partial);
             }
             // ---- superstep 2: allreduce partials within each layer ----
@@ -149,7 +157,9 @@ pub fn dist_cp_als(dist: &TensorDistribution, opts: &DistCpalsOptions) -> DistCp
                     hadamard_assign(&mut v, g);
                 }
             }
-            factors[mode].as_mut_slice().copy_from_slice(m_global.as_slice());
+            factors[mode]
+                .as_mut_slice()
+                .copy_from_slice(m_global.as_slice());
             solve_normals(&v, &mut factors[mode]);
 
             // ---- superstep 4: allgather updated rows within each layer ----
@@ -167,9 +177,7 @@ pub fn dist_cp_als(dist: &TensorDistribution, opts: &DistCpalsOptions) -> DistCp
             comm.charge_allreduce(nprocs, rank * rank); // Gramian
 
             if mode == order - 1 {
-                last_m
-                    .as_mut_slice()
-                    .copy_from_slice(m_global.as_slice());
+                last_m.as_mut_slice().copy_from_slice(m_global.as_slice());
             }
         }
 
@@ -215,12 +223,7 @@ fn compute_fit(
     }
     let mut inner = 0.0;
     for i in 0..last_factor.rows() {
-        for ((&f, &m), &l) in last_factor
-            .row(i)
-            .iter()
-            .zip(last_m.row(i))
-            .zip(lambda)
-        {
+        for ((&f, &m), &l) in last_factor.row(i).iter().zip(last_m.row(i)).zip(lambda) {
             inner += f * m * l;
         }
     }
@@ -277,7 +280,13 @@ mod tests {
     fn single_locale_has_zero_communication() {
         let t = planted();
         let dist = TensorDistribution::new(&t, ProcessGrid::single(3));
-        let out = dist_cp_als(&dist, &DistCpalsOptions { max_iters: 3, ..Default::default() });
+        let out = dist_cp_als(
+            &dist,
+            &DistCpalsOptions {
+                max_iters: 3,
+                ..Default::default()
+            },
+        );
         assert_eq!(out.comm.total_bytes(), 0);
     }
 
@@ -286,9 +295,15 @@ mod tests {
         let t = synth::power_law(&[40, 40, 40], 5_000, 1.5, 5);
         let volume = |grid: Vec<usize>| {
             let dist = TensorDistribution::new(&t, ProcessGrid::new(grid));
-            dist_cp_als(&dist, &DistCpalsOptions { max_iters: 2, ..Default::default() })
-                .comm
-                .total_bytes()
+            dist_cp_als(
+                &dist,
+                &DistCpalsOptions {
+                    max_iters: 2,
+                    ..Default::default()
+                },
+            )
+            .comm
+            .total_bytes()
         };
         let v1 = volume(vec![1, 1, 1]);
         let v2 = volume(vec![2, 1, 1]);
@@ -305,9 +320,15 @@ mod tests {
         let t = synth::power_law(&[48, 48, 48], 8_000, 1.3, 11);
         let volume = |grid: Vec<usize>| {
             let dist = TensorDistribution::new(&t, ProcessGrid::new(grid));
-            dist_cp_als(&dist, &DistCpalsOptions { max_iters: 2, ..Default::default() })
-                .comm
-                .total_bytes()
+            dist_cp_als(
+                &dist,
+                &DistCpalsOptions {
+                    max_iters: 2,
+                    ..Default::default()
+                },
+            )
+            .comm
+            .total_bytes()
         };
         let cube = volume(vec![2, 2, 2]);
         let flat = volume(vec![8, 1, 1]);
@@ -341,7 +362,14 @@ mod tests {
             t.push(&[i, i % 4, i % 4], 1.0 + i as f64);
         }
         let dist = TensorDistribution::new(&t, ProcessGrid::new(vec![2, 2, 2]));
-        let out = dist_cp_als(&dist, &DistCpalsOptions { rank: 2, max_iters: 3, ..Default::default() });
+        let out = dist_cp_als(
+            &dist,
+            &DistCpalsOptions {
+                rank: 2,
+                max_iters: 3,
+                ..Default::default()
+            },
+        );
         assert!(out.fit.is_finite());
     }
 }

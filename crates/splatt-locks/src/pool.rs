@@ -8,7 +8,10 @@
 //! adjacent pool slots would otherwise dominate.
 
 use crate::raw::{LockStrategy, OsLock, RawLock, SleepLock, SpinLock};
-use crossbeam::utils::CachePadded;
+use splatt_probe::LockCounters;
+use splatt_rt::sync::CachePadded;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Default number of locks in a pool, matching SPLATT's `DEFAULT_NLOCKS`.
 pub const DEFAULT_POOL_SIZE: usize = 1024;
@@ -36,6 +39,9 @@ pub struct LockPool {
     /// `nlocks - 1`; pool sizes are rounded up to a power of two so the
     /// hash is a mask instead of a modulo.
     mask: usize,
+    /// Optional contention counters; `None` (the default) keeps the
+    /// acquire path branch-only.
+    counters: Option<Arc<LockCounters>>,
 }
 
 fn padded<L: RawLock>(n: usize) -> Vec<CachePadded<L>> {
@@ -56,12 +62,28 @@ impl LockPool {
             LockStrategy::Sleep => Slots::Sleep(padded(n)),
             LockStrategy::Os => Slots::Os(padded(n)),
         };
-        LockPool { slots, mask: n - 1 }
+        LockPool {
+            slots,
+            mask: n - 1,
+            counters: None,
+        }
     }
 
     /// Create a pool of [`DEFAULT_POOL_SIZE`] locks.
     pub fn with_default_size(strategy: LockStrategy) -> Self {
         Self::new(strategy, DEFAULT_POOL_SIZE)
+    }
+
+    /// Attach (or detach) contention counters. While attached, every
+    /// acquisition through [`LockPool::lock`] / [`LockPool::lock_many`]
+    /// records acquisition/contention/spin/wait statistics into `counters`.
+    pub fn set_counters(&mut self, counters: Option<Arc<LockCounters>>) {
+        self.counters = counters;
+    }
+
+    /// The attached contention counters, if any.
+    pub fn counters(&self) -> Option<&Arc<LockCounters>> {
+        self.counters.as_ref()
     }
 
     /// Number of locks in the pool.
@@ -90,12 +112,41 @@ impl LockPool {
     #[inline]
     pub fn lock(&self, id: usize) -> LockPoolGuard<'_> {
         let slot = self.slot(id);
+        match &self.counters {
+            None => self.lock_slot(slot),
+            Some(counters) => Self::lock_slot_counting(&self.slots, slot, counters),
+        }
+        LockPoolGuard { pool: self, slot }
+    }
+
+    #[inline]
+    fn lock_slot(&self, slot: usize) {
         match &self.slots {
             Slots::Spin(v) => v[slot].lock(),
             Slots::Sleep(v) => v[slot].lock(),
             Slots::Os(v) => v[slot].lock(),
         }
-        LockPoolGuard { pool: self, slot }
+    }
+
+    /// Instrumented acquire: try once, and only on failure start the clock
+    /// and fall into the counting slow path.
+    #[cold]
+    fn lock_slot_counting(slots: &Slots, slot: usize, counters: &LockCounters) {
+        fn go<L: RawLock>(lock: &L, counters: &LockCounters) {
+            if lock.try_lock() {
+                counters.record_uncontended();
+                return;
+            }
+            let start = Instant::now();
+            let spins = lock.lock_counting();
+            // The failed try_lock above was one acquisition attempt too.
+            counters.record_contended(spins + 1, start.elapsed());
+        }
+        match slots {
+            Slots::Spin(v) => go(&*v[slot], counters),
+            Slots::Sleep(v) => go(&*v[slot], counters),
+            Slots::Os(v) => go(&*v[slot], counters),
+        }
     }
 
     #[inline]
@@ -104,6 +155,9 @@ impl LockPool {
             Slots::Spin(v) => v[slot].unlock(),
             Slots::Sleep(v) => v[slot].unlock(),
             Slots::Os(v) => v[slot].unlock(),
+        }
+        if let Some(counters) = &self.counters {
+            counters.record_release();
         }
     }
 
@@ -126,10 +180,9 @@ impl LockPool {
         slots
             .into_iter()
             .map(|slot| {
-                match &self.slots {
-                    Slots::Spin(v) => v[slot].lock(),
-                    Slots::Sleep(v) => v[slot].lock(),
-                    Slots::Os(v) => v[slot].lock(),
+                match &self.counters {
+                    None => self.lock_slot(slot),
+                    Some(counters) => Self::lock_slot_counting(&self.slots, slot, counters),
                 }
                 LockPoolGuard { pool: self, slot }
             })
@@ -251,6 +304,57 @@ mod tests {
     #[should_panic(expected = "at least one lock")]
     fn zero_locks_panics() {
         let _ = LockPool::new(LockStrategy::Spin, 0);
+    }
+
+    #[test]
+    fn counters_track_acquisitions_and_releases() {
+        for strategy in LockStrategy::ALL {
+            let mut pool = LockPool::new(strategy, 4);
+            let counters = Arc::new(splatt_probe::LockCounters::new());
+            pool.set_counters(Some(Arc::clone(&counters)));
+            assert!(pool.counters().is_some());
+            for id in 0..10 {
+                drop(pool.lock(id));
+            }
+            drop(pool.lock_many(&[1, 5, 2])); // slots {1, 2} after dedup
+            let stats = counters.snapshot();
+            assert_eq!(stats.acquisitions, 12, "{strategy:?}");
+            assert_eq!(stats.releases, 12, "{strategy:?}");
+            assert!(stats.is_balanced());
+            // single-threaded: nothing was ever contended
+            assert_eq!(stats.contended, 0, "{strategy:?}");
+            assert_eq!(stats.wait_nanos, 0, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn counters_observe_contention() {
+        // Deterministic contention (robust on single-core hosts): hold the
+        // only slot while a second thread tries to acquire it.
+        for strategy in LockStrategy::ALL {
+            let mut pool = LockPool::new(strategy, 1);
+            let counters = Arc::new(splatt_probe::LockCounters::new());
+            pool.set_counters(Some(Arc::clone(&counters)));
+            let guard = pool.lock(0);
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    let _g = pool.lock(0); // blocks until main drops `guard`
+                });
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                drop(guard);
+            });
+            let stats = counters.snapshot();
+            assert_eq!(stats.acquisitions, 2, "{strategy:?}");
+            assert!(stats.is_balanced(), "{strategy:?}");
+            assert_eq!(stats.contended, 1, "{strategy:?}");
+            assert!(stats.spin_iters >= 1, "{strategy:?}");
+            // waited roughly the sleep above; allow wide slack
+            assert!(
+                stats.wait_nanos > 1_000_000,
+                "{strategy:?}: {}",
+                stats.wait_nanos
+            );
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The three lock implementations compared in the paper's Figure 4.
 
-use parking_lot::{Condvar, Mutex};
+use splatt_rt::sync::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, Ordering};
 
 /// A raw (unguarded) lock: the minimal interface SPLATT's `mutex_pool`
@@ -14,6 +14,14 @@ pub trait RawLock: Send + Sync + Default {
     fn unlock(&self);
     /// Try to acquire without blocking; `true` on success.
     fn try_lock(&self) -> bool;
+    /// Acquire like [`RawLock::lock`], returning how many failed
+    /// acquisition attempts (CAS/test-and-set iterations, or park rounds
+    /// for sleeping locks) were observed. Used by instrumented lock pools;
+    /// strategies without visibility into their wait loop report 0.
+    fn lock_counting(&self) -> u64 {
+        self.lock();
+        0
+    }
 }
 
 /// Runtime-selectable lock strategy, mirroring the paper's three
@@ -77,6 +85,17 @@ impl RawLock for SpinLock {
     fn try_lock(&self) -> bool {
         !self.flag.swap(true, Ordering::Acquire)
     }
+
+    #[inline]
+    fn lock_counting(&self) -> u64 {
+        let mut spins = 0u64;
+        while self.flag.swap(true, Ordering::Acquire) {
+            spins += 1;
+            std::hint::spin_loop();
+            std::thread::yield_now();
+        }
+        spins
+    }
 }
 
 /// Chapel-`sync`-variable lock under the Qthreads cost model.
@@ -128,9 +147,20 @@ impl RawLock for SleepLock {
             false
         }
     }
+
+    fn lock_counting(&self) -> u64 {
+        let mut parks = 0u64;
+        let mut full = self.state.lock();
+        while !*full {
+            parks += 1;
+            self.cv.wait(&mut full);
+        }
+        *full = false;
+        parks
+    }
 }
 
-/// OS-adaptive mutex (`parking_lot`): spins briefly, then parks.
+/// OS-adaptive mutex: spins briefly, then parks.
 ///
 /// Stands in for `sync` variables under Chapel's `fifo` tasking layer,
 /// which the paper measured as competitive with the atomic spin lock
@@ -143,9 +173,8 @@ pub struct OsLock {
 impl RawLock for OsLock {
     #[inline]
     fn lock(&self) {
-        // parking_lot has no separate raw-lock handle on the safe API;
-        // leak the guard logically by forgetting it and re-creating on
-        // unlock via force_unlock.
+        // The guard-based mutex has no separate raw-lock handle; leak the
+        // guard logically by forgetting it and release via force_unlock.
         std::mem::forget(self.inner.lock());
     }
 

@@ -20,7 +20,10 @@ use std::ops::Range;
 /// Panics if `ntasks == 0` or `tid >= ntasks`.
 pub fn block(n: usize, ntasks: usize, tid: usize) -> Range<usize> {
     assert!(ntasks > 0, "block: ntasks must be positive");
-    assert!(tid < ntasks, "block: tid {tid} out of range for {ntasks} tasks");
+    assert!(
+        tid < ntasks,
+        "block: tid {tid} out of range for {ntasks} tasks"
+    );
     let base = n / ntasks;
     let extra = n % ntasks;
     let start = tid * base + tid.min(extra);

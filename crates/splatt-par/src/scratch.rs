@@ -7,8 +7,7 @@
 //! paper's sorting bottlenecks) and (b) does not false-share cache lines
 //! between threads.
 
-use crossbeam::utils::CachePadded;
-use parking_lot::Mutex;
+use splatt_rt::sync::{CachePadded, Mutex};
 
 /// A set of `ntasks` equally-sized `f64` buffers, one per task, padded to
 /// cache-line boundaries.

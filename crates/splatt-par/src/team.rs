@@ -15,11 +15,13 @@
 //! `spin_count = 0` gives the `fifo` tasking layer's park-immediately
 //! behaviour.
 
-use parking_lot::{Condvar, Mutex};
+use splatt_probe::TaskTimes;
+use splatt_rt::sync::{Condvar, Mutex};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Tuning knobs for a [`TaskTeam`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,7 +34,9 @@ pub struct TeamConfig {
 impl Default for TeamConfig {
     fn default() -> Self {
         // Qthreads' default spin-wait interval (see paper Section V-E).
-        TeamConfig { spin_count: 300_000 }
+        TeamConfig {
+            spin_count: 300_000,
+        }
     }
 }
 
@@ -225,6 +229,35 @@ impl TaskTeam {
             panic!("a task in TaskTeam::coforall panicked");
         }
     }
+
+    /// [`TaskTeam::coforall`] with per-thread busy-time recording: each
+    /// task's wall time in `f` is accumulated into `times[tid]`, making
+    /// load imbalance across the team observable. `f` returns the number
+    /// of work items it processed (any caller-defined unit), recorded
+    /// alongside the time.
+    ///
+    /// The timing happens inside the broadcast closure, so it measures the
+    /// task body only — not spin-up, park/unpark, or the completion wait.
+    ///
+    /// # Panics
+    /// Panics if `times` has fewer slots than the team has tasks, or if
+    /// any task panicked.
+    pub fn coforall_timed<F>(&self, times: &TaskTimes, f: F)
+    where
+        F: Fn(usize) -> u64 + Sync,
+    {
+        assert!(
+            times.ntasks() >= self.ntasks,
+            "TaskTimes has {} slots for a {}-task team",
+            times.ntasks(),
+            self.ntasks
+        );
+        self.coforall(|tid| {
+            let start = Instant::now();
+            let items = f(tid);
+            times.record(tid, start.elapsed(), items);
+        });
+    }
 }
 
 impl Drop for TaskTeam {
@@ -334,10 +367,7 @@ mod tests {
         // writes partitioned by tid.
         let team = TaskTeam::new(4);
         let mut data = vec![0usize; 4000];
-        let chunks: Vec<parking_lot::Mutex<&mut [usize]>> = data
-            .chunks_mut(1000)
-            .map(parking_lot::Mutex::new)
-            .collect();
+        let chunks: Vec<Mutex<&mut [usize]>> = data.chunks_mut(1000).map(Mutex::new).collect();
         team.coforall(|tid| {
             for v in chunks[tid].lock().iter_mut() {
                 *v = tid + 1;
@@ -407,5 +437,30 @@ mod tests {
             team.coforall(|_| {});
             drop(team); // must not hang or leak
         }
+    }
+
+    #[test]
+    fn coforall_timed_records_each_task() {
+        let team = TaskTeam::new(4);
+        let times = TaskTimes::new(4);
+        for _ in 0..3 {
+            team.coforall_timed(&times, |tid| {
+                std::hint::black_box(tid);
+                (tid + 1) as u64
+            });
+        }
+        let snap = times.snapshot();
+        for (tid, row) in snap.threads.iter().enumerate() {
+            assert_eq!(row.invocations, 3, "tid {tid}");
+            assert_eq!(row.items, 3 * (tid as u64 + 1), "tid {tid}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "slots for a")]
+    fn coforall_timed_rejects_undersized_times() {
+        let team = TaskTeam::new(4);
+        let times = TaskTimes::new(2);
+        team.coforall_timed(&times, |_| 0);
     }
 }

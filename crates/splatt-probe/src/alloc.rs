@@ -1,0 +1,139 @@
+//! Process-global allocation accounting for the hot access paths.
+//!
+//! The Chapel port's headline pathology is the "18x slice overhead": every
+//! factor-row access through a slice allocates a descriptor and copies the
+//! row. These counters quantify that in our reproduction's `RowCopy`
+//! access variant, plus the privatization side of the tradeoff (replica
+//! buffer bytes and reduction passes).
+//!
+//! The counters are process-global statics so the innermost kernels don't
+//! need a threaded-through handle; recording is gated on one relaxed
+//! `AtomicBool` load, which keeps the disabled path to a predictable
+//! branch (the row-copy path it instruments performs a heap allocation per
+//! call, so the load is noise even when enabled). Profiled runs in the
+//! same process share the counters — take [`snapshot`] deltas around the
+//! region of interest, as `cp_als` does.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+static ROW_COPIES: AtomicU64 = AtomicU64::new(0);
+static ROW_COPY_BYTES: AtomicU64 = AtomicU64::new(0);
+static DESCRIPTOR_ALLOCS: AtomicU64 = AtomicU64::new(0);
+static DESCRIPTOR_BYTES: AtomicU64 = AtomicU64::new(0);
+static REPLICA_BYTES: AtomicU64 = AtomicU64::new(0);
+static REPLICA_REDUCTIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Turn recording on (used while a profiled run is active).
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// One factor-row copy of `bytes` bytes (RowCopy access variant).
+#[inline]
+pub fn record_row_copy(bytes: usize) {
+    if enabled() {
+        ROW_COPIES.fetch_add(1, Ordering::Relaxed);
+        ROW_COPY_BYTES.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+}
+
+/// One slice-descriptor allocation of `bytes` bytes.
+#[inline]
+pub fn record_descriptor(bytes: usize) {
+    if enabled() {
+        DESCRIPTOR_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        DESCRIPTOR_BYTES.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+}
+
+/// A privatized MTTKRP sized its per-task replicas at `bytes` total and
+/// performed one reduction pass over them.
+#[inline]
+pub fn record_privatization(bytes: usize) {
+    if enabled() {
+        REPLICA_BYTES.fetch_add(bytes as u64, Ordering::Relaxed);
+        REPLICA_REDUCTIONS.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time copy of the global counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocStats {
+    pub row_copies: u64,
+    pub row_copy_bytes: u64,
+    pub descriptor_allocs: u64,
+    pub descriptor_bytes: u64,
+    pub replica_bytes: u64,
+    pub replica_reductions: u64,
+}
+
+impl AllocStats {
+    /// Counter-wise difference vs an earlier snapshot.
+    pub fn since(&self, earlier: &AllocStats) -> AllocStats {
+        AllocStats {
+            row_copies: self.row_copies.wrapping_sub(earlier.row_copies),
+            row_copy_bytes: self.row_copy_bytes.wrapping_sub(earlier.row_copy_bytes),
+            descriptor_allocs: self
+                .descriptor_allocs
+                .wrapping_sub(earlier.descriptor_allocs),
+            descriptor_bytes: self.descriptor_bytes.wrapping_sub(earlier.descriptor_bytes),
+            replica_bytes: self.replica_bytes.wrapping_sub(earlier.replica_bytes),
+            replica_reductions: self
+                .replica_reductions
+                .wrapping_sub(earlier.replica_reductions),
+        }
+    }
+}
+
+pub fn snapshot() -> AllocStats {
+    AllocStats {
+        row_copies: ROW_COPIES.load(Ordering::Relaxed),
+        row_copy_bytes: ROW_COPY_BYTES.load(Ordering::Relaxed),
+        descriptor_allocs: DESCRIPTOR_ALLOCS.load(Ordering::Relaxed),
+        descriptor_bytes: DESCRIPTOR_BYTES.load(Ordering::Relaxed),
+        replica_bytes: REPLICA_BYTES.load(Ordering::Relaxed),
+        replica_reductions: REPLICA_REDUCTIONS.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing_enabled_records() {
+        // Runs in one test to avoid cross-test interference on the globals.
+        disable();
+        let before = snapshot();
+        record_row_copy(280);
+        record_descriptor(16);
+        record_privatization(1024);
+        assert_eq!(snapshot().since(&before), AllocStats::default());
+
+        enable();
+        let before = snapshot();
+        record_row_copy(280);
+        record_row_copy(280);
+        record_descriptor(16);
+        record_privatization(1024);
+        let delta = snapshot().since(&before);
+        disable();
+        assert_eq!(delta.row_copies, 2);
+        assert_eq!(delta.row_copy_bytes, 560);
+        assert_eq!(delta.descriptor_allocs, 1);
+        assert_eq!(delta.descriptor_bytes, 16);
+        assert_eq!(delta.replica_bytes, 1024);
+        assert_eq!(delta.replica_reductions, 1);
+    }
+}

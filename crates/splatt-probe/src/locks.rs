@@ -1,0 +1,120 @@
+//! Lock-pool contention counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Shared counters for one `LockPool`. All increments are relaxed — the
+/// counters are diagnostics, not synchronization.
+#[derive(Debug, Default)]
+pub struct LockCounters {
+    acquisitions: AtomicU64,
+    contended: AtomicU64,
+    releases: AtomicU64,
+    spin_iters: AtomicU64,
+    wait_nanos: AtomicU64,
+}
+
+impl LockCounters {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An acquisition that succeeded on the first try.
+    #[inline]
+    pub fn record_uncontended(&self) {
+        self.acquisitions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An acquisition that had to spin and/or park. `spins` counts failed
+    /// CAS / test-and-set iterations (or park rounds for sleeping locks).
+    #[inline]
+    pub fn record_contended(&self, spins: u64, waited: Duration) {
+        self.acquisitions.fetch_add(1, Ordering::Relaxed);
+        self.contended.fetch_add(1, Ordering::Relaxed);
+        self.spin_iters.fetch_add(spins, Ordering::Relaxed);
+        self.wait_nanos
+            .fetch_add(waited.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn record_release(&self) {
+        self.releases.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> LockStats {
+        LockStats {
+            acquisitions: self.acquisitions.load(Ordering::Relaxed),
+            contended: self.contended.load(Ordering::Relaxed),
+            releases: self.releases.load(Ordering::Relaxed),
+            spin_iters: self.spin_iters.load(Ordering::Relaxed),
+            wait_nanos: self.wait_nanos.load(Ordering::Relaxed),
+        }
+    }
+
+    pub fn reset(&self) {
+        self.acquisitions.store(0, Ordering::Relaxed);
+        self.contended.store(0, Ordering::Relaxed);
+        self.releases.store(0, Ordering::Relaxed);
+        self.spin_iters.store(0, Ordering::Relaxed);
+        self.wait_nanos.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time copy of [`LockCounters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LockStats {
+    pub acquisitions: u64,
+    pub contended: u64,
+    pub releases: u64,
+    pub spin_iters: u64,
+    pub wait_nanos: u64,
+}
+
+impl LockStats {
+    /// Fraction of acquisitions that found the lock held.
+    pub fn contention_rate(&self) -> f64 {
+        if self.acquisitions == 0 {
+            0.0
+        } else {
+            self.contended as f64 / self.acquisitions as f64
+        }
+    }
+
+    pub fn wait(&self) -> Duration {
+        Duration::from_nanos(self.wait_nanos)
+    }
+
+    /// Quiescent self-consistency: every acquisition has been released.
+    pub fn is_balanced(&self) -> bool {
+        self.acquisitions == self.releases
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_roundtrip() {
+        let c = LockCounters::new();
+        c.record_uncontended();
+        c.record_contended(17, Duration::from_nanos(500));
+        c.record_release();
+        c.record_release();
+        let s = c.snapshot();
+        assert_eq!(s.acquisitions, 2);
+        assert_eq!(s.contended, 1);
+        assert_eq!(s.releases, 2);
+        assert_eq!(s.spin_iters, 17);
+        assert_eq!(s.wait_nanos, 500);
+        assert!(s.is_balanced());
+        assert!((s.contention_rate() - 0.5).abs() < 1e-12);
+        c.reset();
+        assert_eq!(c.snapshot(), LockStats::default());
+    }
+
+    #[test]
+    fn empty_stats_rate_is_zero() {
+        assert_eq!(LockStats::default().contention_rate(), 0.0);
+    }
+}

@@ -1,0 +1,338 @@
+//! The hierarchical profile report: per-routine rows (the paper's
+//! Table III layout), per-thread load, lock contention, allocation
+//! accounting, and the span tree — renderable as text and as
+//! schema-stable JSON.
+
+use crate::alloc::AllocStats;
+use crate::json;
+use crate::locks::LockStats;
+use crate::span::SpanNode;
+use crate::tasks::ThreadLoad;
+use std::fmt::Write as _;
+
+/// Version tag embedded in every JSON profile. Bump only with a schema
+/// change; tests pin the current value.
+pub const PROFILE_SCHEMA: &str = "splatt-profile-v1";
+
+/// One row of the per-routine table (label from `splatt_par::Routine`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutineRow {
+    pub routine: String,
+    pub seconds: f64,
+}
+
+/// Everything measured during one profiled CP-ALS run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProfileReport {
+    pub ntasks: usize,
+    pub rank: usize,
+    pub iterations: usize,
+    /// Label of the lock strategy in effect (paper terms: Atomic / Sync /
+    /// FIFO-sync), regardless of whether the run actually took locks.
+    pub lock_strategy: String,
+    /// True if at least one MTTKRP used the lock pool (vs privatization).
+    pub used_locks: bool,
+    pub routines: Vec<RoutineRow>,
+    pub threads: ThreadLoad,
+    pub locks: LockStats,
+    pub alloc: AllocStats,
+    pub span: SpanNode,
+}
+
+impl Default for RoutineRow {
+    fn default() -> Self {
+        RoutineRow {
+            routine: String::new(),
+            seconds: 0.0,
+        }
+    }
+}
+
+fn num(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push('0');
+    }
+}
+
+fn span_json(out: &mut String, s: &SpanNode) {
+    out.push_str("{\"label\": ");
+    json::write_escaped(out, &s.label);
+    let _ = write!(out, ", \"nanos\": {}, \"seconds\": ", s.nanos);
+    num(out, s.seconds());
+    out.push_str(", \"children\": [");
+    for (i, c) in s.children.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        span_json(out, c);
+    }
+    out.push_str("]}");
+}
+
+impl ProfileReport {
+    /// Total CPD seconds: the "CPD total" routine row.
+    pub fn cpd_seconds(&self) -> f64 {
+        self.routines
+            .iter()
+            .find(|r| r.routine == "CPD total")
+            .map(|r| r.seconds)
+            .unwrap_or(0.0)
+    }
+
+    /// Serialize as one JSON document (schema [`PROFILE_SCHEMA`]).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        out.push_str("{\n  \"schema\": ");
+        json::write_escaped(&mut out, PROFILE_SCHEMA);
+        let _ = write!(
+            out,
+            ",\n  \"ntasks\": {},\n  \"rank\": {},\n  \"iterations\": {},\n  \"lock_strategy\": ",
+            self.ntasks, self.rank, self.iterations
+        );
+        json::write_escaped(&mut out, &self.lock_strategy);
+        let _ = write!(
+            out,
+            ",\n  \"used_locks\": {},\n  \"routines\": [",
+            self.used_locks
+        );
+        for (i, r) in self.routines.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str("\n    {\"routine\": ");
+            json::write_escaped(&mut out, &r.routine);
+            out.push_str(", \"seconds\": ");
+            num(&mut out, r.seconds);
+            out.push('}');
+        }
+        out.push_str("\n  ],\n  \"threads\": [");
+        for (i, t) in self.threads.threads.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"tid\": {}, \"nanos\": {}, \"seconds\": ",
+                t.tid, t.nanos
+            );
+            num(&mut out, t.seconds());
+            let _ = write!(
+                out,
+                ", \"invocations\": {}, \"items\": {}}}",
+                t.invocations, t.items
+            );
+        }
+        let _ = write!(
+            out,
+            "\n  ],\n  \"locks\": {{\"acquisitions\": {}, \"contended\": {}, \"releases\": {}, \
+             \"spin_iters\": {}, \"wait_nanos\": {}, \"contention_rate\": ",
+            self.locks.acquisitions,
+            self.locks.contended,
+            self.locks.releases,
+            self.locks.spin_iters,
+            self.locks.wait_nanos
+        );
+        num(&mut out, self.locks.contention_rate());
+        let _ = write!(
+            out,
+            "}},\n  \"alloc\": {{\"row_copies\": {}, \"row_copy_bytes\": {}, \
+             \"descriptor_allocs\": {}, \"descriptor_bytes\": {}, \"replica_bytes\": {}, \
+             \"replica_reductions\": {}}},\n  \"spans\": ",
+            self.alloc.row_copies,
+            self.alloc.row_copy_bytes,
+            self.alloc.descriptor_allocs,
+            self.alloc.descriptor_bytes,
+            self.alloc.replica_bytes,
+            self.alloc.replica_reductions
+        );
+        span_json(&mut out, &self.span);
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Text rendering in the spirit of the paper's Table III: per-routine
+    /// seconds with their share of CPD total, then the observability
+    /// sections the paper derives its Section V analysis from.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        let total = self.cpd_seconds();
+        let _ = writeln!(
+            out,
+            "CP-ALS profile  (tasks={}, rank={}, iterations={}, locks={}{})",
+            self.ntasks,
+            self.rank,
+            self.iterations,
+            self.lock_strategy,
+            if self.used_locks { "" } else { " [privatized]" }
+        );
+        let _ = writeln!(
+            out,
+            "\n  {:<12} {:>12} {:>8}",
+            "routine", "seconds", "share"
+        );
+        for r in &self.routines {
+            let share = if total > 0.0 {
+                100.0 * r.seconds / total
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "  {:<12} {:>12.4} {:>7.1}%",
+                r.routine, r.seconds, share
+            );
+        }
+        out.push_str("\n  per-thread MTTKRP busy time\n");
+        for t in &self.threads.threads {
+            let _ = writeln!(
+                out,
+                "  thread {:<4} {:>12.4}s  {:>8} calls  {:>10} items",
+                t.tid,
+                t.seconds(),
+                t.invocations,
+                t.items
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  load imbalance (max/mean): {:.3}",
+            self.threads.imbalance()
+        );
+        let _ = writeln!(
+            out,
+            "\n  locks: {} acquisitions ({} contended, {:.2}% rate), {} spin iters, {:.4}s waited",
+            self.locks.acquisitions,
+            self.locks.contended,
+            100.0 * self.locks.contention_rate(),
+            self.locks.spin_iters,
+            self.locks.wait().as_secs_f64()
+        );
+        let _ = writeln!(
+            out,
+            "  alloc: {} row copies ({} B), {} descriptors ({} B), {} B replicas over {} reductions",
+            self.alloc.row_copies,
+            self.alloc.row_copy_bytes,
+            self.alloc.descriptor_allocs,
+            self.alloc.descriptor_bytes,
+            self.alloc.replica_bytes,
+            self.alloc.replica_reductions
+        );
+        out.push_str("\n  span tree\n");
+        self.span.render_into(&mut out, 1);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tasks::ThreadLoadRow;
+
+    fn sample() -> ProfileReport {
+        let mut span = SpanNode::leaf("cpd", 2_000_000);
+        span.push(SpanNode::leaf("iteration 0", 1_900_000));
+        ProfileReport {
+            ntasks: 2,
+            rank: 4,
+            iterations: 1,
+            lock_strategy: "Atomic".into(),
+            used_locks: true,
+            routines: vec![
+                RoutineRow {
+                    routine: "MTTKRP".into(),
+                    seconds: 0.001,
+                },
+                RoutineRow {
+                    routine: "CPD total".into(),
+                    seconds: 0.002,
+                },
+            ],
+            threads: ThreadLoad {
+                threads: vec![
+                    ThreadLoadRow {
+                        tid: 0,
+                        nanos: 600_000,
+                        invocations: 3,
+                        items: 30,
+                    },
+                    ThreadLoadRow {
+                        tid: 1,
+                        nanos: 400_000,
+                        invocations: 3,
+                        items: 20,
+                    },
+                ],
+            },
+            locks: LockStats {
+                acquisitions: 100,
+                contended: 10,
+                releases: 100,
+                spin_iters: 50,
+                wait_nanos: 1234,
+            },
+            alloc: AllocStats {
+                row_copies: 7,
+                row_copy_bytes: 224,
+                descriptor_allocs: 7,
+                descriptor_bytes: 112,
+                replica_bytes: 0,
+                replica_reductions: 0,
+            },
+            span,
+        }
+    }
+
+    #[test]
+    fn json_parses_and_is_schema_stable() {
+        let report = sample();
+        let doc = json::parse(&report.to_json()).expect("valid JSON");
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some(PROFILE_SCHEMA));
+        assert_eq!(doc.get("ntasks").unwrap().as_u64(), Some(2));
+        let routines = doc.get("routines").unwrap().as_array().unwrap();
+        assert_eq!(routines.len(), 2);
+        assert_eq!(
+            routines[1].get("routine").unwrap().as_str(),
+            Some("CPD total")
+        );
+        let threads = doc.get("threads").unwrap().as_array().unwrap();
+        assert_eq!(threads[0].get("nanos").unwrap().as_u64(), Some(600_000));
+        assert_eq!(
+            doc.get("locks")
+                .unwrap()
+                .get("acquisitions")
+                .unwrap()
+                .as_u64(),
+            Some(100)
+        );
+        assert_eq!(
+            doc.get("alloc")
+                .unwrap()
+                .get("row_copies")
+                .unwrap()
+                .as_u64(),
+            Some(7)
+        );
+        let spans = doc.get("spans").unwrap();
+        assert_eq!(spans.get("label").unwrap().as_str(), Some("cpd"));
+        assert_eq!(spans.get("children").unwrap().as_array().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn render_mentions_all_sections() {
+        let text = sample().render();
+        assert!(text.contains("MTTKRP"));
+        assert!(text.contains("per-thread"));
+        assert!(text.contains("load imbalance"));
+        assert!(text.contains("acquisitions"));
+        assert!(text.contains("row copies"));
+        assert!(text.contains("span tree"));
+    }
+
+    #[test]
+    fn cpd_seconds_lookup() {
+        assert_eq!(sample().cpd_seconds(), 0.002);
+        assert_eq!(ProfileReport::default().cpd_seconds(), 0.0);
+    }
+}

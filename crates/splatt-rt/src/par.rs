@@ -1,0 +1,170 @@
+//! Scoped fork-join helpers for the few data-parallel loops that live
+//! outside the `TaskTeam` world (dense kernels spread across std threads).
+//!
+//! These replace the `rayon` patterns the dense crate used: a parallel
+//! map-reduce over index chunks and a parallel for-each over disjoint
+//! mutable sub-slices. Threads are spawned per call via `std::thread::scope`
+//! — fine for the coarse-grained kernels these serve, where each chunk is
+//! thousands of FLOPs.
+
+/// Number of worker threads to use by default: the machine's available
+/// parallelism, capped to keep fork-join overhead sane.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(16)
+}
+
+/// Parallel map-reduce over `0..n_chunks`: `map(chunk_index)` on worker
+/// threads, folded with `reduce`. Returns `identity()` when `n_chunks == 0`.
+pub fn par_map_reduce<T, M, R, I>(n_chunks: usize, identity: I, map: M, reduce: R) -> T
+where
+    T: Send,
+    M: Fn(usize) -> T + Sync,
+    R: Fn(T, T) -> T + Send + Sync,
+    I: Fn() -> T,
+{
+    let nthreads = current_num_threads().min(n_chunks.max(1));
+    if n_chunks == 0 {
+        return identity();
+    }
+    if nthreads <= 1 || n_chunks == 1 {
+        let mut acc = map(0);
+        for i in 1..n_chunks {
+            acc = reduce(acc, map(i));
+        }
+        return acc;
+    }
+    let mut partials: Vec<Option<T>> = Vec::new();
+    partials.resize_with(nthreads, || None);
+    std::thread::scope(|scope| {
+        for (tid, slot) in partials.iter_mut().enumerate() {
+            let map = &map;
+            let reduce = &reduce;
+            scope.spawn(move || {
+                let mut acc: Option<T> = None;
+                let mut i = tid;
+                while i < n_chunks {
+                    let v = map(i);
+                    acc = Some(match acc {
+                        Some(a) => reduce(a, v),
+                        None => v,
+                    });
+                    i += nthreads;
+                }
+                *slot = acc;
+            });
+        }
+    });
+    let mut acc: Option<T> = None;
+    for p in partials.into_iter().flatten() {
+        acc = Some(match acc {
+            Some(a) => reduce(a, p),
+            None => p,
+        });
+    }
+    acc.unwrap_or_else(identity)
+}
+
+/// Parallel for-each over the chunks of a mutable slice, like
+/// `slice.par_chunks_mut(chunk_len).enumerate().for_each(f)`.
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_len > 0, "par_chunks_mut: zero chunk length");
+    let n_chunks = data.len().div_ceil(chunk_len);
+    if n_chunks <= 1 || current_num_threads() <= 1 {
+        for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
+    std::thread::scope(|scope| {
+        for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            let f = &f;
+            scope.spawn(move || f(i, chunk));
+        }
+    });
+}
+
+/// Parallel for-each over `0..n`, for loops whose bodies touch disjoint
+/// state (the caller guarantees disjointness).
+pub fn par_for_each<F>(n: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let nthreads = current_num_threads().min(n.max(1));
+    if nthreads <= 1 || n <= 1 {
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+    std::thread::scope(|scope| {
+        for tid in 0..nthreads {
+            let f = &f;
+            scope.spawn(move || {
+                let mut i = tid;
+                while i < n {
+                    f(i);
+                    i += nthreads;
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_reduce_sums() {
+        let total = par_map_reduce(100, || 0usize, |i| i, |a, b| a + b);
+        assert_eq!(total, 4950);
+        assert_eq!(par_map_reduce(0, || 7usize, |i| i, |a, b| a + b), 7);
+        assert_eq!(par_map_reduce(1, || 0usize, |i| i + 5, |a, b| a + b), 5);
+    }
+
+    #[test]
+    fn map_reduce_vec_accumulators() {
+        let v = par_map_reduce(
+            10,
+            || vec![0.0f64; 4],
+            |i| vec![i as f64; 4],
+            |mut a, b| {
+                for (x, y) in a.iter_mut().zip(&b) {
+                    *x += y;
+                }
+                a
+            },
+        );
+        assert_eq!(v, vec![45.0; 4]);
+    }
+
+    #[test]
+    fn chunks_mut_disjoint() {
+        let mut data = vec![0usize; 37];
+        par_chunks_mut(&mut data, 5, |i, chunk| {
+            for x in chunk.iter_mut() {
+                *x = i + 1;
+            }
+        });
+        assert_eq!(data[0], 1);
+        assert_eq!(data[36], 8);
+        assert!(data.iter().all(|&x| x > 0));
+    }
+
+    #[test]
+    fn for_each_covers_all() {
+        let hits = AtomicUsize::new(0);
+        par_for_each(123, |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 123);
+    }
+}

@@ -85,7 +85,10 @@ impl SparseTensor {
     pub fn push(&mut self, coord: &[u32], val: f64) {
         assert_eq!(coord.len(), self.order(), "coordinate arity mismatch");
         for (m, (&i, &d)) in coord.iter().zip(&self.dims).enumerate() {
-            assert!((i as usize) < d, "index {i} out of range for mode {m} (dim {d})");
+            assert!(
+                (i as usize) < d,
+                "index {i} out of range for mode {m} (dim {d})"
+            );
         }
         for (ind, &i) in self.inds.iter_mut().zip(coord) {
             ind.push(i);
@@ -222,7 +225,10 @@ impl SparseTensor {
         let mut new_vals: Vec<f64> = Vec::with_capacity(n);
         for &x in &perm {
             let same_as_last = !new_vals.is_empty()
-                && new_inds.iter().zip(&self.inds).all(|(ni, oi)| *ni.last().unwrap() == oi[x]);
+                && new_inds
+                    .iter()
+                    .zip(&self.inds)
+                    .all(|(ni, oi)| *ni.last().unwrap() == oi[x]);
             if same_as_last {
                 *new_vals.last_mut().unwrap() += self.vals[x];
             } else {
@@ -267,8 +273,9 @@ impl SparseTensor {
     /// Multiset of `(coordinate, value)` pairs, sorted — for equivalence
     /// checks in tests (sorting must be a permutation of this multiset).
     pub fn canonical_entries(&self) -> Vec<(Vec<u32>, f64)> {
-        let mut out: Vec<(Vec<u32>, f64)> =
-            (0..self.nnz()).map(|x| (self.coord(x), self.vals[x])).collect();
+        let mut out: Vec<(Vec<u32>, f64)> = (0..self.nnz())
+            .map(|x| (self.coord(x), self.vals[x]))
+            .collect();
         out.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
         out
     }
@@ -334,11 +341,7 @@ mod tests {
 
     #[test]
     fn from_parts_validates_lengths() {
-        let t = SparseTensor::from_parts(
-            vec![2, 2],
-            vec![vec![0, 1], vec![1, 0]],
-            vec![1.0, 2.0],
-        );
+        let t = SparseTensor::from_parts(vec![2, 2], vec![vec![0, 1], vec![1, 0]], vec![1.0, 2.0]);
         assert_eq!(t.nnz(), 2);
     }
 
@@ -352,15 +355,14 @@ mod tests {
     fn coalesce_merges_duplicates() {
         let mut t = SparseTensor::from_entries(
             vec![2, 2],
-            &[
-                (vec![0, 1], 1.0),
-                (vec![0, 1], 2.0),
-                (vec![1, 0], 5.0),
-            ],
+            &[(vec![0, 1], 1.0), (vec![0, 1], 2.0), (vec![1, 0], 5.0)],
         );
         t.coalesce();
         assert_eq!(t.nnz(), 2);
-        assert_eq!(t.canonical_entries(), vec![(vec![0, 1], 3.0), (vec![1, 0], 5.0)]);
+        assert_eq!(
+            t.canonical_entries(),
+            vec![(vec![0, 1], 3.0), (vec![1, 0], 5.0)]
+        );
     }
 
     #[test]
@@ -393,24 +395,15 @@ mod tests {
 
     #[test]
     fn is_sorted_handles_ties() {
-        let t = SparseTensor::from_entries(
-            vec![3, 3],
-            &[(vec![1, 0], 1.0), (vec![1, 2], 1.0)],
-        );
+        let t = SparseTensor::from_entries(vec![3, 3], &[(vec![1, 0], 1.0), (vec![1, 2], 1.0)]);
         assert!(t.is_sorted_by(&[0, 1]));
         assert!(t.is_sorted_by(&[0])); // prefix order with ties allowed
     }
 
     #[test]
     fn canonical_entries_is_order_invariant() {
-        let a = SparseTensor::from_entries(
-            vec![2, 2],
-            &[(vec![0, 1], 1.0), (vec![1, 0], 2.0)],
-        );
-        let b = SparseTensor::from_entries(
-            vec![2, 2],
-            &[(vec![1, 0], 2.0), (vec![0, 1], 1.0)],
-        );
+        let a = SparseTensor::from_entries(vec![2, 2], &[(vec![0, 1], 1.0), (vec![1, 0], 2.0)]);
+        let b = SparseTensor::from_entries(vec![2, 2], &[(vec![1, 0], 2.0), (vec![0, 1], 1.0)]);
         assert_eq!(a.canonical_entries(), b.canonical_entries());
     }
 
@@ -420,9 +413,7 @@ mod tests {
         let p = t.permute_modes(&[2, 0, 1]);
         assert_eq!(p.dims(), &[5, 3, 4]);
         // entry (1, 2, 3) in `t` becomes (3, 1, 2)
-        assert!(p
-            .canonical_entries()
-            .contains(&(vec![3, 1, 2], 3.0)));
+        assert!(p.canonical_entries().contains(&(vec![3, 1, 2], 3.0)));
         assert_eq!(p.nnz(), t.nnz());
     }
 

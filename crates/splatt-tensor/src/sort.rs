@@ -174,8 +174,8 @@ pub fn sort_by_perm(tt: &mut SparseTensor, perm: &[usize], team: &TaskTeam, vari
         }
     }
 
-    let segs: Vec<parking_lot::Mutex<TaskSeg<'_>>> =
-        segs.into_iter().map(parking_lot::Mutex::new).collect();
+    let segs: Vec<splatt_rt::sync::Mutex<TaskSeg<'_>>> =
+        segs.into_iter().map(splatt_rt::sync::Mutex::new).collect();
     team.coforall(|tid| {
         let mut seg = segs[tid].lock();
         let seg = &mut *seg;
@@ -218,8 +218,10 @@ fn counting_sort(
     let mut task_counts: Vec<Vec<usize>> = vec![Vec::new(); ntasks];
     {
         let key = tt.ind(primary);
-        let slots: Vec<parking_lot::Mutex<&mut Vec<usize>>> =
-            task_counts.iter_mut().map(parking_lot::Mutex::new).collect();
+        let slots: Vec<splatt_rt::sync::Mutex<&mut Vec<usize>>> = task_counts
+            .iter_mut()
+            .map(splatt_rt::sync::Mutex::new)
+            .collect();
         team.coforall(|tid| {
             let mut counts = vec![0usize; dim];
             for x in partition::block(nnz, ntasks, tid) {
@@ -267,8 +269,10 @@ fn counting_sort(
         };
         let src_inds: Vec<&[u32]> = (0..order).map(|m| tt.ind(m)).collect();
         let src_vals = tt.vals();
-        let offsets: Vec<parking_lot::Mutex<Vec<usize>>> =
-            task_offsets.into_iter().map(parking_lot::Mutex::new).collect();
+        let offsets: Vec<splatt_rt::sync::Mutex<Vec<usize>>> = task_offsets
+            .into_iter()
+            .map(splatt_rt::sync::Mutex::new)
+            .collect();
 
         // Capture the whole struct (not its raw-pointer fields, which the
         // 2021 disjoint-capture rules would otherwise pull out one by one,
@@ -580,13 +584,21 @@ mod tests {
         let team = TaskTeam::new(2);
         let mut reference = base.clone();
         sort_for_mode(&mut reference, 2, &team, SortVariant::AllOpts);
-        for v in [SortVariant::Initial, SortVariant::ArrayOpt, SortVariant::SlicesOpt] {
+        for v in [
+            SortVariant::Initial,
+            SortVariant::ArrayOpt,
+            SortVariant::SlicesOpt,
+        ] {
             let mut t = base.clone();
             sort_for_mode(&mut t, 2, &team, v);
             // identical full ordering (the sort is deterministic up to
             // equal-key runs; compare coordinate streams)
             for m in 0..3 {
-                assert_eq!(t.ind(m), reference.ind(m), "variant {v:?} differs in mode {m}");
+                assert_eq!(
+                    t.ind(m),
+                    reference.ind(m),
+                    "variant {v:?} differs in mode {m}"
+                );
             }
         }
     }

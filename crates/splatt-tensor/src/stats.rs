@@ -165,7 +165,10 @@ mod tests {
     fn human_bytes_formats() {
         assert_eq!(human_bytes(2048), "2 KB");
         assert_eq!(human_bytes(240 * 1024 * 1024), "240 MB");
-        assert_eq!(human_bytes(2 * 1024 * 1024 * 1024 + 300 * 1024 * 1024), "2.29 GB");
+        assert_eq!(
+            human_bytes(2 * 1024 * 1024 * 1024 + 300 * 1024 * 1024),
+            "2.29 GB"
+        );
     }
 
     #[test]

@@ -16,8 +16,7 @@
 //!   draw indices from a tunable power-law marginal.
 
 use crate::SparseTensor;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use splatt_rt::rng::{RngExt, SeedableRng, StdRng};
 
 /// Shape parameters of one of the paper's data sets (Table I).
 #[derive(Debug, Clone, Copy, PartialEq)]

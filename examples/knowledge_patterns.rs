@@ -15,8 +15,8 @@
 //! cargo run --release --example knowledge_patterns
 //! ```
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use splatt::rt::rng::StdRng;
+use splatt::rt::rng::{RngExt, SeedableRng};
 use splatt::{cp_als, CpalsOptions, SparseTensor};
 
 const SUBJECTS: usize = 500;
@@ -66,23 +66,43 @@ fn main() {
         ..Default::default()
     };
     let out = cp_als(&tensor, &opts);
-    println!("\n3-way CP-ALS: fit {:.4} in {} iterations", out.fit, out.iterations);
+    println!(
+        "\n3-way CP-ALS: fit {:.4} in {} iterations",
+        out.fit, out.iterations
+    );
 
     println!("\ndiscovered relation patterns (top ids per mode):");
     for &r in &out.model.components_by_weight() {
-        let subj: Vec<usize> = out.model.top_rows(0, r, 4).iter().map(|&(i, _)| i).collect();
-        let verb: Vec<usize> = out.model.top_rows(1, r, 3).iter().map(|&(i, _)| i).collect();
-        let obj: Vec<usize> = out.model.top_rows(2, r, 4).iter().map(|&(i, _)| i).collect();
-        println!(
-            "  component {r}: subjects {subj:?} --verbs {verb:?}--> objects {obj:?}"
-        );
+        let subj: Vec<usize> = out
+            .model
+            .top_rows(0, r, 4)
+            .iter()
+            .map(|&(i, _)| i)
+            .collect();
+        let verb: Vec<usize> = out
+            .model
+            .top_rows(1, r, 3)
+            .iter()
+            .map(|&(i, _)| i)
+            .collect();
+        let obj: Vec<usize> = out
+            .model
+            .top_rows(2, r, 4)
+            .iter()
+            .map(|&(i, _)| i)
+            .collect();
+        println!("  component {r}: subjects {subj:?} --verbs {verb:?}--> objects {obj:?}");
         // sanity: all top verbs should come from one planted verb block
         let blocks: std::collections::HashSet<usize> =
             verb.iter().map(|&v| v / verb_block).collect();
         println!(
             "    verb blocks touched: {:?} {}",
             blocks,
-            if blocks.len() == 1 { "(coherent relation)" } else { "(mixed)" }
+            if blocks.len() == 1 {
+                "(coherent relation)"
+            } else {
+                "(mixed)"
+            }
         );
     }
 
@@ -109,7 +129,12 @@ fn main() {
         out4.fit, out4.iterations
     );
     for &r in &out4.model.components_by_weight() {
-        let ctx: Vec<usize> = out4.model.top_rows(3, r, 3).iter().map(|&(i, _)| i).collect();
+        let ctx: Vec<usize> = out4
+            .model
+            .top_rows(3, r, 3)
+            .iter()
+            .map(|&(i, _)| i)
+            .collect();
         println!("  component {r}: dominant contexts {ctx:?}");
     }
 }

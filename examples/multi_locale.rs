@@ -53,7 +53,10 @@ fn main() {
         );
         println!(
             "{:>6}  {:>12.2}  {:>14}  {:>10.6}  {:>9.1e}",
-            grid.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("x"),
+            grid.iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("x"),
             out.comm.total_bytes() as f64 / (1024.0 * 1024.0),
             dist.max_block_nnz(),
             out.fit,

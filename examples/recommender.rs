@@ -14,9 +14,9 @@
 //! cargo run --release --example recommender
 //! ```
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 use splatt::core::{rmse_observed, tensor_complete, CompletionOptions};
+use splatt::rt::rng::StdRng;
+use splatt::rt::rng::{RngExt, SeedableRng};
 use splatt::SparseTensor;
 
 const USERS: usize = 1_200;
@@ -83,7 +83,10 @@ fn main() {
     println!("baseline (global mean {mean:.2}): test RMSE {base_rmse:.4}");
 
     // Completion at a few ranks; the train/test gap reveals overfitting.
-    println!("\n{:>4}  {:>10}  {:>10}  {:>9}", "rank", "train RMSE", "test RMSE", "gap");
+    println!(
+        "\n{:>4}  {:>10}  {:>10}  {:>9}",
+        "rank", "train RMSE", "test RMSE", "gap"
+    );
     let mut best: Option<(usize, f64)> = None;
     for rank in [1, 2, 4, 8] {
         let opts = CompletionOptions {
@@ -97,7 +100,10 @@ fn main() {
         let out = tensor_complete(&train, &opts);
         let test_rmse = rmse_observed(&out.model, &test);
         let gap = test_rmse / out.rmse;
-        println!("{rank:>4}  {:>10.4}  {test_rmse:>10.4}  {gap:>8.2}x", out.rmse);
+        println!(
+            "{rank:>4}  {:>10.4}  {test_rmse:>10.4}  {gap:>8.2}x",
+            out.rmse
+        );
         if best.is_none() || test_rmse < best.unwrap().1 {
             best = Some((rank, test_rmse));
         }

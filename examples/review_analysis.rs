@@ -11,8 +11,8 @@
 //! cargo run --release --example review_analysis
 //! ```
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use splatt::rt::rng::StdRng;
+use splatt::rt::rng::{RngExt, SeedableRng};
 use splatt::{cp_als, CpalsOptions, SparseTensor};
 
 const USERS: usize = 600;
@@ -38,7 +38,11 @@ fn main() {
             let pick = |dim: usize, rng: &mut StdRng| {
                 (c * dim / CLUSTERS + rng.random_range(0..dim / CLUSTERS)) as u32
             };
-            (pick(USERS, &mut rng), pick(BUSINESSES, &mut rng), pick(WORDS, &mut rng))
+            (
+                pick(USERS, &mut rng),
+                pick(BUSINESSES, &mut rng),
+                pick(WORDS, &mut rng),
+            )
         } else {
             (
                 rng.random_range(0..USERS as u32),
@@ -61,7 +65,10 @@ fn main() {
         ..Default::default()
     };
     let out = cp_als(&tensor, &opts);
-    println!("\nCP-ALS rank {CLUSTERS}: fit {:.4} in {} iterations", out.fit, out.iterations);
+    println!(
+        "\nCP-ALS rank {CLUSTERS}: fit {:.4} in {} iterations",
+        out.fit, out.iterations
+    );
 
     // For each component, find the dominant planted cluster in each mode
     // and the fraction of its top-loading rows that fall inside it.
@@ -77,11 +84,7 @@ fn main() {
             for &(idx, _) in &top {
                 votes[cluster_of(idx, dim)] += 1;
             }
-            let (best, &count) = votes
-                .iter()
-                .enumerate()
-                .max_by_key(|(_, &c)| c)
-                .unwrap();
+            let (best, &count) = votes.iter().enumerate().max_by_key(|(_, &c)| c).unwrap();
             let purity = count as f64 / top.len() as f64;
             if purity < 0.8 {
                 all_pure = false;

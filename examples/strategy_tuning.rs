@@ -12,7 +12,9 @@
 
 use splatt::core::mttkrp::{mttkrp, uses_locks, MttkrpConfig, MttkrpWorkspace};
 use splatt::par::TaskTeam;
-use splatt::{cp_als, CpalsOptions, CsfSet, Implementation, LockStrategy, Matrix, MatrixAccess, SortVariant};
+use splatt::{
+    cp_als, CpalsOptions, CsfSet, Implementation, LockStrategy, Matrix, MatrixAccess, SortVariant,
+};
 use std::time::Instant;
 
 const RANK: usize = 16;
@@ -61,13 +63,19 @@ fn main() {
         MatrixAccess::PointerChecked,
         MatrixAccess::PointerZip,
     ] {
-        let cfg = MttkrpConfig { access, ..Default::default() };
+        let cfg = MttkrpConfig {
+            access,
+            ..Default::default()
+        };
         println!("  {:<10} {:>8.3} s", access.label(), time_mttkrp(&cfg));
     }
 
     println!("\nlock strategies (same workload):");
     for locks in LockStrategy::ALL {
-        let cfg = MttkrpConfig { locks, ..Default::default() };
+        let cfg = MttkrpConfig {
+            locks,
+            ..Default::default()
+        };
         let locked_modes: Vec<usize> = (0..tensor.order())
             .filter(|&m| uses_locks(&set, m, ntasks, &cfg))
             .collect();

@@ -43,7 +43,11 @@ fn main() {
         let mut t = tensor.clone();
         let start = Instant::now();
         sort::sort_for_mode(&mut t, 0, &team, variant);
-        println!("  {:<10} {:>8.2} ms", variant.label(), start.elapsed().as_secs_f64() * 1e3);
+        println!(
+            "  {:<10} {:>8.2} ms",
+            variant.label(),
+            start.elapsed().as_secs_f64() * 1e3
+        );
     }
 
     // CSF representations under each allocation policy.

@@ -27,7 +27,7 @@ fn usage() -> ExitCode {
          splatt cpd <tensor.tns> [--rank R] [--iters N] [--tol T] [--tasks N]\n              \
          [--impl reference|ported-initial|ported-optimized]\n              \
          [--csf one|two|all] [--seed S] [--nonneg 1] [--diagnose 1]\n              \
-         [--out PREFIX]\n  \
+         [--profile FILE.json] [--out PREFIX]\n  \
          splatt complete <train.tns> [--solver als|sgd|ccd] [--rank R] [--iters N]\n              \
          [--tol T] [--reg MU] [--tasks N] [--seed S]\n              \
          [--test FILE.tns] [--out PREFIX] [--model FILE]\n  \
@@ -112,6 +112,7 @@ fn cmd_cpd(path: &str, flags: &Flags) -> Result<(), String> {
     } else {
         Constraint::None
     };
+    let profile_path = flags.get("profile").map(str::to_string);
     let opts = CpalsOptions {
         rank: flags.parse_or("rank", 10)?,
         max_iters: flags.parse_or("iters", 50)?,
@@ -120,6 +121,7 @@ fn cmd_cpd(path: &str, flags: &Flags) -> Result<(), String> {
         seed: flags.parse_or("seed", 0xC0FFEE_u64)?,
         csf_alloc,
         constraint,
+        profile: profile_path.is_some(),
         ..Default::default()
     }
     .with_implementation(imp);
@@ -132,15 +134,31 @@ fn cmd_cpd(path: &str, flags: &Flags) -> Result<(), String> {
         imp.label()
     );
     let out = cp_als(&tensor, &opts);
-    println!("converged: fit {:.6} after {} iterations", out.fit, out.iterations);
+    println!(
+        "converged: fit {:.6} after {} iterations",
+        out.fit, out.iterations
+    );
     println!("\nper-routine seconds:");
     for r in Routine::ALL {
         println!("  {:<10} {:>10.4}", r.label(), out.timers.seconds(r));
     }
 
+    if let Some(path) = &profile_path {
+        let report = out
+            .profile
+            .as_ref()
+            .expect("profiling was enabled for this run");
+        std::fs::write(path, report.to_json()).map_err(|e| format!("{path}: {e}"))?;
+        println!("\n{}", report.render());
+        println!("wrote {path}");
+    }
+
     if flags.parse_or("diagnose", 0u8)? != 0 {
         if tensor.order() == 3 {
-            println!("\ncore consistency (CORCONDIA): {:.1}", corcondia(&out.model, &tensor));
+            println!(
+                "\ncore consistency (CORCONDIA): {:.1}",
+                corcondia(&out.model, &tensor)
+            );
         } else {
             println!("\n--diagnose: CORCONDIA requires a 3rd-order tensor; skipped");
         }
@@ -148,8 +166,8 @@ fn cmd_cpd(path: &str, flags: &Flags) -> Result<(), String> {
 
     if let Some(prefix) = flags.get("out") {
         let lambda_path = format!("{prefix}.lambda.txt");
-        let mut f = std::fs::File::create(&lambda_path)
-            .map_err(|e| format!("{lambda_path}: {e}"))?;
+        let mut f =
+            std::fs::File::create(&lambda_path).map_err(|e| format!("{lambda_path}: {e}"))?;
         for l in &out.model.lambda {
             writeln!(f, "{l:.17e}").map_err(|e| e.to_string())?;
         }
@@ -169,7 +187,11 @@ fn cmd_cpd(path: &str, flags: &Flags) -> Result<(), String> {
 fn save_model(model: &KruskalModel, path: &str) -> Result<(), String> {
     let f = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
     model.write(f).map_err(|e| format!("{path}: {e}"))?;
-    println!("wrote {path} (rank {}, {} modes)", model.rank(), model.order());
+    println!(
+        "wrote {path} (rank {}, {} modes)",
+        model.rank(),
+        model.order()
+    );
     Ok(())
 }
 
@@ -224,7 +246,12 @@ fn cmd_complete(path: &str, flags: &Flags) -> Result<(), String> {
         "als" => tensor_complete(
             &train,
             &CompletionOptions {
-                rank, max_iters, tolerance, regularization, ntasks, seed,
+                rank,
+                max_iters,
+                tolerance,
+                regularization,
+                ntasks,
+                seed,
                 ..Default::default()
             },
         ),
@@ -260,7 +287,10 @@ fn cmd_complete(path: &str, flags: &Flags) -> Result<(), String> {
 
     if let Some(test_path) = flags.get("test") {
         let test = load(test_path)?;
-        println!("held-out RMSE {:.6} on {test_path}", rmse_observed(&out.model, &test));
+        println!(
+            "held-out RMSE {:.6} on {test_path}",
+            rmse_observed(&out.model, &test)
+        );
     }
     if let Some(prefix) = flags.get("out") {
         for (m, factor) in out.model.factors.iter().enumerate() {
@@ -337,9 +367,7 @@ fn main() -> ExitCode {
         None => return usage(),
     };
     let result = match (cmd, rest.split_first()) {
-        ("cpd", Some((path, flag_args))) => {
-            Flags::parse(flag_args).and_then(|f| cmd_cpd(path, &f))
-        }
+        ("cpd", Some((path, flag_args))) => Flags::parse(flag_args).and_then(|f| cmd_cpd(path, &f)),
         ("complete", Some((path, flag_args))) => {
             Flags::parse(flag_args).and_then(|f| cmd_complete(path, &f))
         }

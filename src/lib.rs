@@ -16,6 +16,8 @@
 //! | [`dense`] | matrices, SYRK, Cholesky, eigen, normal-equation solves |
 //! | [`par`] | task teams (`coforall`), partitioning, scratch, timers |
 //! | [`locks`] | mutex pools: spin / sleeping / OS-adaptive |
+//! | [`probe`] | lock/thread/allocation profiling, `ProfileReport` |
+//! | [`rt`] | sync primitives, seeded RNG, parallel helpers, qc harness |
 //!
 //! The most common entry points are also re-exported at the top level.
 //!
@@ -57,6 +59,18 @@ pub mod locks {
 /// Simulated distributed-memory (multi-locale) decomposition.
 pub mod dist {
     pub use splatt_dist::*;
+}
+
+/// Observability: lock-contention counters, per-thread load, allocation
+/// accounting, and the hierarchical profile report.
+pub mod probe {
+    pub use splatt_probe::*;
+}
+
+/// Runtime substrate: sync primitives, seeded RNG, parallel helpers, and
+/// the deterministic property-test harness.
+pub mod rt {
+    pub use splatt_rt::*;
 }
 
 pub use splatt_core::{

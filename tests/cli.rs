@@ -22,15 +22,25 @@ fn generate_stats_check_roundtrip() {
         .args(["--out", tns.to_str().unwrap()])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("wrote"), "{stdout}");
 
-    let out = splatt().args(["stats", tns.to_str().unwrap()]).output().unwrap();
+    let out = splatt()
+        .args(["stats", tns.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("density"));
 
-    let out = splatt().args(["check", tns.to_str().unwrap()]).output().unwrap();
+    let out = splatt()
+        .args(["check", tns.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("nonzeros"));
     std::fs::remove_dir_all(&dir).ok();
@@ -51,11 +61,29 @@ fn cpd_writes_factors_and_model_then_predict() {
         .success());
 
     let out = splatt()
-        .args(["cpd", tns.to_str().unwrap(), "--rank", "3", "--iters", "5", "--tasks", "2"])
-        .args(["--out", prefix.to_str().unwrap(), "--model", model.to_str().unwrap()])
+        .args([
+            "cpd",
+            tns.to_str().unwrap(),
+            "--rank",
+            "3",
+            "--iters",
+            "5",
+            "--tasks",
+            "2",
+        ])
+        .args([
+            "--out",
+            prefix.to_str().unwrap(),
+            "--model",
+            model.to_str().unwrap(),
+        ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("fit"), "{stdout}");
     for m in 0..3 {
@@ -68,7 +96,11 @@ fn cpd_writes_factors_and_model_then_predict() {
         .args(["predict", model.to_str().unwrap(), tns.to_str().unwrap()])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let lines = String::from_utf8_lossy(&out.stdout).lines().count();
     assert_eq!(lines, 400);
     assert!(String::from_utf8_lossy(&out.stderr).contains("RMSE"));
@@ -115,10 +147,117 @@ fn nonneg_flag_is_accepted() {
         .unwrap()
         .success());
     let out = splatt()
-        .args(["cpd", tns.to_str().unwrap(), "--rank", "2", "--iters", "3", "--nonneg", "1"])
+        .args([
+            "cpd",
+            tns.to_str().unwrap(),
+            "--rank",
+            "2",
+            "--iters",
+            "3",
+            "--nonneg",
+            "1",
+        ])
         .output()
         .unwrap();
     assert!(out.status.success());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cpd_profile_writes_schema_stable_json() {
+    use splatt::par::Routine;
+    use splatt::probe::{json, PROFILE_SCHEMA};
+
+    let dir = workdir("profile");
+    let tns = dir.join("t.tns");
+    let prof = dir.join("profile.json");
+    assert!(splatt()
+        .args(["generate", "random", "--dims", "14x12x10", "--nnz", "500", "--seed", "9"])
+        .args(["--out", tns.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+
+    let iters = 4;
+    let ntasks = 2;
+    let out = splatt()
+        .args(["cpd", tns.to_str().unwrap(), "--rank", "3"])
+        .args([
+            "--iters",
+            &iters.to_string(),
+            "--tasks",
+            &ntasks.to_string(),
+        ])
+        .args(["--profile", prof.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("span tree"), "render missing: {stdout}");
+    assert!(
+        stdout.contains("load imbalance"),
+        "render missing: {stdout}"
+    );
+
+    let text = std::fs::read_to_string(&prof).unwrap();
+    let doc = json::parse(&text).expect("profile JSON parses");
+    assert_eq!(doc.get("schema").unwrap().as_str(), Some(PROFILE_SCHEMA));
+    assert_eq!(doc.get("ntasks").unwrap().as_u64(), Some(ntasks));
+    assert_eq!(doc.get("iterations").unwrap().as_u64(), Some(iters));
+
+    // every Table III routine row is present
+    let routines = doc.get("routines").unwrap().as_array().unwrap();
+    let names: Vec<&str> = routines
+        .iter()
+        .map(|r| r.get("routine").unwrap().as_str().unwrap())
+        .collect();
+    for r in Routine::ALL {
+        assert!(
+            names.contains(&r.label()),
+            "missing routine row {}",
+            r.label()
+        );
+    }
+    let cpd_total = routines
+        .iter()
+        .find(|r| r.get("routine").unwrap().as_str() == Some("CPD total"))
+        .and_then(|r| r.get("seconds").unwrap().as_f64())
+        .unwrap();
+    assert!(cpd_total > 0.0);
+
+    // per-thread MTTKRP busy time: one entry per task, and the summed
+    // busy time fits inside the CPD total times the task count (each
+    // task can at most be busy for the whole loop)
+    let threads = doc.get("threads").unwrap().as_array().unwrap();
+    assert_eq!(threads.len(), ntasks as usize);
+    let busy: f64 = threads
+        .iter()
+        .map(|t| t.get("seconds").unwrap().as_f64().unwrap())
+        .sum();
+    assert!(busy > 0.0, "no per-thread busy time recorded");
+    assert!(
+        busy <= cpd_total * ntasks as f64 * 1.5 + 0.05,
+        "threads busy {busy}s vs CPD total {cpd_total}s x {ntasks}"
+    );
+
+    // span tree: root covers the whole loop, one child per iteration,
+    // and nesting holds within clock slack
+    let spans = doc.get("spans").unwrap();
+    assert_eq!(spans.get("label").unwrap().as_str(), Some("CPD total"));
+    let root_secs = spans.get("seconds").unwrap().as_f64().unwrap();
+    assert!((root_secs - cpd_total).abs() <= cpd_total * 0.5 + 0.05);
+    let iterations = spans.get("children").unwrap().as_array().unwrap();
+    assert_eq!(iterations.len(), iters as usize);
+    let child_sum: f64 = iterations
+        .iter()
+        .map(|c| c.get("seconds").unwrap().as_f64().unwrap())
+        .sum();
+    assert!(child_sum <= root_secs * 1.1 + 0.05);
+
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -43,8 +43,14 @@ fn implementations_agree_numerically_end_to_end() {
         ntasks: 4,
         ..Default::default()
     };
-    let reference = cp_als(&tensor, &base.with_implementation(Implementation::Reference));
-    for imp in [Implementation::PortedInitial, Implementation::PortedOptimized] {
+    let reference = cp_als(
+        &tensor,
+        &base.with_implementation(Implementation::Reference),
+    );
+    for imp in [
+        Implementation::PortedInitial,
+        Implementation::PortedOptimized,
+    ] {
         let other = cp_als(&tensor, &base.with_implementation(imp));
         assert!(
             (reference.fit - other.fit).abs() < 1e-8,
@@ -107,7 +113,7 @@ fn mttkrp_grid_consistency_across_all_knobs() {
 #[test]
 fn tns_file_to_decomposition() {
     // write a planted tensor to disk, read it back, decompose the copy
-    let (tensor, _) = synth::planted_dense(&[12, 10, 8], 2, 0.0, 31);
+    let (tensor, _) = synth::planted_dense(&[12, 10, 8], 2, 0.0, 32);
     let dir = std::env::temp_dir().join("splatt_integration_io");
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("planted.tns");
@@ -138,7 +144,16 @@ fn sort_variant_does_not_change_decomposition() {
     };
     let fits: Vec<f64> = SortVariant::ALL
         .iter()
-        .map(|&sv| cp_als(&tensor, &CpalsOptions { sort_variant: sv, ..base }).fit)
+        .map(|&sv| {
+            cp_als(
+                &tensor,
+                &CpalsOptions {
+                    sort_variant: sv,
+                    ..base
+                },
+            )
+            .fit
+        })
         .collect();
     for w in fits.windows(2) {
         assert!((w[0] - w[1]).abs() < 1e-10, "{fits:?}");
@@ -157,7 +172,16 @@ fn csf_alloc_does_not_change_decomposition() {
     };
     let fits: Vec<f64> = [CsfAlloc::One, CsfAlloc::Two, CsfAlloc::All]
         .iter()
-        .map(|&a| cp_als(&tensor, &CpalsOptions { csf_alloc: a, ..base }).fit)
+        .map(|&a| {
+            cp_als(
+                &tensor,
+                &CpalsOptions {
+                    csf_alloc: a,
+                    ..base
+                },
+            )
+            .fit
+        })
         .collect();
     for w in fits.windows(2) {
         assert!((w[0] - w[1]).abs() < 1e-6, "{fits:?}");
