@@ -510,14 +510,14 @@ pub fn ablation_d() -> Table {
             "locks",
             CpalsOptions {
                 priv_threshold: 0.0,
-                ..base
+                ..base.clone()
             },
         ),
         (
             "privatized",
             CpalsOptions {
                 priv_threshold: 1e12,
-                ..base
+                ..base.clone()
             },
         ),
         (
@@ -561,6 +561,7 @@ pub fn experiment_e() -> Table {
         max_iters: if datasets::fast_mode() { 2 } else { 5 },
         tolerance: 0.0,
         seed: 0xD157,
+        ..Default::default()
     };
     for grid in [vec![8, 1, 1], vec![1, 8, 1], vec![4, 2, 1], vec![2, 2, 2]] {
         progress(&format!("expE: grid={grid:?}"));
@@ -683,8 +684,107 @@ pub fn profile() -> Table {
     crate::report::profile_table(&report)
 }
 
+/// Faults: the fault-tolerance study. A seeded [`splatt_faults::FaultPlan`]
+/// injects each fault kind (and then all of them at once) into the early
+/// iterations of a CP-ALS run; the recovery machinery — absorbed delays,
+/// bounded retries, escalating ridge regularization, iteration rollback —
+/// must bring every run back to the fault-free fit. Reports the injected
+/// event count, the recovery actions taken, and the fit delta against the
+/// clean run.
+pub fn faults_experiment() -> Table {
+    use splatt_core::try_cp_als;
+    use splatt_faults::{FaultPlan, FaultRates};
+
+    let mut t = Table::new(
+        "faults",
+        "Faults: seeded fault injection vs. fault-free CP-ALS (recovery, fit delta)",
+        &["plan", "events", "recoveries", "iters", "fit", "delta fit"],
+    );
+    let tensor = synth::power_law(&[60, 45, 50], 20_000, 1.8, 0xFA);
+    let opts = CpalsOptions {
+        rank: 8,
+        max_iters: if datasets::fast_mode() { 8 } else { 20 },
+        tolerance: 0.0,
+        ntasks: 2,
+        seed: 0xFA17,
+        ..Default::default()
+    };
+
+    progress("faults: fault-free baseline");
+    let clean = try_cp_als(&tensor, &opts, None).expect("fault-free run cannot fail");
+    t.push(vec![
+        "(none)".to_string(),
+        "0".to_string(),
+        "-".to_string(),
+        clean.iterations.to_string(),
+        format!("{:.6}", clean.fit),
+        "0".to_string(),
+    ]);
+
+    let plans: [(&str, FaultRates); 5] = [
+        (
+            "straggler",
+            FaultRates {
+                straggler: 0.5,
+                ..Default::default()
+            },
+        ),
+        (
+            "dropped collective",
+            FaultRates {
+                dropped: 0.4,
+                ..Default::default()
+            },
+        ),
+        (
+            "NaN poison",
+            FaultRates {
+                nan: 0.3,
+                ..Default::default()
+            },
+        ),
+        (
+            "non-SPD Gram",
+            FaultRates {
+                nonspd: 0.4,
+                ..Default::default()
+            },
+        ),
+        (
+            "all kinds",
+            FaultRates {
+                straggler: 0.3,
+                dropped: 0.25,
+                nan: 0.2,
+                nonspd: 0.25,
+                ..Default::default()
+            },
+        ),
+    ];
+    for (name, rates) in plans {
+        progress(&format!("faults: plan '{name}'"));
+        // faults stop after the horizon so every run converges cleanly
+        let plan = FaultPlan::new(0xFA17, rates).with_horizon(3);
+        let out = try_cp_als(&tensor, &opts, Some(&plan))
+            .unwrap_or_else(|e| panic!("plan '{name}' did not recover: {e}"));
+        let events = plan.events();
+        let mut actions: Vec<&'static str> = events.iter().map(|e| e.action.label()).collect();
+        actions.sort_unstable();
+        actions.dedup();
+        t.push(vec![
+            name.to_string(),
+            events.len().to_string(),
+            actions.join("+"),
+            out.iterations.to_string(),
+            format!("{:.6}", out.fit),
+            format!("{:.1e}", (out.fit - clean.fit).abs()),
+        ]);
+    }
+    t
+}
+
 /// Every experiment id the repro binary accepts, in run order.
-pub const ALL_EXPERIMENTS: [&str; 19] = [
+pub const ALL_EXPERIMENTS: [&str; 20] = [
     "table1",
     "table3",
     "fig1",
@@ -704,6 +804,7 @@ pub const ALL_EXPERIMENTS: [&str; 19] = [
     "expE",
     "expF",
     "profile",
+    "faults",
 ];
 
 /// Run one experiment by id.
@@ -728,6 +829,7 @@ pub fn run(id: &str) -> Option<Table> {
         "expE" => experiment_e(),
         "expF" => experiment_f(),
         "profile" => profile(),
+        "faults" => faults_experiment(),
         _ => return None,
     })
 }

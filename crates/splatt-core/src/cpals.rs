@@ -13,16 +13,21 @@
 //! mode's MTTKRP output to get `<X, Z>` without touching the tensor again.
 //! Every phase is attributed to the [`Routine`] timer the paper reports.
 
+use crate::checkpoint::{Checkpoint, CheckpointError};
 use crate::csf::CsfSet;
 use crate::kruskal::KruskalModel;
 use crate::mttkrp::{mttkrp, uses_locks, MttkrpConfig, MttkrpWorkspace};
 use crate::options::CpalsOptions;
-use splatt_dense::{hadamard_assign, mat_ata, normalize_columns, solve_normals, MatNorm, Matrix};
+use splatt_dense::{
+    hadamard_assign, mat_ata, normalize_columns, solve_normals, solve_normals_ridge, MatNorm,
+    Matrix, RidgeOutcome,
+};
+use splatt_faults::{FaultKind, FaultPlan, FaultRecord, RecoveryAction};
 use splatt_par::{Routine, TaskTeam, TimerRegistry};
-use splatt_probe::{MttkrpProbe, ProfileReport, RoutineRow, SpanNode};
+use splatt_probe::{FaultRow, MttkrpProbe, ProfileReport, RoutineRow, SpanNode};
 use splatt_tensor::SparseTensor;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Result of a CP-ALS run.
 #[derive(Debug)]
@@ -40,6 +45,63 @@ pub struct CpalsOutput {
     /// Full observability report, present when
     /// [`CpalsOptions::profile`] was set.
     pub profile: Option<ProfileReport>,
+}
+
+/// A CP-ALS run that could not complete.
+#[derive(Debug)]
+pub enum CpalsError {
+    /// Checkpoint write, read, or validation failed.
+    Checkpoint(CheckpointError),
+    /// A fault exhausted its recovery budget (retries, ridge escalations,
+    /// or iteration rollbacks).
+    Unrecovered {
+        /// The fault kind that could not be recovered.
+        kind: FaultKind,
+        /// ALS iteration the fault hit.
+        iteration: usize,
+        /// Injection site (e.g. `mode 1 gram`).
+        site: String,
+    },
+}
+
+impl std::fmt::Display for CpalsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CpalsError::Checkpoint(e) => write!(f, "{e}"),
+            CpalsError::Unrecovered {
+                kind,
+                iteration,
+                site,
+            } => write!(
+                f,
+                "unrecovered {} fault at iteration {iteration} ({site})",
+                kind.label()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CpalsError {}
+
+impl From<CheckpointError> for CpalsError {
+    fn from(e: CheckpointError) -> Self {
+        CpalsError::Checkpoint(e)
+    }
+}
+
+/// Restores the global allocation-tracking state on every exit path
+/// (including the early `?` returns of the fallible driver).
+struct AllocTracking {
+    before: splatt_probe::alloc::AllocStats,
+    was_enabled: bool,
+}
+
+impl Drop for AllocTracking {
+    fn drop(&mut self) {
+        if !self.was_enabled {
+            splatt_probe::alloc::disable();
+        }
+    }
 }
 
 /// Time `f` under `which`, and — when a span parent is given — append a
@@ -70,7 +132,9 @@ fn span_time<R>(
 /// duplicates and you care about the fit value.
 ///
 /// # Panics
-/// Panics if `opts.rank == 0`, `opts.ntasks == 0`, or `opts.max_iters == 0`.
+/// Panics if `opts.rank == 0`, `opts.ntasks == 0`, or `opts.max_iters == 0`,
+/// and if checkpointing or resume was requested and fails — use
+/// [`try_cp_als`] for a fallible run.
 pub fn cp_als(tensor: &SparseTensor, opts: &CpalsOptions) -> CpalsOutput {
     let team = TaskTeam::with_config(
         opts.ntasks,
@@ -91,6 +155,53 @@ pub fn cp_als_with_team(
     opts: &CpalsOptions,
     team: &TaskTeam,
 ) -> CpalsOutput {
+    try_cp_als_with_team(tensor, opts, team, None).unwrap_or_else(|e| panic!("cp_als: {e}"))
+}
+
+/// Fallible CP-ALS with optional fault injection: [`cp_als`] that reports
+/// checkpoint I/O failures and exhausted fault recovery as typed errors
+/// instead of panicking.
+///
+/// When `faults` is given, the plan's seeded fault sites fire during the
+/// run and every injected fault plus its recovery action is appended to
+/// the plan's event log (and to the profile report when
+/// [`CpalsOptions::profile`] is set).
+///
+/// # Errors
+/// [`CpalsError::Checkpoint`] if `opts.resume_from` cannot be read or
+/// validated, or a checkpoint write to `opts.checkpoint_dir` fails;
+/// [`CpalsError::Unrecovered`] if an injected fault exhausts the bounds in
+/// `opts.recovery`.
+///
+/// # Panics
+/// As [`cp_als`] on invalid options (programmer error, not runtime faults).
+pub fn try_cp_als(
+    tensor: &SparseTensor,
+    opts: &CpalsOptions,
+    faults: Option<&FaultPlan>,
+) -> Result<CpalsOutput, CpalsError> {
+    let team = TaskTeam::with_config(
+        opts.ntasks,
+        splatt_par::TeamConfig {
+            spin_count: opts.spin_count,
+        },
+    );
+    try_cp_als_with_team(tensor, opts, &team, faults)
+}
+
+/// [`try_cp_als`] with a caller-provided task team.
+///
+/// # Errors
+/// As [`try_cp_als`].
+///
+/// # Panics
+/// As [`cp_als_with_team`] on invalid options.
+pub fn try_cp_als_with_team(
+    tensor: &SparseTensor,
+    opts: &CpalsOptions,
+    team: &TaskTeam,
+    faults: Option<&FaultPlan>,
+) -> Result<CpalsOutput, CpalsError> {
     assert!(opts.rank > 0, "rank must be positive");
     assert!(opts.max_iters > 0, "max_iters must be positive");
     assert_eq!(team.ntasks(), opts.ntasks, "team size must match options");
@@ -136,18 +247,39 @@ pub fn cp_als_with_team(
     let alloc_before = opts.profile.then(|| {
         let was_enabled = splatt_probe::alloc::enabled();
         splatt_probe::alloc::enable();
-        (splatt_probe::alloc::snapshot(), was_enabled)
+        AllocTracking {
+            before: splatt_probe::alloc::snapshot(),
+            was_enabled,
+        }
     });
     let mut span_root = opts.profile.then(|| SpanNode::new("CPD total"));
 
-    // ---- initialization (SPLATT: uniform random factors) ----
-    let mut factors: Vec<Matrix> = tensor
-        .dims()
-        .iter()
-        .enumerate()
-        .map(|(m, &d)| Matrix::random(d, rank, opts.seed.wrapping_add(m as u64)))
-        .collect();
+    // ---- initialization: uniform random factors (SPLATT), or the exact
+    // state of a prior run when resuming from a checkpoint ----
+    let mut start_iter = 0usize;
+    let mut fits = Vec::with_capacity(opts.max_iters);
+    let mut oldfit = 0.0;
     let mut lambda = vec![0.0; rank];
+    let factors_init: Vec<Matrix>;
+    if let Some(path) = &opts.resume_from {
+        let ck = Checkpoint::read_from(path)?;
+        ck.validate(tensor.dims(), rank, opts.max_iters)?;
+        start_iter = ck.iteration;
+        lambda = ck.lambda;
+        fits = ck.fits;
+        oldfit = fits.last().copied().unwrap_or(0.0);
+        factors_init = ck.factors;
+    } else {
+        factors_init = tensor
+            .dims()
+            .iter()
+            .enumerate()
+            .map(|(m, &d)| Matrix::random(d, rank, opts.seed.wrapping_add(m as u64)))
+            .collect();
+    }
+    let mut factors = factors_init;
+    // Gramians are recomputed rather than checkpointed: `mat_ata` is
+    // deterministic, so the resumed values are bit-identical anyway.
     let mut ata: Vec<Matrix> = factors
         .iter()
         .map(|f| timers.time(Routine::AtA, || mat_ata(f)))
@@ -159,22 +291,43 @@ pub fn cp_als_with_team(
         .collect();
 
     let norm_x_sq = tensor.norm_squared();
-    let mut fits = Vec::with_capacity(opts.max_iters);
-    let mut oldfit = 0.0;
-    let mut iterations = 0;
+    let policy = opts.recovery;
+    let mut iterations = start_iter;
+    let mut rollbacks_used = 0u32;
 
     let loop_start = Instant::now();
-    for it in 0..opts.max_iters {
+    let mut it = start_iter;
+    while it < opts.max_iters {
         iterations = it + 1;
+        // iteration-entry snapshot: the rollback target when a NaN guard
+        // fires; only taken when faults can actually be injected
+        let snapshot = faults
+            .is_some()
+            .then(|| (factors.clone(), lambda.clone(), ata.clone()));
         let iter_start = Instant::now();
         let mut iter_node = span_root
             .is_some()
             .then(|| SpanNode::new(format!("iteration {it}")));
+        // set when non-finite state is detected (kind, site of the poison)
+        let mut poisoned: Option<(FaultKind, String)> = None;
         for mode in 0..order {
             let mode_start = Instant::now();
             let mut mode_node = iter_node
                 .is_some()
                 .then(|| SpanNode::new(format!("mode {mode}")));
+            // straggler fault: one task is late; the team absorbs the delay
+            if let Some(plan) = faults {
+                if plan.roll(FaultKind::Straggler, it, mode, 0) {
+                    let nanos = plan.straggler_delay_nanos(it, mode);
+                    std::thread::sleep(Duration::from_nanos(nanos));
+                    plan.record(FaultRecord {
+                        kind: FaultKind::Straggler,
+                        iteration: it,
+                        site: format!("mode {mode} mttkrp"),
+                        action: RecoveryAction::AbsorbedDelay { nanos },
+                    });
+                }
+            }
             span_time(
                 &timers,
                 Routine::Mttkrp,
@@ -195,12 +348,21 @@ pub fn cp_als_with_team(
                     }
                 },
             );
+            // kernel-boundary poison: corrupt one MTTKRP output entry; the
+            // NaN guard below detects it and rolls the iteration back
+            if let Some(plan) = faults {
+                let len = mout[mode].as_slice().len();
+                if len > 0 && plan.roll(FaultKind::NanPoison, it, mode, 0) {
+                    let idx = plan.target_index(FaultKind::NanPoison, it, mode, len);
+                    mout[mode].as_mut_slice()[idx] = f64::NAN;
+                }
+            }
 
             span_time(
                 &timers,
                 Routine::Inverse,
                 mode_node.as_mut().map(|n| (n, "inverse")),
-                || {
+                || -> Result<(), CpalsError> {
                     // V = hadamard of the other Gramians (Algorithm 1 lines 4/7/10)
                     let mut v = Matrix::filled(rank, rank, 1.0);
                     for (m, g) in ata.iter().enumerate() {
@@ -212,7 +374,51 @@ pub fn cp_als_with_team(
                     factors[mode]
                         .as_mut_slice()
                         .copy_from_slice(mout[mode].as_slice());
-                    solve_normals(&v, &mut factors[mode]);
+                    let inject_nonspd = faults
+                        .map(|p| p.roll(FaultKind::NonSpdGram, it, mode, 0))
+                        .unwrap_or(false);
+                    if inject_nonspd {
+                        let plan = faults.expect("injection implies a plan");
+                        // knock one diagonal entry below zero: V is no
+                        // longer positive definite and plain Cholesky fails
+                        let j = plan.target_index(FaultKind::NonSpdGram, it, mode, rank);
+                        let trace: f64 = (0..rank).map(|i| v[(i, i)].abs()).sum();
+                        v[(j, j)] = -(1.0 + trace);
+                        let site = format!("mode {mode} gram");
+                        let outcome = solve_normals_ridge(
+                            &v,
+                            &mut factors[mode],
+                            policy.ridge_base,
+                            policy.ridge_growth,
+                            policy.max_ridge_attempts,
+                        );
+                        let action = match outcome {
+                            RidgeOutcome::Cholesky => RecoveryAction::Regularized {
+                                ridge: 0.0,
+                                attempts: 0,
+                            },
+                            RidgeOutcome::Regularized { ridge, attempts } => {
+                                RecoveryAction::Regularized { ridge, attempts }
+                            }
+                            RidgeOutcome::Failed { .. } => RecoveryAction::Unrecovered,
+                        };
+                        let fatal = action == RecoveryAction::Unrecovered;
+                        plan.record(FaultRecord {
+                            kind: FaultKind::NonSpdGram,
+                            iteration: it,
+                            site: site.clone(),
+                            action,
+                        });
+                        if fatal {
+                            return Err(CpalsError::Unrecovered {
+                                kind: FaultKind::NonSpdGram,
+                                iteration: it,
+                                site,
+                            });
+                        }
+                    } else {
+                        solve_normals(&v, &mut factors[mode]);
+                    }
                     if opts.constraint == crate::options::Constraint::NonNegative {
                         // projected ALS: clamp onto the nonnegative orthant
                         for val in factors[mode].as_mut_slice() {
@@ -221,8 +427,16 @@ pub fn cp_als_with_team(
                             }
                         }
                     }
+                    Ok(())
                 },
-            );
+            )?;
+
+            // NaN guard at the kernel boundary: non-finite factor state
+            // aborts the iteration and rolls back to the entry snapshot
+            if faults.is_some() && !factors[mode].as_slice().iter().all(|x| x.is_finite()) {
+                poisoned = Some((FaultKind::NanPoison, format!("mode {mode} factor")));
+                break;
+            }
 
             span_time(
                 &timers,
@@ -243,26 +457,100 @@ pub fn cp_als_with_team(
                 },
             );
 
+            // the Gram refresh behaves as a collective in the distributed
+            // variant; a dropped one is retried with exponential backoff
+            if let Some(plan) = faults {
+                let site = || format!("mode {mode} ata allreduce");
+                let mut attempts = 0u32;
+                while plan.roll(FaultKind::DroppedCollective, it, mode, attempts) {
+                    attempts += 1;
+                    if attempts > policy.max_retries {
+                        plan.record(FaultRecord {
+                            kind: FaultKind::DroppedCollective,
+                            iteration: it,
+                            site: site(),
+                            action: RecoveryAction::Unrecovered,
+                        });
+                        return Err(CpalsError::Unrecovered {
+                            kind: FaultKind::DroppedCollective,
+                            iteration: it,
+                            site: site(),
+                        });
+                    }
+                    std::thread::sleep(policy.backoff_duration(attempts - 1));
+                }
+                if attempts > 0 {
+                    plan.record(FaultRecord {
+                        kind: FaultKind::DroppedCollective,
+                        iteration: it,
+                        site: site(),
+                        action: RecoveryAction::Retried {
+                            attempts,
+                            backoff_nanos: policy.total_backoff_nanos(attempts),
+                        },
+                    });
+                }
+            }
+
             if let (Some(iter), Some(mut node)) = (iter_node.as_mut(), mode_node) {
                 node.nanos = mode_start.elapsed().as_nanos() as u64;
                 iter.push(node);
             }
         }
 
-        let fit = span_time(
-            &timers,
-            Routine::Fit,
-            iter_node.as_mut().map(|n| (n, "fit")),
-            || {
-                compute_fit(
-                    norm_x_sq,
-                    &lambda,
-                    &ata,
-                    &factors[order - 1],
-                    &mout[order - 1],
-                )
-            },
-        );
+        let fit = if poisoned.is_none() {
+            let fit = span_time(
+                &timers,
+                Routine::Fit,
+                iter_node.as_mut().map(|n| (n, "fit")),
+                || {
+                    compute_fit(
+                        norm_x_sq,
+                        &lambda,
+                        &ata,
+                        &factors[order - 1],
+                        &mout[order - 1],
+                    )
+                },
+            );
+            if !fit.is_finite() {
+                poisoned = Some((FaultKind::NanPoison, "fit".to_string()));
+            }
+            fit
+        } else {
+            0.0
+        };
+
+        if let Some((kind, site)) = poisoned {
+            // roll the iteration back to its entry snapshot and re-execute;
+            // one-shot injection sites guarantee the replay runs clean
+            let plan = faults.expect("poison implies a plan");
+            let (f, l, a) = snapshot.expect("poison implies a snapshot");
+            factors = f;
+            lambda = l;
+            ata = a;
+            rollbacks_used += 1;
+            if rollbacks_used > policy.max_rollbacks {
+                plan.record(FaultRecord {
+                    kind,
+                    iteration: it,
+                    site: site.clone(),
+                    action: RecoveryAction::Unrecovered,
+                });
+                return Err(CpalsError::Unrecovered {
+                    kind,
+                    iteration: it,
+                    site,
+                });
+            }
+            plan.record(FaultRecord {
+                kind,
+                iteration: it,
+                site,
+                action: RecoveryAction::RolledBack { to_iteration: it },
+            });
+            continue; // re-run iteration `it` from the snapshot
+        }
         fits.push(fit);
 
         if let (Some(root), Some(mut node)) = (span_root.as_mut(), iter_node) {
@@ -270,19 +558,29 @@ pub fn cp_als_with_team(
             root.push(node);
         }
 
+        // durable checkpoint after every completed iteration: `iteration`
+        // counts completed iterations, so resume starts at `it + 1`
+        if let Some(dir) = &opts.checkpoint_dir {
+            Checkpoint {
+                iteration: it + 1,
+                lambda: lambda.clone(),
+                fits: fits.clone(),
+                factors: factors.clone(),
+            }
+            .write_to_dir(dir)?;
+        }
+
         if opts.tolerance > 0.0 && it > 0 && (fit - oldfit).abs() < opts.tolerance {
             break;
         }
         oldfit = fit;
+        it += 1;
     }
     timers.add(Routine::CpdTotal, loop_start.elapsed());
 
     let profile = probe.map(|p| {
-        let (before, was_enabled) = alloc_before.expect("probe implies alloc snapshot");
-        let alloc = splatt_probe::alloc::snapshot().since(&before);
-        if !was_enabled {
-            splatt_probe::alloc::disable();
-        }
+        let tracking = alloc_before.as_ref().expect("probe implies alloc snapshot");
+        let alloc = splatt_probe::alloc::snapshot().since(&tracking.before);
         let mut span = span_root.take().expect("probe implies span root");
         span.nanos = loop_start.elapsed().as_nanos() as u64;
         let used_locks =
@@ -304,17 +602,30 @@ pub fn cp_als_with_team(
             locks: p.locks.snapshot(),
             alloc,
             span,
+            faults: faults
+                .map(|plan| {
+                    plan.events()
+                        .iter()
+                        .map(|e| FaultRow {
+                            kind: e.kind.label().to_string(),
+                            iteration: e.iteration,
+                            site: e.site.clone(),
+                            action: e.action.describe(),
+                        })
+                        .collect()
+                })
+                .unwrap_or_default(),
         }
     });
 
-    CpalsOutput {
+    Ok(CpalsOutput {
         model: KruskalModel { lambda, factors },
         fit: fits.last().copied().unwrap_or(0.0),
         iterations,
         fits,
         timers,
         profile,
-    }
+    })
 }
 
 /// SPLATT's `kruskal_calc_fit`: `fit = 1 - sqrt(normX^2 + normZ^2 -
@@ -433,7 +744,7 @@ mod tests {
             Implementation::PortedOptimized,
         ]
         .iter()
-        .map(|&imp| cp_als(&tensor, &base.with_implementation(imp)).fit)
+        .map(|&imp| cp_als(&tensor, &base.clone().with_implementation(imp)).fit)
         .collect();
         // identical arithmetic, different mechanics: fits agree closely
         assert!((fits[0] - fits[1]).abs() < 1e-8, "{fits:?}");

@@ -35,6 +35,7 @@
 //! ```
 
 mod ccd;
+mod checkpoint;
 mod completion;
 mod cpals;
 mod csf;
@@ -48,8 +49,11 @@ pub mod mttkrp;
 pub mod reference;
 
 pub use ccd::{tensor_complete_ccd, CcdOptions};
+pub use checkpoint::{Checkpoint, CheckpointError, CHECKPOINT_HEADER};
 pub use completion::{rmse_observed, tensor_complete, CompletionOptions, CompletionOutput};
-pub use cpals::{cp_als, cp_als_with_team, CpalsOutput};
+pub use cpals::{
+    cp_als, cp_als_with_team, try_cp_als, try_cp_als_with_team, CpalsError, CpalsOutput,
+};
 pub use csf::{Csf, CsfAlloc, CsfSet, KernelKind};
 pub use diagnostics::corcondia;
 pub use kruskal::KruskalModel;

@@ -2,8 +2,10 @@
 
 use crate::csf::CsfAlloc;
 use crate::mttkrp::{MatrixAccess, DEFAULT_PRIV_THRESHOLD};
+use splatt_faults::RecoveryPolicy;
 use splatt_locks::{LockStrategy, DEFAULT_POOL_SIZE};
 use splatt_tensor::SortVariant;
+use std::path::PathBuf;
 
 /// The three code states the paper measures against each other.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,7 +68,10 @@ pub enum Constraint {
 }
 
 /// Full configuration for [`crate::cp_als`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// Not `Copy` (the checkpoint paths own heap data); clone or use
+/// struct-update syntax on a cloned base.
+#[derive(Debug, Clone, PartialEq)]
 pub struct CpalsOptions {
     /// Decomposition rank `R` (the paper uses 35).
     pub rank: usize,
@@ -108,6 +113,17 @@ pub struct CpalsOptions {
     /// lock-pool contention, allocation counters, and the span tree.
     /// Off by default; the disabled path costs one branch per probe site.
     pub profile: bool,
+    /// Write a [`crate::Checkpoint`] to this directory after every
+    /// completed iteration (`ckpt-NNNNN.splatt`). `None` disables
+    /// checkpointing.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Resume from this checkpoint file instead of random factor
+    /// initialization. The resumed run continues **bit for bit** where
+    /// the checkpointed run left off.
+    pub resume_from: Option<PathBuf>,
+    /// Recovery knobs (retry budgets, ridge escalation, rollback cap)
+    /// used when faults — injected or organic — hit the solver.
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for CpalsOptions {
@@ -128,6 +144,9 @@ impl Default for CpalsOptions {
             constraint: Constraint::None,
             tiling: false,
             profile: false,
+            checkpoint_dir: None,
+            resume_from: None,
+            recovery: RecoveryPolicy::default(),
         }
     }
 }

@@ -30,7 +30,7 @@ pub use eigen::{jacobi_eigen, EigenDecomposition};
 pub use matrix::Matrix;
 pub use norms::{normalize_columns, MatNorm};
 pub use ops::{gemm, hadamard, hadamard_assign, mat_ata, syrk_upper};
-pub use solve::{solve_normals, NormalsMethod};
+pub use solve::{solve_normals, solve_normals_ridge, NormalsMethod, RidgeOutcome};
 
 /// Absolute tolerance used by the test suites in this crate when comparing
 /// floating point results of algebraically-equivalent computations.

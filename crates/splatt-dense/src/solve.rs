@@ -58,6 +58,83 @@ pub fn solve_normals(v: &Matrix, m: &mut Matrix) -> NormalsMethod {
     }
 }
 
+/// Outcome of [`solve_normals_ridge`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RidgeOutcome {
+    /// `V` was positive definite: no regularization was needed.
+    Cholesky,
+    /// Cholesky failed on `V` but succeeded on `V + ridge * I` after
+    /// `attempts` escalations; `ridge` is the absolute value applied.
+    Regularized { ridge: f64, attempts: u32 },
+    /// Every escalation up to the attempt budget failed (e.g. `V`
+    /// contains non-finite entries). `m` is left untouched.
+    Failed { last_ridge: f64, attempts: u32 },
+}
+
+/// Solve `m <- m * (V + mu I)^{-1}` with an *escalating* Tikhonov ridge:
+/// graceful numerical degradation for CP-ALS when the Hadamard Gramian is
+/// singular or indefinite (rank-deficient factors, injected perturbation).
+///
+/// The first attempt uses `mu = 0`. On a non-positive pivot, `mu` starts
+/// at `base * scale` — `scale` being the mean Gram diagonal, so the ridge
+/// is relative to the problem's magnitude — and multiplies by `growth`
+/// each failed factorization, up to `max_attempts` escalations. A tiny
+/// ridge biases the least-squares update negligibly while restoring
+/// positive definiteness; ALS self-corrects the bias in later iterations.
+///
+/// # Panics
+/// Panics if `v` is not square or `m.cols() != v.rows()`.
+pub fn solve_normals_ridge(
+    v: &Matrix,
+    m: &mut Matrix,
+    base: f64,
+    growth: f64,
+    max_attempts: u32,
+) -> RidgeOutcome {
+    let r = v.rows();
+    assert_eq!(r, v.cols(), "solve_normals_ridge: V must be square");
+    assert_eq!(
+        m.cols(),
+        r,
+        "solve_normals_ridge: M has {} columns but V is {}x{}",
+        m.cols(),
+        r,
+        r
+    );
+    if let Ok(l) = cholesky_factor(v) {
+        cholesky_solve(&l, m);
+        return RidgeOutcome::Cholesky;
+    }
+    // relative ridge scale: mean diagonal magnitude, guarded for
+    // zero/non-finite diagonals
+    let trace: f64 = (0..r).map(|i| v[(i, i)].abs()).sum();
+    let scale = if trace.is_finite() && trace > 0.0 {
+        trace / r as f64
+    } else {
+        1.0
+    };
+    let mut ridge = base.max(f64::MIN_POSITIVE) * scale;
+    let growth = if growth > 1.0 { growth } else { 10.0 };
+    for attempt in 1..=max_attempts {
+        let mut vr = v.clone();
+        for i in 0..r {
+            vr[(i, i)] = v[(i, i)] + ridge;
+        }
+        if let Ok(l) = cholesky_factor(&vr) {
+            cholesky_solve(&l, m);
+            return RidgeOutcome::Regularized {
+                ridge,
+                attempts: attempt,
+            };
+        }
+        ridge *= growth;
+    }
+    RidgeOutcome::Failed {
+        last_ridge: ridge / growth,
+        attempts: max_attempts,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,6 +191,58 @@ mod tests {
         let mut m = orig.clone();
         solve_normals(&v, &mut m);
         assert!(m.approx_eq(&orig, 1e-12));
+    }
+
+    #[test]
+    fn ridge_spd_input_is_plain_cholesky() {
+        let v = spd(4, 10);
+        let x_true = Matrix::random(5, 4, 11);
+        let mut m = gemm(&x_true, &v);
+        let out = solve_normals_ridge(&v, &mut m, 1e-8, 100.0, 10);
+        assert_eq!(out, RidgeOutcome::Cholesky);
+        assert!(m.approx_eq(&x_true, 1e-8));
+    }
+
+    #[test]
+    fn ridge_recovers_singular_matrix() {
+        // rank-1 (all-ones) matrix: exactly singular, pivot 0 at column 1
+        let v = Matrix::from_fn(4, 4, |_, _| 1.0);
+        let mut m = Matrix::random(6, 4, 13);
+        match solve_normals_ridge(&v, &mut m, 1e-8, 100.0, 12) {
+            RidgeOutcome::Regularized { ridge, attempts } => {
+                assert!(ridge > 0.0);
+                assert!(attempts >= 1);
+            }
+            other => panic!("expected regularized solve, got {other:?}"),
+        }
+        assert!(m.as_slice().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn ridge_escalates_through_indefinite_matrix() {
+        // strongly indefinite: needs a ridge larger than the negative
+        // eigenvalue, i.e. several escalations from the tiny base
+        let mut v = spd(3, 14);
+        v[(0, 0)] = -10.0 * (v[(0, 0)] + v[(1, 1)] + v[(2, 2)]);
+        let mut m = Matrix::random(2, 3, 15);
+        match solve_normals_ridge(&v, &mut m, 1e-8, 100.0, 12) {
+            RidgeOutcome::Regularized { attempts, .. } => assert!(attempts > 1),
+            other => panic!("expected escalated ridge, got {other:?}"),
+        }
+        assert!(m.as_slice().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn ridge_gives_up_on_nan_matrix_without_touching_m() {
+        let mut v = spd(3, 16);
+        v[(1, 1)] = f64::NAN;
+        let orig = Matrix::random(2, 3, 17);
+        let mut m = orig.clone();
+        match solve_normals_ridge(&v, &mut m, 1e-8, 100.0, 5) {
+            RidgeOutcome::Failed { attempts, .. } => assert_eq!(attempts, 5),
+            other => panic!("expected failure, got {other:?}"),
+        }
+        assert!(m.approx_eq(&orig, 0.0), "rhs modified on failed solve");
     }
 
     #[test]

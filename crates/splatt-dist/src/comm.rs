@@ -20,6 +20,9 @@ pub struct CommStats {
     allreduce_bytes: AtomicU64,
     allgather_bytes: AtomicU64,
     collectives: AtomicU64,
+    retransmit_bytes: AtomicU64,
+    retransmits: AtomicU64,
+    retries: AtomicU64,
 }
 
 impl CommStats {
@@ -30,14 +33,19 @@ impl CommStats {
 
     /// Charge a ring allreduce of `elems` f64 values over `group_size`
     /// ranks (total bytes across all ranks).
+    ///
+    /// The total is computed exactly as `2 n (g - 1)` bytes — summing the
+    /// reduce-scatter and allgather phases over the whole ring — rather
+    /// than rounding a per-rank share `2 n (g-1) / g` down to whole bytes
+    /// and multiplying back up, which undercounts whenever `g` does not
+    /// divide `2 n (g-1)`.
     pub fn charge_allreduce(&self, group_size: usize, elems: usize) {
         if group_size <= 1 {
             return;
         }
         let n = (elems * 8) as u64;
-        let per_rank = 2 * n * (group_size as u64 - 1) / group_size as u64;
         self.allreduce_bytes
-            .fetch_add(per_rank * group_size as u64, Ordering::Relaxed);
+            .fetch_add(2 * n * (group_size as u64 - 1), Ordering::Relaxed);
         self.collectives.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -54,6 +62,18 @@ impl CommStats {
         self.collectives.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Charge a detected-corruption retransmission of `bytes` (checksum
+    /// failure on a collective payload: the data crosses the wire again).
+    pub fn charge_retransmit(&self, bytes: u64) {
+        self.retransmit_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.retransmits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one retry of a dropped/failed collective.
+    pub fn charge_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Total allreduce bytes.
     pub fn allreduce_bytes(&self) -> u64 {
         self.allreduce_bytes.load(Ordering::Relaxed)
@@ -64,12 +84,29 @@ impl CommStats {
         self.allgather_bytes.load(Ordering::Relaxed)
     }
 
-    /// Total bytes across collective kinds.
-    pub fn total_bytes(&self) -> u64 {
-        self.allreduce_bytes() + self.allgather_bytes()
+    /// Bytes resent after payload-corruption detection.
+    pub fn retransmit_bytes(&self) -> u64 {
+        self.retransmit_bytes.load(Ordering::Relaxed)
     }
 
-    /// Number of collectives issued.
+    /// Number of retransmissions performed.
+    pub fn retransmits(&self) -> u64 {
+        self.retransmits.load(Ordering::Relaxed)
+    }
+
+    /// Number of collective retries after simulated drops.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes across collective kinds, including fault-recovery
+    /// retransmissions.
+    pub fn total_bytes(&self) -> u64 {
+        self.allreduce_bytes() + self.allgather_bytes() + self.retransmit_bytes()
+    }
+
+    /// Number of collectives issued (retried collectives charge once per
+    /// attempt — each attempt moves bytes on a real network).
     pub fn collectives(&self) -> u64 {
         self.collectives.load(Ordering::Relaxed)
     }
@@ -108,9 +145,38 @@ mod tests {
     #[test]
     fn charges_accumulate() {
         let c = CommStats::new();
-        c.charge_allreduce(2, 10); // 2 * (2*80*1/2) = 160
+        c.charge_allreduce(2, 10); // 2 * 80 * 1 = 160
         c.charge_allreduce(2, 10);
         assert_eq!(c.allreduce_bytes(), 320);
         assert_eq!(c.collectives(), 2);
+    }
+
+    #[test]
+    fn allreduce_cost_is_exact_for_non_divisible_groups() {
+        // 3 ranks, 10 elems = 80 bytes: exact total 2*80*2 = 320 bytes.
+        // The old per-rank formula floored 320/3 to 106 and reported
+        // 106*3 = 318 — a 2-byte undercount per collective.
+        let c = CommStats::new();
+        c.charge_allreduce(3, 10);
+        assert_eq!(c.allreduce_bytes(), 320);
+
+        // 7 ranks, 1 elem = 8 bytes: exact 2*8*6 = 96 (floor gave 91).
+        let c = CommStats::new();
+        c.charge_allreduce(7, 1);
+        assert_eq!(c.allreduce_bytes(), 96);
+    }
+
+    #[test]
+    fn retransmits_and_retries_are_tracked() {
+        let c = CommStats::new();
+        assert_eq!(c.retransmit_bytes(), 0);
+        c.charge_retransmit(640);
+        c.charge_retransmit(160);
+        c.charge_retry();
+        assert_eq!(c.retransmit_bytes(), 800);
+        assert_eq!(c.retransmits(), 2);
+        assert_eq!(c.retries(), 1);
+        // recovery traffic is real traffic
+        assert_eq!(c.total_bytes(), 800);
     }
 }

@@ -21,8 +21,10 @@ use crate::dist::TensorDistribution;
 use splatt_core::mttkrp::{mttkrp, MttkrpConfig, MttkrpWorkspace};
 use splatt_core::{CsfAlloc, CsfSet, KruskalModel};
 use splatt_dense::{hadamard_assign, mat_ata, normalize_columns, solve_normals, MatNorm, Matrix};
+use splatt_faults::{FaultKind, FaultPlan, FaultRecord, RecoveryAction, RecoveryPolicy};
 use splatt_par::{TaskTeam, TeamConfig};
 use splatt_tensor::SortVariant;
+use std::time::Duration;
 
 /// Configuration for [`dist_cp_als`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -35,6 +37,9 @@ pub struct DistCpalsOptions {
     pub tolerance: f64,
     /// Seed for factor initialization.
     pub seed: u64,
+    /// Recovery bounds for injected interconnect faults (retry budget,
+    /// backoff schedule). Ignored when no fault plan is supplied.
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for DistCpalsOptions {
@@ -44,9 +49,36 @@ impl Default for DistCpalsOptions {
             max_iters: 20,
             tolerance: 0.0,
             seed: 0xD157,
+            recovery: RecoveryPolicy::default(),
         }
     }
 }
+
+/// A distributed solve that could not complete: an injected interconnect
+/// fault exhausted its retry budget.
+#[derive(Debug)]
+pub struct DistCpalsError {
+    /// The fault kind that could not be recovered.
+    pub kind: FaultKind,
+    /// ALS iteration the fault hit.
+    pub iteration: usize,
+    /// Collective site (e.g. `mode 1 layer 0 allreduce`).
+    pub site: String,
+}
+
+impl std::fmt::Display for DistCpalsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unrecovered {} fault at iteration {} ({})",
+            self.kind.label(),
+            self.iteration,
+            self.site
+        )
+    }
+}
+
+impl std::error::Error for DistCpalsError {}
 
 /// Result of a distributed solve.
 #[derive(Debug)]
@@ -79,6 +111,100 @@ pub struct DistCpalsOutput {
 /// # Panics
 /// Panics if `rank` or `max_iters` is zero.
 pub fn dist_cp_als(dist: &TensorDistribution, opts: &DistCpalsOptions) -> DistCpalsOutput {
+    try_dist_cp_als(dist, opts, None).unwrap_or_else(|e| panic!("dist_cp_als: {e}"))
+}
+
+/// Run the fault protocol for one collective: a corrupted payload is
+/// detected (checksum) and retransmitted; a dropped collective is retried
+/// with exponential backoff, charging the wire again for each attempt.
+///
+/// Injected interconnect faults never change the arithmetic — recovery in
+/// the simulation means extra ledger traffic and an event record — so a
+/// run that recovers from every fault produces the exact bits of the
+/// fault-free run (the invariant `tests/fault_tolerance.rs` pins down).
+struct FaultCtx<'a> {
+    plan: &'a FaultPlan,
+    policy: RecoveryPolicy,
+    comm: &'a CommStats,
+}
+
+impl FaultCtx<'_> {
+    fn collective(
+        &self,
+        it: usize,
+        unit: usize,
+        site: &str,
+        payload_bytes: u64,
+        recharge: &dyn Fn(),
+    ) -> Result<(), DistCpalsError> {
+        if self.plan.roll(FaultKind::CorruptPayload, it, unit, 0) {
+            self.comm.charge_retransmit(payload_bytes);
+            self.plan.record(FaultRecord {
+                kind: FaultKind::CorruptPayload,
+                iteration: it,
+                site: site.to_string(),
+                action: RecoveryAction::Retransmitted {
+                    bytes: payload_bytes,
+                },
+            });
+        }
+        let mut attempts = 0u32;
+        while self
+            .plan
+            .roll(FaultKind::DroppedCollective, it, unit, attempts)
+        {
+            attempts += 1;
+            if attempts > self.policy.max_retries {
+                self.plan.record(FaultRecord {
+                    kind: FaultKind::DroppedCollective,
+                    iteration: it,
+                    site: site.to_string(),
+                    action: RecoveryAction::Unrecovered,
+                });
+                return Err(DistCpalsError {
+                    kind: FaultKind::DroppedCollective,
+                    iteration: it,
+                    site: site.to_string(),
+                });
+            }
+            std::thread::sleep(self.policy.backoff_duration(attempts - 1));
+            self.comm.charge_retry();
+            recharge();
+        }
+        if attempts > 0 {
+            self.plan.record(FaultRecord {
+                kind: FaultKind::DroppedCollective,
+                iteration: it,
+                site: site.to_string(),
+                action: RecoveryAction::Retried {
+                    attempts,
+                    backoff_nanos: self.policy.total_backoff_nanos(attempts),
+                },
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Fallible [`dist_cp_als`] with optional interconnect fault injection.
+///
+/// With a fault plan, collectives can be hit by payload corruption
+/// (recovered by retransmission), drops (recovered by bounded
+/// retry-with-backoff), and stragglers (absorbed delay). Recovered faults
+/// only grow the communication ledger and the plan's event log; the
+/// numerical result is bit-identical to the fault-free run.
+///
+/// # Errors
+/// [`DistCpalsError`] when a dropped collective exhausts
+/// `opts.recovery.max_retries`.
+///
+/// # Panics
+/// Panics if `rank` or `max_iters` is zero.
+pub fn try_dist_cp_als(
+    dist: &TensorDistribution,
+    opts: &DistCpalsOptions,
+    faults: Option<&FaultPlan>,
+) -> Result<DistCpalsOutput, DistCpalsError> {
     assert!(opts.rank > 0, "rank must be positive");
     assert!(opts.max_iters > 0, "max_iters must be positive");
 
@@ -118,6 +244,15 @@ pub fn dist_cp_als(dist: &TensorDistribution, opts: &DistCpalsOptions) -> DistCp
     let mut oldfit = 0.0;
     let mut iterations = 0;
     let mut last_m = Matrix::zeros(dims[order - 1], rank);
+    let policy = opts.recovery;
+    let fctx = faults.map(|plan| FaultCtx {
+        plan,
+        policy,
+        comm: &comm,
+    });
+    // distinct fault-site units: per-layer collectives first, then the
+    // global reductions after them
+    let global_unit_base = 2 * order * nprocs;
 
     for it in 0..opts.max_iters {
         iterations = it + 1;
@@ -131,6 +266,20 @@ pub fn dist_cp_als(dist: &TensorDistribution, opts: &DistCpalsOptions) -> DistCp
             for r in 0..nprocs {
                 if dist.block(r).nnz() == 0 {
                     continue;
+                }
+                // straggler fault: this rank enters the superstep late and
+                // the bulk-synchronous barrier absorbs the delay
+                if let Some(plan) = faults {
+                    if plan.roll(FaultKind::Straggler, it, mode * nprocs + r, 0) {
+                        let nanos = plan.straggler_delay_nanos(it, mode * nprocs + r);
+                        std::thread::sleep(Duration::from_nanos(nanos));
+                        plan.record(FaultRecord {
+                            kind: FaultKind::Straggler,
+                            iteration: it,
+                            site: format!("mode {mode} rank {r} mttkrp"),
+                            action: RecoveryAction::AbsorbedDelay { nanos },
+                        });
+                    }
                 }
                 let mut partial = Matrix::zeros(dim, rank);
                 mttkrp(
@@ -147,7 +296,19 @@ pub fn dist_cp_als(dist: &TensorDistribution, opts: &DistCpalsOptions) -> DistCp
             // ---- superstep 2: allreduce partials within each layer ----
             for layer in 0..extent {
                 let range = dist.mode_range(mode, layer);
-                comm.charge_allreduce(group_size, (range.end - range.start) * rank);
+                let elems = (range.end - range.start) * rank;
+                comm.charge_allreduce(group_size, elems);
+                if let Some(ctx) = &fctx {
+                    if group_size > 1 {
+                        ctx.collective(
+                            it,
+                            2 * mode * nprocs + layer,
+                            &format!("mode {mode} layer {layer} allreduce"),
+                            (elems * 8) as u64,
+                            &|| comm.charge_allreduce(group_size, elems),
+                        )?;
+                    }
+                }
             }
 
             // ---- superstep 3: solve owned rows (globally equivalent) ----
@@ -165,7 +326,19 @@ pub fn dist_cp_als(dist: &TensorDistribution, opts: &DistCpalsOptions) -> DistCp
             // ---- superstep 4: allgather updated rows within each layer ----
             for layer in 0..extent {
                 let range = dist.mode_range(mode, layer);
-                comm.charge_allgather(group_size, (range.end - range.start) * rank);
+                let elems = (range.end - range.start) * rank;
+                comm.charge_allgather(group_size, elems);
+                if let Some(ctx) = &fctx {
+                    if group_size > 1 {
+                        ctx.collective(
+                            it,
+                            (2 * mode + 1) * nprocs + layer,
+                            &format!("mode {mode} layer {layer} allgather"),
+                            (elems * 8) as u64,
+                            &|| comm.charge_allgather(group_size, elems),
+                        )?;
+                    }
+                }
             }
 
             // ---- superstep 5: global reductions ----
@@ -176,6 +349,25 @@ pub fn dist_cp_als(dist: &TensorDistribution, opts: &DistCpalsOptions) -> DistCp
             ata[mode] = mat_ata(&factors[mode]);
             comm.charge_allreduce(nprocs, rank * rank); // Gramian
 
+            if let Some(ctx) = &fctx {
+                if nprocs > 1 {
+                    ctx.collective(
+                        it,
+                        global_unit_base + 2 * mode,
+                        &format!("mode {mode} norms allreduce"),
+                        (rank * 8) as u64,
+                        &|| comm.charge_allreduce(nprocs, rank),
+                    )?;
+                    ctx.collective(
+                        it,
+                        global_unit_base + 2 * mode + 1,
+                        &format!("mode {mode} gram allreduce"),
+                        (rank * rank * 8) as u64,
+                        &|| comm.charge_allreduce(nprocs, rank * rank),
+                    )?;
+                }
+            }
+
             if mode == order - 1 {
                 last_m.as_mut_slice().copy_from_slice(m_global.as_slice());
             }
@@ -183,6 +375,17 @@ pub fn dist_cp_als(dist: &TensorDistribution, opts: &DistCpalsOptions) -> DistCp
 
         let fit = compute_fit(norm_x_sq, &lambda, &ata, &factors[order - 1], &last_m);
         comm.charge_allreduce(nprocs, 2); // inner product + local norms
+        if let Some(ctx) = &fctx {
+            if nprocs > 1 {
+                ctx.collective(
+                    it,
+                    global_unit_base + 2 * order,
+                    "fit allreduce",
+                    16,
+                    &|| comm.charge_allreduce(nprocs, 2),
+                )?;
+            }
+        }
         fits.push(fit);
         if opts.tolerance > 0.0 && it > 0 && (fit - oldfit).abs() < opts.tolerance {
             break;
@@ -190,13 +393,13 @@ pub fn dist_cp_als(dist: &TensorDistribution, opts: &DistCpalsOptions) -> DistCp
         oldfit = fit;
     }
 
-    DistCpalsOutput {
+    Ok(DistCpalsOutput {
         model: KruskalModel { lambda, factors },
         fit: fits.last().copied().unwrap_or(0.0),
         fits,
         iterations,
         comm,
-    }
+    })
 }
 
 /// Same fit formula as the shared-memory driver.
@@ -265,6 +468,7 @@ mod tests {
                     max_iters: 12,
                     tolerance: 0.0,
                     seed: 0xD157,
+                    ..Default::default()
                 },
             );
             assert!(
@@ -349,9 +553,76 @@ mod tests {
                 max_iters: 40,
                 tolerance: 0.0,
                 seed: 1,
+                ..Default::default()
             },
         );
         assert!(out.fit > 0.97, "fit {}", out.fit);
+    }
+
+    #[test]
+    fn recovered_interconnect_faults_do_not_change_the_bits() {
+        use splatt_faults::{FaultPlan, FaultRates};
+        let t = planted();
+        let dist = TensorDistribution::new(&t, ProcessGrid::new(vec![2, 2, 1]));
+        let opts = DistCpalsOptions {
+            rank: 2,
+            max_iters: 8,
+            ..Default::default()
+        };
+        let clean = dist_cp_als(&dist, &opts);
+        let plan = FaultPlan::new(
+            0xFA,
+            FaultRates {
+                straggler: 0.1,
+                dropped: 0.1,
+                corrupt: 0.1,
+                nan: 0.0,
+                nonspd: 0.0,
+            },
+        );
+        let faulty = try_dist_cp_als(&dist, &opts, Some(&plan)).expect("recoverable plan");
+        // recovery in the simulated interconnect is pure ledger + events:
+        // the arithmetic stream is untouched
+        assert_eq!(clean.fit.to_bits(), faulty.fit.to_bits());
+        for (a, b) in clean.fits.iter().zip(&faulty.fits) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert!(plan.event_count() > 0, "no faults fired at these rates");
+        assert!(!plan.any_unrecovered());
+        // ... but the recovery traffic is visible in the ledger
+        assert!(faulty.comm.total_bytes() > clean.comm.total_bytes());
+        assert!(faulty.comm.retransmits() + faulty.comm.retries() > 0);
+    }
+
+    #[test]
+    fn exhausted_retries_surface_as_typed_error() {
+        use splatt_faults::{FaultPlan, FaultRates};
+        let t = planted();
+        let dist = TensorDistribution::new(&t, ProcessGrid::new(vec![2, 1, 1]));
+        // every attempt of every collective drops: retries must run out
+        let plan = FaultPlan::new(
+            7,
+            FaultRates {
+                straggler: 0.0,
+                dropped: 1.0,
+                corrupt: 0.0,
+                nan: 0.0,
+                nonspd: 0.0,
+            },
+        );
+        let err = try_dist_cp_als(
+            &dist,
+            &DistCpalsOptions {
+                rank: 2,
+                max_iters: 2,
+                ..Default::default()
+            },
+            Some(&plan),
+        )
+        .expect_err("all-drop plan must exhaust retries");
+        assert_eq!(err.kind, splatt_faults::FaultKind::DroppedCollective);
+        assert!(plan.any_unrecovered());
+        assert!(err.to_string().contains("unrecovered"));
     }
 
     #[test]

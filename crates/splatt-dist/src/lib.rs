@@ -26,6 +26,6 @@ mod dist;
 mod grid;
 
 pub use comm::CommStats;
-pub use cpd::{dist_cp_als, DistCpalsOptions, DistCpalsOutput};
+pub use cpd::{dist_cp_als, try_dist_cp_als, DistCpalsError, DistCpalsOptions, DistCpalsOutput};
 pub use dist::TensorDistribution;
 pub use grid::ProcessGrid;

@@ -1,0 +1,31 @@
+//! Deterministic fault injection and recovery bookkeeping for splatt-rs.
+//!
+//! The paper's CP-ALS stack assumes every sort, MTTKRP, and solve
+//! succeeds and every simulated rank answers. Production deployments
+//! (and the distributed-runtime follow-on work the ROADMAP targets)
+//! cannot: ranks straggle, collectives drop or corrupt payloads,
+//! accumulators take bit flips, and degenerate inputs make the normal
+//! equations indefinite. This crate supplies the two halves such a
+//! system needs:
+//!
+//! * **Causing failures** — [`FaultPlan`]: a seed-driven, *stateless*
+//!   fault schedule. Every decision is a pure hash of
+//!   `(seed, kind, iteration, unit, attempt)`, so plans replay
+//!   identically across runs and across checkpoint/restart boundaries.
+//!   Sites are one-shot (transient-fault model), which is what makes
+//!   retry/rollback recovery converge.
+//! * **Bounding recovery** — [`RecoveryPolicy`]: retry counts,
+//!   exponential backoff, escalating Tikhonov ridges, and rollback
+//!   budgets; [`RecoveryAction`] / [`FaultRecord`] are the typed audit
+//!   trail that flows into `splatt-probe`'s JSON report.
+//!
+//! The solver crates (`splatt-core`, `splatt-dist`, `splatt-dense`)
+//! consume these types; this crate depends only on `splatt-rt`-level
+//! facilities and the standard library, so it sits at the bottom of the
+//! workspace graph next to the RNG it mirrors.
+
+mod plan;
+mod recovery;
+
+pub use plan::{FaultKind, FaultPlan, FaultPlanParseError, FaultRates, FaultRecord};
+pub use recovery::{RecoveryAction, RecoveryPolicy};

@@ -1,0 +1,482 @@
+//! The deterministic fault plan.
+//!
+//! A [`FaultPlan`] decides, for every *site* the solver stack exposes,
+//! whether a fault fires there. Decisions are **stateless**: each is a
+//! pure hash of `(seed, kind, iteration, unit, attempt)` compared against
+//! the kind's configured rate. That makes plans reproducible across runs
+//! and — crucially — across checkpoint/restart boundaries: a resumed run
+//! re-derives exactly the faults the uninterrupted run would have seen
+//! from the resume iteration onward, with no RNG stream to rewind.
+//!
+//! Faults are *one-shot* per site (a fired site is remembered and never
+//! refires), which models transient failures: a retried collective or a
+//! rolled-back iteration re-executes cleanly, the way a real retransmit
+//! or recompute would succeed after a transient network or bit-flip
+//! event.
+
+use crate::recovery::RecoveryAction;
+use splatt_rt::rng::{RngExt, SeedableRng, StdRng};
+use std::collections::HashSet;
+use std::sync::Mutex;
+
+/// The fault families the plan can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A slow rank/task: an injected delay before a kernel or collective.
+    Straggler,
+    /// A collective "loses" its payload and must be retried.
+    DroppedCollective,
+    /// A collective delivers corrupted bytes (caught by checksum) and
+    /// must be retransmitted.
+    CorruptPayload,
+    /// A kernel output value is poisoned to NaN (models a bit flip in
+    /// the significand/exponent of an accumulator).
+    NanPoison,
+    /// The Gram-matrix Hadamard product is perturbed to be indefinite,
+    /// breaking the Cholesky fast path.
+    NonSpdGram,
+}
+
+impl FaultKind {
+    /// All kinds, in a stable order.
+    pub const ALL: [FaultKind; 5] = [
+        FaultKind::Straggler,
+        FaultKind::DroppedCollective,
+        FaultKind::CorruptPayload,
+        FaultKind::NanPoison,
+        FaultKind::NonSpdGram,
+    ];
+
+    /// Stable label used in reports, specs, and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::Straggler => "straggler",
+            FaultKind::DroppedCollective => "dropped-collective",
+            FaultKind::CorruptPayload => "corrupt-payload",
+            FaultKind::NanPoison => "nan-poison",
+            FaultKind::NonSpdGram => "non-spd-gram",
+        }
+    }
+
+    fn tag(self) -> u64 {
+        match self {
+            FaultKind::Straggler => 0x51,
+            FaultKind::DroppedCollective => 0x52,
+            FaultKind::CorruptPayload => 0x53,
+            FaultKind::NanPoison => 0x54,
+            FaultKind::NonSpdGram => 0x55,
+        }
+    }
+}
+
+/// Per-kind injection probabilities, each in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultRates {
+    pub straggler: f64,
+    pub dropped: f64,
+    pub corrupt: f64,
+    pub nan: f64,
+    pub nonspd: f64,
+}
+
+impl FaultRates {
+    fn rate(&self, kind: FaultKind) -> f64 {
+        match kind {
+            FaultKind::Straggler => self.straggler,
+            FaultKind::DroppedCollective => self.dropped,
+            FaultKind::CorruptPayload => self.corrupt,
+            FaultKind::NanPoison => self.nan,
+            FaultKind::NonSpdGram => self.nonspd,
+        }
+    }
+}
+
+/// One injected fault and how (or whether) the stack recovered from it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultRecord {
+    pub kind: FaultKind,
+    /// ALS iteration the fault fired in.
+    pub iteration: usize,
+    /// Human-readable site, e.g. `"mode 1 / mttkrp"` or
+    /// `"mode 0 / layer allreduce"`.
+    pub site: String,
+    pub action: RecoveryAction,
+}
+
+/// A seeded, deterministic fault-injection plan.
+///
+/// Thread-safe: decisions are pure functions of the seed, and the
+/// one-shot set and event log sit behind mutexes.
+#[derive(Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    rates: FaultRates,
+    /// Faults only fire in iterations `< horizon` (`usize::MAX` = always).
+    horizon: usize,
+    fired: Mutex<HashSet<(u64, u64, u64, u64)>>,
+    events: Mutex<Vec<FaultRecord>>,
+}
+
+/// Error from [`FaultPlan::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlanParseError(pub String);
+
+impl std::fmt::Display for FaultPlanParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid fault plan: {}", self.0)
+    }
+}
+
+impl std::error::Error for FaultPlanParseError {}
+
+/// SplitMix64-style finalizer over a combined word stream.
+fn mix(mut h: u64) -> u64 {
+    h = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^ (h >> 31)
+}
+
+fn site_hash(seed: u64, kind: FaultKind, iteration: u64, unit: u64, attempt: u64) -> u64 {
+    let mut h = mix(seed ^ kind.tag().wrapping_mul(0xA24B_AED4_963E_E407));
+    h = mix(h ^ iteration.wrapping_mul(0x9FB2_1C65_1E98_DF25));
+    h = mix(h ^ unit.wrapping_mul(0xD6E8_FEB8_6659_FD93));
+    mix(h ^ attempt.wrapping_mul(0xCA5A_8268_85B3_F57B))
+}
+
+/// Uniform f64 in `[0, 1)` from one xoshiro256** draw seeded by the site
+/// hash — the same generator family as the rest of the workspace.
+fn unit_f64(h: u64) -> f64 {
+    StdRng::seed_from_u64(h).random()
+}
+
+impl FaultPlan {
+    /// A plan firing each kind independently at its configured rate.
+    pub fn new(seed: u64, rates: FaultRates) -> Self {
+        FaultPlan {
+            seed,
+            rates,
+            horizon: usize::MAX,
+            fired: Mutex::new(HashSet::new()),
+            events: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A plan that injects nothing (useful as a control arm).
+    pub fn quiet(seed: u64) -> Self {
+        Self::new(seed, FaultRates::default())
+    }
+
+    /// Restrict injection to iterations `< horizon`. Letting the tail of
+    /// a run execute fault-free is how the recovery tests separate
+    /// "transient degradation" from "converged result".
+    pub fn with_horizon(mut self, horizon: usize) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// The seed this plan derives every decision from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Configured rates.
+    pub fn rates(&self) -> FaultRates {
+        self.rates
+    }
+
+    /// Parse a plan from a `key=value` comma list, e.g.
+    /// `seed=42,straggler=0.5,drop=0.25,corrupt=0.25,nan=0.2,nonspd=0.2,horizon=5`.
+    /// Unknown keys are rejected; all keys are optional (`seed` defaults
+    /// to 0, rates to 0, `horizon` to unlimited).
+    ///
+    /// # Errors
+    /// [`FaultPlanParseError`] on unknown keys, malformed numbers, or
+    /// rates outside `[0, 1]`.
+    pub fn parse(spec: &str) -> Result<Self, FaultPlanParseError> {
+        let mut seed = 0u64;
+        let mut rates = FaultRates::default();
+        let mut horizon = usize::MAX;
+        for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| FaultPlanParseError(format!("expected key=value, got '{part}'")))?;
+            let key = key.trim();
+            let value = value.trim();
+            let parse_rate = || -> Result<f64, FaultPlanParseError> {
+                let r: f64 = value
+                    .parse()
+                    .map_err(|_| FaultPlanParseError(format!("bad number '{value}' for {key}")))?;
+                if !(0.0..=1.0).contains(&r) {
+                    return Err(FaultPlanParseError(format!(
+                        "rate {key}={r} outside [0, 1]"
+                    )));
+                }
+                Ok(r)
+            };
+            match key {
+                "seed" => {
+                    seed = value.parse().map_err(|_| {
+                        FaultPlanParseError(format!("bad integer '{value}' for seed"))
+                    })?;
+                }
+                "horizon" => {
+                    horizon = value.parse().map_err(|_| {
+                        FaultPlanParseError(format!("bad integer '{value}' for horizon"))
+                    })?;
+                }
+                "straggler" => rates.straggler = parse_rate()?,
+                "drop" => rates.dropped = parse_rate()?,
+                "corrupt" => rates.corrupt = parse_rate()?,
+                "nan" => rates.nan = parse_rate()?,
+                "nonspd" => rates.nonspd = parse_rate()?,
+                other => {
+                    return Err(FaultPlanParseError(format!(
+                    "unknown key '{other}' (seed, horizon, straggler, drop, corrupt, nan, nonspd)"
+                )))
+                }
+            }
+        }
+        Ok(FaultPlan::new(seed, rates).with_horizon(horizon))
+    }
+
+    /// Decide whether `kind` fires at `(iteration, unit, attempt)`.
+    /// Deterministic in the plan's seed; one-shot per site — the first
+    /// `true` for a site is also its last.
+    pub fn roll(&self, kind: FaultKind, iteration: usize, unit: usize, attempt: u32) -> bool {
+        if iteration >= self.horizon {
+            return false;
+        }
+        let rate = self.rates.rate(kind);
+        if rate <= 0.0 {
+            return false;
+        }
+        let h = site_hash(
+            self.seed,
+            kind,
+            iteration as u64,
+            unit as u64,
+            attempt as u64,
+        );
+        if unit_f64(h) >= rate {
+            return false;
+        }
+        let key = (kind.tag(), iteration as u64, unit as u64, attempt as u64);
+        self.fired.lock().expect("fault plan poisoned").insert(key)
+    }
+
+    /// A deterministic per-site straggler delay in nanoseconds
+    /// (100 µs – 1 ms), derived from the same hash stream.
+    pub fn straggler_delay_nanos(&self, iteration: usize, unit: usize) -> u64 {
+        let h = site_hash(
+            self.seed ^ 0xDE1A_F00D,
+            FaultKind::Straggler,
+            iteration as u64,
+            unit as u64,
+            0,
+        );
+        100_000 + h % 900_000
+    }
+
+    /// A deterministic index used to pick which payload element gets
+    /// poisoned/corrupted at a site.
+    pub fn target_index(
+        &self,
+        kind: FaultKind,
+        iteration: usize,
+        unit: usize,
+        len: usize,
+    ) -> usize {
+        if len == 0 {
+            return 0;
+        }
+        (site_hash(
+            self.seed ^ 0x1D10_7BAD,
+            kind,
+            iteration as u64,
+            unit as u64,
+            1,
+        ) % len as u64) as usize
+    }
+
+    /// Append a fault/recovery record to the plan's event log.
+    pub fn record(&self, record: FaultRecord) {
+        self.events
+            .lock()
+            .expect("fault plan poisoned")
+            .push(record);
+    }
+
+    /// Snapshot of every recorded event, in injection order.
+    pub fn events(&self) -> Vec<FaultRecord> {
+        self.events.lock().expect("fault plan poisoned").clone()
+    }
+
+    /// Number of recorded events.
+    pub fn event_count(&self) -> usize {
+        self.events.lock().expect("fault plan poisoned").len()
+    }
+
+    /// True if any recorded event went unrecovered.
+    pub fn any_unrecovered(&self) -> bool {
+        self.events
+            .lock()
+            .expect("fault plan poisoned")
+            .iter()
+            .any(|e| matches!(e.action, RecoveryAction::Unrecovered))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy() -> FaultPlan {
+        FaultPlan::new(
+            7,
+            FaultRates {
+                straggler: 0.5,
+                dropped: 0.5,
+                corrupt: 0.5,
+                nan: 0.5,
+                nonspd: 0.5,
+            },
+        )
+    }
+
+    #[test]
+    fn decisions_are_deterministic_across_plans() {
+        let a = noisy();
+        let b = noisy();
+        for it in 0..20 {
+            for unit in 0..4 {
+                for kind in FaultKind::ALL {
+                    assert_eq!(a.roll(kind, it, unit, 0), b.roll(kind, it, unit, 0));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fired_sites_do_not_refire() {
+        let p = FaultPlan::new(
+            1,
+            FaultRates {
+                nan: 1.0,
+                ..Default::default()
+            },
+        );
+        assert!(p.roll(FaultKind::NanPoison, 3, 1, 0));
+        assert!(!p.roll(FaultKind::NanPoison, 3, 1, 0), "site refired");
+        assert!(p.roll(FaultKind::NanPoison, 3, 2, 0), "other site blocked");
+    }
+
+    #[test]
+    fn horizon_suppresses_late_faults() {
+        let p = FaultPlan::new(
+            1,
+            FaultRates {
+                nan: 1.0,
+                ..Default::default()
+            },
+        )
+        .with_horizon(5);
+        assert!(p.roll(FaultKind::NanPoison, 4, 0, 0));
+        assert!(!p.roll(FaultKind::NanPoison, 5, 0, 0));
+        assert!(!p.roll(FaultKind::NanPoison, 100, 0, 0));
+    }
+
+    #[test]
+    fn zero_rates_never_fire() {
+        let p = FaultPlan::quiet(9);
+        for it in 0..50 {
+            for kind in FaultKind::ALL {
+                assert!(!p.roll(kind, it, 0, 0));
+            }
+        }
+    }
+
+    #[test]
+    fn rates_are_roughly_honored() {
+        let p = FaultPlan::new(
+            11,
+            FaultRates {
+                straggler: 0.25,
+                ..Default::default()
+            },
+        );
+        let fired = (0..4000)
+            .filter(|&i| p.roll(FaultKind::Straggler, i, 0, 0))
+            .count();
+        let frac = fired as f64 / 4000.0;
+        assert!((frac - 0.25).abs() < 0.05, "observed rate {frac}");
+    }
+
+    #[test]
+    fn parse_full_spec() {
+        let p = FaultPlan::parse(
+            "seed=42, straggler=0.5,drop=0.25,corrupt=0.1,nan=0.2,nonspd=0.3,horizon=5",
+        )
+        .unwrap();
+        assert_eq!(p.seed(), 42);
+        assert_eq!(p.rates().straggler, 0.5);
+        assert_eq!(p.rates().dropped, 0.25);
+        assert_eq!(p.rates().corrupt, 0.1);
+        assert_eq!(p.rates().nan, 0.2);
+        assert_eq!(p.rates().nonspd, 0.3);
+        assert!(!p.roll(FaultKind::NanPoison, 7, 0, 0), "horizon ignored");
+    }
+
+    #[test]
+    fn parse_rejects_bad_specs() {
+        assert!(FaultPlan::parse("bogus=1").is_err());
+        assert!(FaultPlan::parse("straggler=1.5").is_err());
+        assert!(FaultPlan::parse("straggler=-0.1").is_err());
+        assert!(FaultPlan::parse("seed=notanumber").is_err());
+        assert!(FaultPlan::parse("straggler").is_err());
+    }
+
+    #[test]
+    fn parse_empty_spec_is_quiet() {
+        let p = FaultPlan::parse("").unwrap();
+        assert_eq!(p.rates(), FaultRates::default());
+    }
+
+    #[test]
+    fn event_log_round_trips() {
+        let p = FaultPlan::quiet(0);
+        p.record(FaultRecord {
+            kind: FaultKind::Straggler,
+            iteration: 2,
+            site: "mode 0".into(),
+            action: RecoveryAction::AbsorbedDelay { nanos: 123 },
+        });
+        let events = p.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, FaultKind::Straggler);
+        assert!(!p.any_unrecovered());
+        p.record(FaultRecord {
+            kind: FaultKind::DroppedCollective,
+            iteration: 3,
+            site: "norms".into(),
+            action: RecoveryAction::Unrecovered,
+        });
+        assert!(p.any_unrecovered());
+        assert_eq!(p.event_count(), 2);
+    }
+
+    #[test]
+    fn delays_and_targets_are_deterministic_and_bounded() {
+        let a = noisy();
+        let b = noisy();
+        for it in 0..10 {
+            let d = a.straggler_delay_nanos(it, 1);
+            assert_eq!(d, b.straggler_delay_nanos(it, 1));
+            assert!((100_000..1_000_000).contains(&d), "delay {d}");
+            let t = a.target_index(FaultKind::NanPoison, it, 0, 37);
+            assert_eq!(t, b.target_index(FaultKind::NanPoison, it, 0, 37));
+            assert!(t < 37);
+        }
+        assert_eq!(a.target_index(FaultKind::NanPoison, 0, 0, 0), 0);
+    }
+}

@@ -11,14 +11,32 @@ use crate::tasks::ThreadLoad;
 use std::fmt::Write as _;
 
 /// Version tag embedded in every JSON profile. Bump only with a schema
-/// change; tests pin the current value.
-pub const PROFILE_SCHEMA: &str = "splatt-profile-v1";
+/// change; tests pin the current value. v2 added the `faults` array
+/// (injected-fault and recovery-action rows).
+pub const PROFILE_SCHEMA: &str = "splatt-profile-v2";
 
 /// One row of the per-routine table (label from `splatt_par::Routine`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct RoutineRow {
     pub routine: String,
     pub seconds: f64,
+}
+
+/// One injected fault and the recovery action that absorbed it.
+///
+/// Kept as plain strings so this crate stays independent of the
+/// fault-injection crate: producers (the CP-ALS drivers) translate their
+/// typed fault records into rows.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultRow {
+    /// Fault kind label (e.g. `straggler`, `non-spd-gram`).
+    pub kind: String,
+    /// ALS iteration the fault hit.
+    pub iteration: usize,
+    /// Where it was injected (e.g. `mode 1 mttkrp`, `allreduce rank 3`).
+    pub site: String,
+    /// Human-readable recovery description (e.g. `retried 2x`).
+    pub action: String,
 }
 
 /// Everything measured during one profiled CP-ALS run.
@@ -37,6 +55,9 @@ pub struct ProfileReport {
     pub locks: LockStats,
     pub alloc: AllocStats,
     pub span: SpanNode,
+    /// Injected faults and their recovery actions, in injection order.
+    /// Empty when the run had no fault plan.
+    pub faults: Vec<FaultRow>,
 }
 
 impl Default for RoutineRow {
@@ -139,7 +160,7 @@ impl ProfileReport {
             out,
             "}},\n  \"alloc\": {{\"row_copies\": {}, \"row_copy_bytes\": {}, \
              \"descriptor_allocs\": {}, \"descriptor_bytes\": {}, \"replica_bytes\": {}, \
-             \"replica_reductions\": {}}},\n  \"spans\": ",
+             \"replica_reductions\": {}}},",
             self.alloc.row_copies,
             self.alloc.row_copy_bytes,
             self.alloc.descriptor_allocs,
@@ -147,6 +168,20 @@ impl ProfileReport {
             self.alloc.replica_bytes,
             self.alloc.replica_reductions
         );
+        out.push_str("\n  \"faults\": [");
+        for (i, f) in self.faults.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str("\n    {\"kind\": ");
+            json::write_escaped(&mut out, &f.kind);
+            let _ = write!(out, ", \"iteration\": {}, \"site\": ", f.iteration);
+            json::write_escaped(&mut out, &f.site);
+            out.push_str(", \"action\": ");
+            json::write_escaped(&mut out, &f.action);
+            out.push('}');
+        }
+        out.push_str("\n  ],\n  \"spans\": ");
         span_json(&mut out, &self.span);
         out.push_str("\n}\n");
         out
@@ -219,6 +254,16 @@ impl ProfileReport {
             self.alloc.replica_bytes,
             self.alloc.replica_reductions
         );
+        if !self.faults.is_empty() {
+            let _ = writeln!(out, "\n  faults injected: {}", self.faults.len());
+            for f in &self.faults {
+                let _ = writeln!(
+                    out,
+                    "  [it {:>3}] {:<18} at {:<24} -> {}",
+                    f.iteration, f.kind, f.site, f.action
+                );
+            }
+        }
         out.push_str("\n  span tree\n");
         self.span.render_into(&mut out, 1);
         out
@@ -281,6 +326,12 @@ mod tests {
                 replica_reductions: 0,
             },
             span,
+            faults: vec![FaultRow {
+                kind: "straggler".into(),
+                iteration: 0,
+                site: "mode 1 mttkrp".into(),
+                action: "absorbed 0.5ms delay".into(),
+            }],
         }
     }
 
@@ -317,6 +368,23 @@ mod tests {
         let spans = doc.get("spans").unwrap();
         assert_eq!(spans.get("label").unwrap().as_str(), Some("cpd"));
         assert_eq!(spans.get("children").unwrap().as_array().unwrap().len(), 1);
+        let faults = doc.get("faults").unwrap().as_array().unwrap();
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].get("kind").unwrap().as_str(), Some("straggler"));
+        assert_eq!(faults[0].get("iteration").unwrap().as_u64(), Some(0));
+        assert_eq!(
+            faults[0].get("action").unwrap().as_str(),
+            Some("absorbed 0.5ms delay")
+        );
+    }
+
+    #[test]
+    fn faultless_report_has_empty_faults_array() {
+        let mut report = sample();
+        report.faults.clear();
+        let doc = json::parse(&report.to_json()).expect("valid JSON");
+        assert_eq!(doc.get("faults").unwrap().as_array().unwrap().len(), 0);
+        assert!(!report.render().contains("faults injected"));
     }
 
     #[test]
@@ -327,6 +395,8 @@ mod tests {
         assert!(text.contains("load imbalance"));
         assert!(text.contains("acquisitions"));
         assert!(text.contains("row copies"));
+        assert!(text.contains("faults injected: 1"));
+        assert!(text.contains("straggler"));
         assert!(text.contains("span tree"));
     }
 

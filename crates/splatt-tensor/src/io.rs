@@ -6,6 +6,7 @@
 //! the per-mode maximum unless provided explicitly.
 
 use crate::SparseTensor;
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
@@ -17,6 +18,10 @@ pub enum TnsError {
     /// A data line could not be parsed; carries the 1-based line number
     /// and a description.
     Parse { line: usize, message: String },
+    /// A coordinate appeared twice under [`DuplicatePolicy::Error`];
+    /// carries the 1-based line of the second occurrence and the 1-based
+    /// coordinate.
+    Duplicate { line: usize, coord: Vec<u64> },
 }
 
 impl std::fmt::Display for TnsError {
@@ -24,6 +29,10 @@ impl std::fmt::Display for TnsError {
         match self {
             TnsError::Io(e) => write!(f, "I/O error: {e}"),
             TnsError::Parse { line, message } => write!(f, "line {line}: {message}"),
+            TnsError::Duplicate { line, coord } => {
+                let c: Vec<String> = coord.iter().map(|i| i.to_string()).collect();
+                write!(f, "line {line}: duplicate coordinate ({})", c.join(", "))
+            }
         }
     }
 }
@@ -36,18 +45,51 @@ impl From<std::io::Error> for TnsError {
     }
 }
 
+/// What [`read_tns_with`] does when the same coordinate appears on more
+/// than one data line. FROSTT files are nominally duplicate-free, but
+/// real exports (and the scaled-down synthetic generators) are not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DuplicatePolicy {
+    /// Keep every line as its own nonzero (the historical behavior);
+    /// callers may [`SparseTensor::coalesce`] later.
+    #[default]
+    Keep,
+    /// Merge repeated coordinates by summing their values.
+    Sum,
+    /// Reject the stream with [`TnsError::Duplicate`].
+    Error,
+}
+
 /// Parse a `.tns` stream, inferring mode dimensions from the data.
+/// Equivalent to [`read_tns_with`] under [`DuplicatePolicy::Keep`].
+///
+/// # Errors
+/// See [`read_tns_with`].
+pub fn read_tns(reader: impl Read) -> Result<SparseTensor, TnsError> {
+    read_tns_with(reader, DuplicatePolicy::Keep)
+}
+
+/// Parse a `.tns` stream, inferring mode dimensions from the data and
+/// resolving repeated coordinates per `duplicates`.
 ///
 /// # Errors
 /// [`TnsError::Parse`] on malformed lines (wrong arity, non-numeric
-/// fields, zero indices — the format is 1-based); [`TnsError::Io`] on read
-/// failures. An empty stream is an error (the order cannot be inferred).
-pub fn read_tns(reader: impl Read) -> Result<SparseTensor, TnsError> {
+/// fields, zero or `> u32::MAX` indices — the format is 1-based — and
+/// non-finite values, which would silently poison a decomposition);
+/// [`TnsError::Duplicate`] on a repeated coordinate under
+/// [`DuplicatePolicy::Error`]; [`TnsError::Io`] on read failures. An
+/// empty stream is an error (the order cannot be inferred).
+pub fn read_tns_with(
+    reader: impl Read,
+    duplicates: DuplicatePolicy,
+) -> Result<SparseTensor, TnsError> {
     let reader = BufReader::new(reader);
     let mut order: Option<usize> = None;
     let mut inds: Vec<Vec<u32>> = Vec::new();
     let mut vals: Vec<f64> = Vec::new();
     let mut dims: Vec<usize> = Vec::new();
+    // coordinate -> entry index, maintained only when duplicates matter
+    let mut seen: HashMap<Vec<u32>, usize> = HashMap::new();
 
     let mut line_buf = String::new();
     let mut reader = reader;
@@ -80,6 +122,7 @@ pub fn read_tns(reader: impl Read) -> Result<SparseTensor, TnsError> {
             inds = vec![Vec::new(); ord];
             dims = vec![0; ord];
         }
+        let mut coord = Vec::with_capacity(ord);
         for (m, f) in fields[..ord].iter().enumerate() {
             let idx: u64 = f.parse().map_err(|_| TnsError::Parse {
                 line: lineno,
@@ -91,14 +134,40 @@ pub fn read_tns(reader: impl Read) -> Result<SparseTensor, TnsError> {
                     message: format!("index {idx} out of range (format is 1-based)"),
                 });
             }
-            let zero_based = (idx - 1) as u32;
-            inds[m].push(zero_based);
-            dims[m] = dims[m].max(idx as usize);
+            coord.push((idx - 1) as u32);
         }
         let v: f64 = fields[ord].parse().map_err(|_| TnsError::Parse {
             line: lineno,
             message: format!("invalid value '{}'", fields[ord]),
         })?;
+        if !v.is_finite() {
+            return Err(TnsError::Parse {
+                line: lineno,
+                message: format!("non-finite value '{}'", fields[ord]),
+            });
+        }
+        if duplicates != DuplicatePolicy::Keep {
+            if let Some(&at) = seen.get(&coord) {
+                match duplicates {
+                    DuplicatePolicy::Sum => {
+                        vals[at] += v;
+                        continue;
+                    }
+                    DuplicatePolicy::Error => {
+                        return Err(TnsError::Duplicate {
+                            line: lineno,
+                            coord: coord.iter().map(|&i| i as u64 + 1).collect(),
+                        });
+                    }
+                    DuplicatePolicy::Keep => unreachable!(),
+                }
+            }
+            seen.insert(coord.clone(), vals.len());
+        }
+        for (m, &i) in coord.iter().enumerate() {
+            inds[m].push(i);
+            dims[m] = dims[m].max(i as usize + 1);
+        }
         vals.push(v);
     }
 
@@ -117,6 +186,17 @@ pub fn read_tns(reader: impl Read) -> Result<SparseTensor, TnsError> {
 /// See [`read_tns`].
 pub fn read_tns_file(path: impl AsRef<Path>) -> Result<SparseTensor, TnsError> {
     read_tns(std::fs::File::open(path)?)
+}
+
+/// Read a `.tns` file from disk with an explicit duplicate policy.
+///
+/// # Errors
+/// See [`read_tns_with`].
+pub fn read_tns_file_with(
+    path: impl AsRef<Path>,
+    duplicates: DuplicatePolicy,
+) -> Result<SparseTensor, TnsError> {
+    read_tns_with(std::fs::File::open(path)?, duplicates)
 }
 
 /// Write a tensor as 1-based `.tns` text.
@@ -211,6 +291,155 @@ mod tests {
     fn rejects_empty_stream() {
         assert!(read_tns("".as_bytes()).is_err());
         assert!(read_tns("# only comments\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_nonfinite_values() {
+        for bad in ["NaN", "nan", "inf", "-inf", "Infinity"] {
+            let text = format!("1 1 1.0\n2 2 {bad}\n");
+            let err = read_tns(text.as_bytes()).unwrap_err();
+            match err {
+                TnsError::Parse { line, message } => {
+                    assert_eq!(line, 2, "{bad}");
+                    assert!(message.contains("non-finite"), "{bad}: {message}");
+                }
+                other => panic!("{bad}: unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_policy_sum_merges_values() {
+        let text = "1 2 3 1.5\n4 1 1 2.0\n1 2 3 -0.5\n";
+        let t = read_tns_with(text.as_bytes(), DuplicatePolicy::Sum).unwrap();
+        assert_eq!(t.nnz(), 2);
+        assert_eq!(
+            t.canonical_entries(),
+            vec![(vec![0, 1, 2], 1.0), (vec![3, 0, 0], 2.0)]
+        );
+    }
+
+    #[test]
+    fn duplicate_policy_error_names_line_and_coord() {
+        let text = "1 2 3 1.5\n4 1 1 2.0\n1 2 3 -0.5\n";
+        let err = read_tns_with(text.as_bytes(), DuplicatePolicy::Error).unwrap_err();
+        match err {
+            TnsError::Duplicate { line, coord } => {
+                assert_eq!(line, 3);
+                assert_eq!(coord, vec![1, 2, 3]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // keep (the default) still accepts the stream verbatim
+        assert_eq!(read_tns(text.as_bytes()).unwrap().nnz(), 3);
+    }
+
+    #[test]
+    fn qc_roundtrip_with_duplicates_matches_coalesce() {
+        // Sum must agree with the in-memory coalesce on any generated
+        // stream containing repeats.
+        splatt_rt::qc::check("tns sum == coalesce", 48, |g| {
+            let dims = [
+                g.usize_in(1..6) as u32,
+                g.usize_in(1..6) as u32,
+                g.usize_in(1..6) as u32,
+            ];
+            let n = g.usize_in(1..40);
+            let mut text = String::new();
+            let mut reference = SparseTensor::new(dims.iter().map(|&d| d as usize).collect());
+            for _ in 0..n {
+                let coord: Vec<u32> = dims
+                    .iter()
+                    .map(|&d| g.usize_in(0..d as usize) as u32)
+                    .collect();
+                // small integers over 2^-4 stay exact under f64 addition,
+                // so text-vs-memory sums are bit-comparable
+                let v = (g.usize_in(0..64) as f64 - 32.0) / 16.0;
+                text.push_str(&format!(
+                    "{} {} {} {v}\n",
+                    coord[0] + 1,
+                    coord[1] + 1,
+                    coord[2] + 1
+                ));
+                reference.push(&coord, v);
+            }
+            reference.coalesce();
+            let parsed = read_tns_with(text.as_bytes(), DuplicatePolicy::Sum).unwrap();
+            // coalesce drops entries that summed to exactly zero; the
+            // reader keeps them, so compare on the union of coordinates
+            let mut parsed = parsed;
+            parsed.coalesce();
+            assert_eq!(
+                parsed.canonical_entries(),
+                reference.canonical_entries(),
+                "seed {:#x}",
+                g.seed()
+            );
+        });
+    }
+
+    #[test]
+    fn qc_adversarial_streams_error_not_panic() {
+        // Whatever we throw at the parser, it must return Ok or a typed
+        // error — never panic, never wrap an index.
+        splatt_rt::qc::check("tns adversarial inputs", 64, |g| {
+            let base = "1 2 3 1.0\n2 3 4 2.0\n3 1 2 3.0\n";
+            let attack = *g.choose(&[
+                "truncate",
+                "huge-index",
+                "overflow-index",
+                "nan",
+                "inf",
+                "ragged",
+                "zero-index",
+                "negative-index",
+                "garbage",
+            ]);
+            let text = match attack {
+                // cut the stream mid-line (no trailing newline)
+                "truncate" => {
+                    let cut = g.usize_in(1..base.len());
+                    base[..cut].to_string()
+                }
+                "huge-index" => format!("{base}4294967295 1 1 1.0\n"),
+                "overflow-index" => format!("{base}4294967296 1 1 1.0\n"),
+                "nan" => format!("{base}4 4 4 NaN\n"),
+                "inf" => format!("{base}4 4 4 -inf\n"),
+                "ragged" => format!("{base}1 2 1.0\n"),
+                "zero-index" => format!("{base}0 1 1 1.0\n"),
+                "negative-index" => format!("{base}-3 1 1 1.0\n"),
+                "garbage" => format!("{base}\u{1F4A3} \u{1F4A3} \u{1F4A3} \u{1F4A3}\n"),
+                _ => unreachable!(),
+            };
+            let policy = *g.choose(&[
+                DuplicatePolicy::Keep,
+                DuplicatePolicy::Sum,
+                DuplicatePolicy::Error,
+            ]);
+            match read_tns_with(text.as_bytes(), policy) {
+                Ok(t) => {
+                    // the only attacks that may still parse are a
+                    // truncation that landed on a line boundary, or the
+                    // largest representable index
+                    assert!(
+                        attack == "truncate" || attack == "huge-index",
+                        "attack {attack} parsed (seed {:#x})",
+                        g.seed()
+                    );
+                    assert!(t.nnz() <= 4);
+                    for m in 0..t.order() {
+                        assert!(t.dims()[m] <= u32::MAX as usize);
+                    }
+                }
+                Err(TnsError::Parse { line, .. }) => {
+                    assert!(line <= 4, "line {line} out of range (seed {:#x})", g.seed());
+                }
+                Err(TnsError::Duplicate { .. }) => {
+                    panic!("no attack introduces duplicates (seed {:#x})", g.seed())
+                }
+                Err(TnsError::Io(e)) => panic!("unexpected I/O error {e} (seed {:#x})", g.seed()),
+            }
+        });
     }
 
     #[test]

@@ -49,6 +49,7 @@ fn main() {
                 max_iters: 10,
                 tolerance: 0.0,
                 seed: 0xD157,
+                ..Default::default()
             },
         );
         println!(

@@ -16,7 +16,8 @@ use splatt::core::{
 use splatt::par::Routine;
 use splatt::tensor::{io, synth, TensorStats};
 use splatt::{
-    corcondia, cp_als, Constraint, CpalsOptions, CsfAlloc, Implementation, KruskalModel, Matrix,
+    corcondia, try_cp_als, Constraint, CpalsOptions, CsfAlloc, FaultPlan, Implementation,
+    KruskalModel, Matrix,
 };
 use std::io::Write;
 use std::process::ExitCode;
@@ -27,7 +28,10 @@ fn usage() -> ExitCode {
          splatt cpd <tensor.tns> [--rank R] [--iters N] [--tol T] [--tasks N]\n              \
          [--impl reference|ported-initial|ported-optimized]\n              \
          [--csf one|two|all] [--seed S] [--nonneg 1] [--diagnose 1]\n              \
-         [--profile FILE.json] [--out PREFIX]\n  \
+         [--dedup keep|sum|error]\n              \
+         [--profile FILE.json] [--out PREFIX]\n              \
+         [--fault-plan seed=S,straggler=P,drop=P,corrupt=P,nan=P,nonspd=P,horizon=N]\n              \
+         [--checkpoint DIR] [--resume FILE|DIR]\n  \
          splatt complete <train.tns> [--solver als|sgd|ccd] [--rank R] [--iters N]\n              \
          [--tol T] [--reg MU] [--tasks N] [--seed S]\n              \
          [--test FILE.tns] [--out PREFIX] [--model FILE]\n  \
@@ -81,6 +85,17 @@ fn load(path: &str) -> Result<splatt::SparseTensor, String> {
     io::read_tns_file(path).map_err(|e| format!("{path}: {e}"))
 }
 
+/// Load honoring a `--dedup keep|sum|error` flag (keep is the default).
+fn load_with_dedup(path: &str, flags: &Flags) -> Result<splatt::SparseTensor, String> {
+    let policy = match flags.get("dedup").unwrap_or("keep") {
+        "keep" => io::DuplicatePolicy::Keep,
+        "sum" => io::DuplicatePolicy::Sum,
+        "error" => io::DuplicatePolicy::Error,
+        other => return Err(format!("unknown --dedup '{other}' (keep|sum|error)")),
+    };
+    io::read_tns_file_with(path, policy).map_err(|e| format!("{path}: {e}"))
+}
+
 fn write_matrix(path: &std::path::Path, m: &Matrix) -> std::io::Result<()> {
     let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
     for i in 0..m.rows() {
@@ -91,7 +106,7 @@ fn write_matrix(path: &std::path::Path, m: &Matrix) -> std::io::Result<()> {
 }
 
 fn cmd_cpd(path: &str, flags: &Flags) -> Result<(), String> {
-    let tensor = load(path)?;
+    let tensor = load_with_dedup(path, flags)?;
     println!("{path}:");
     print!("{}", TensorStats::compute(&tensor));
 
@@ -113,6 +128,40 @@ fn cmd_cpd(path: &str, flags: &Flags) -> Result<(), String> {
         Constraint::None
     };
     let profile_path = flags.get("profile").map(str::to_string);
+
+    // ---- fault tolerance flags ----
+    let fault_plan = flags
+        .get("fault-plan")
+        .map(|spec| FaultPlan::parse(spec).map_err(|e| format!("--fault-plan: {e}")))
+        .transpose()?;
+    let checkpoint_dir = flags.get("checkpoint").map(std::path::PathBuf::from);
+    if let Some(dir) = &checkpoint_dir {
+        if dir.exists() && !dir.is_dir() {
+            return Err(format!(
+                "--checkpoint: '{}' exists and is not a directory",
+                dir.display()
+            ));
+        }
+    }
+    let resume_from = match flags.get("resume") {
+        None => None,
+        Some(p) => {
+            let path = std::path::PathBuf::from(p);
+            if path.is_dir() {
+                // a directory means "latest checkpoint in there"
+                match splatt::Checkpoint::latest_in(&path) {
+                    Ok(Some(latest)) => Some(latest),
+                    Ok(None) => return Err(format!("--resume: no ckpt-*.splatt in '{p}'")),
+                    Err(e) => return Err(format!("--resume: {e}")),
+                }
+            } else if path.is_file() {
+                Some(path)
+            } else {
+                return Err(format!("--resume: '{p}' does not exist"));
+            }
+        }
+    };
+
     let opts = CpalsOptions {
         rank: flags.parse_or("rank", 10)?,
         max_iters: flags.parse_or("iters", 50)?,
@@ -122,6 +171,8 @@ fn cmd_cpd(path: &str, flags: &Flags) -> Result<(), String> {
         csf_alloc,
         constraint,
         profile: profile_path.is_some(),
+        checkpoint_dir,
+        resume_from,
         ..Default::default()
     }
     .with_implementation(imp);
@@ -133,11 +184,37 @@ fn cmd_cpd(path: &str, flags: &Flags) -> Result<(), String> {
         opts.ntasks,
         imp.label()
     );
-    let out = cp_als(&tensor, &opts);
+    if let Some(plan) = &fault_plan {
+        println!(
+            "fault injection: seed {}, rates {:?}",
+            plan.seed(),
+            plan.rates()
+        );
+    }
+    if let Some(path) = &opts.resume_from {
+        println!("resuming from {}", path.display());
+    }
+    if let Some(dir) = &opts.checkpoint_dir {
+        println!("checkpointing to {}", dir.display());
+    }
+    let out = try_cp_als(&tensor, &opts, fault_plan.as_ref()).map_err(|e| e.to_string())?;
     println!(
         "converged: fit {:.6} after {} iterations",
         out.fit, out.iterations
     );
+    if let Some(plan) = &fault_plan {
+        let events = plan.events();
+        println!("\ninjected faults: {}", events.len());
+        for e in &events {
+            println!(
+                "  [it {:>3}] {:<18} at {:<24} -> {}",
+                e.iteration,
+                e.kind.label(),
+                e.site,
+                e.action.describe()
+            );
+        }
+    }
     println!("\nper-routine seconds:");
     for r in Routine::ALL {
         println!("  {:<10} {:>10.4}", r.label(), out.timers.seconds(r));
@@ -147,7 +224,7 @@ fn cmd_cpd(path: &str, flags: &Flags) -> Result<(), String> {
         let report = out
             .profile
             .as_ref()
-            .expect("profiling was enabled for this run");
+            .ok_or_else(|| "--profile: run produced no profile report".to_string())?;
         std::fs::write(path, report.to_json()).map_err(|e| format!("{path}: {e}"))?;
         println!("\n{}", report.render());
         println!("wrote {path}");

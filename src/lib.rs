@@ -17,6 +17,7 @@
 //! | [`par`] | task teams (`coforall`), partitioning, scratch, timers |
 //! | [`locks`] | mutex pools: spin / sleeping / OS-adaptive |
 //! | [`probe`] | lock/thread/allocation profiling, `ProfileReport` |
+//! | [`faults`] | seeded fault injection (`FaultPlan`), recovery policies |
 //! | [`rt`] | sync primitives, seeded RNG, parallel helpers, qc harness |
 //!
 //! The most common entry points are also re-exported at the top level.
@@ -61,6 +62,11 @@ pub mod dist {
     pub use splatt_dist::*;
 }
 
+/// Deterministic fault injection and recovery policies.
+pub mod faults {
+    pub use splatt_faults::*;
+}
+
 /// Observability: lock-contention counters, per-thread load, allocation
 /// accounting, and the hierarchical profile report.
 pub mod probe {
@@ -74,10 +80,12 @@ pub mod rt {
 }
 
 pub use splatt_core::{
-    corcondia, cp_als, tensor_complete, tensor_complete_ccd, tensor_complete_sgd, CcdOptions,
-    CompletionOptions, CompletionOutput, Constraint, CpalsOptions, CpalsOutput, Csf, CsfAlloc,
-    CsfSet, Implementation, KruskalModel, MatrixAccess, SgdOptions,
+    corcondia, cp_als, tensor_complete, tensor_complete_ccd, tensor_complete_sgd, try_cp_als,
+    CcdOptions, Checkpoint, CheckpointError, CompletionOptions, CompletionOutput, Constraint,
+    CpalsError, CpalsOptions, CpalsOutput, Csf, CsfAlloc, CsfSet, Implementation, KruskalModel,
+    MatrixAccess, SgdOptions,
 };
 pub use splatt_dense::Matrix;
+pub use splatt_faults::{FaultKind, FaultPlan, FaultRates, RecoveryAction, RecoveryPolicy};
 pub use splatt_locks::LockStrategy;
 pub use splatt_tensor::{SortVariant, SparseTensor};

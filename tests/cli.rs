@@ -262,6 +262,112 @@ fn cpd_profile_writes_schema_stable_json() {
 }
 
 #[test]
+fn cpd_fault_plan_checkpoint_and_resume() {
+    let dir = workdir("faults");
+    let tns = dir.join("t.tns");
+    let ckpt = dir.join("ckpts");
+    assert!(splatt()
+        .args(["generate", "random", "--dims", "14x12x10", "--nnz", "600", "--seed", "11"])
+        .args(["--out", tns.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+
+    // faulted, checkpointed run: the fault table must list the events
+    let out = splatt()
+        .args(["cpd", tns.to_str().unwrap(), "--rank", "3", "--iters", "6"])
+        .args(["--tol", "0", "--tasks", "2"])
+        .args(["--fault-plan", "seed=42,straggler=0.5,nonspd=0.4,horizon=3"])
+        .args(["--checkpoint", ckpt.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("fault injection: seed 42"), "{stdout}");
+    assert!(stdout.contains("injected faults:"), "{stdout}");
+    assert!(
+        stdout.contains("straggler") || stdout.contains("non-spd"),
+        "no fault rows: {stdout}"
+    );
+    for k in 1..=6 {
+        assert!(
+            ckpt.join(format!("ckpt-{k:05}.splatt")).exists(),
+            "ckpt {k}"
+        );
+    }
+
+    // resume from the checkpoint directory (picks the latest)
+    let out = splatt()
+        .args(["cpd", tns.to_str().unwrap(), "--rank", "3", "--iters", "8"])
+        .args(["--tol", "0", "--tasks", "2"])
+        .args(["--resume", ckpt.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("resuming from"), "{stdout}");
+    assert!(stdout.contains("after 8 iterations"), "{stdout}");
+
+    // a malformed plan and a dangling resume path are typed CLI errors
+    let out = splatt()
+        .args(["cpd", tns.to_str().unwrap(), "--fault-plan", "bogus=1"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--fault-plan"));
+    let out = splatt()
+        .args(["cpd", tns.to_str().unwrap(), "--resume", "/no/such/ckpt"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--resume"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cpd_dedup_flag_controls_duplicate_handling() {
+    let dir = workdir("dedup");
+    let tns = dir.join("dup.tns");
+    std::fs::write(&tns, "1 1 1 2.5\n1 1 1 0.5\n2 2 2 1.0\n").unwrap();
+
+    let out = splatt()
+        .args(["cpd", tns.to_str().unwrap(), "--rank", "1", "--iters", "2"])
+        .args(["--dedup", "sum"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("nnz 2"),
+        "sum did not coalesce"
+    );
+
+    let out = splatt()
+        .args(["cpd", tns.to_str().unwrap(), "--rank", "1", "--iters", "2"])
+        .args(["--dedup", "error"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("duplicate coordinate"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn bad_usage_exits_nonzero() {
     assert!(!splatt().output().unwrap().status.success());
     assert!(!splatt().args(["cpd"]).output().unwrap().status.success());

@@ -45,13 +45,13 @@ fn implementations_agree_numerically_end_to_end() {
     };
     let reference = cp_als(
         &tensor,
-        &base.with_implementation(Implementation::Reference),
+        &base.clone().with_implementation(Implementation::Reference),
     );
     for imp in [
         Implementation::PortedInitial,
         Implementation::PortedOptimized,
     ] {
-        let other = cp_als(&tensor, &base.with_implementation(imp));
+        let other = cp_als(&tensor, &base.clone().with_implementation(imp));
         assert!(
             (reference.fit - other.fit).abs() < 1e-8,
             "{imp:?}: fit {} vs reference {}",
@@ -149,7 +149,7 @@ fn sort_variant_does_not_change_decomposition() {
                 &tensor,
                 &CpalsOptions {
                     sort_variant: sv,
-                    ..base
+                    ..base.clone()
                 },
             )
             .fit
@@ -177,7 +177,7 @@ fn csf_alloc_does_not_change_decomposition() {
                 &tensor,
                 &CpalsOptions {
                     csf_alloc: a,
-                    ..base
+                    ..base.clone()
                 },
             )
             .fit
