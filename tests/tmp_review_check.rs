@@ -1,0 +1,21 @@
+//! Temporary review check: organic NaN in the tensor, no fault plan.
+use splatt::{cp_als, CpalsOptions, SparseTensor};
+
+#[test]
+fn organic_nan_without_fault_plan() {
+    let mut t = SparseTensor::new(vec![3, 3, 3]);
+    t.push(&[0, 0, 0], 1.0);
+    t.push(&[1, 1, 1], f64::NAN);
+    t.push(&[2, 2, 2], 2.0);
+    let out = cp_als(
+        &t,
+        &CpalsOptions {
+            rank: 2,
+            max_iters: 3,
+            tolerance: 0.0,
+            ntasks: 1,
+            ..Default::default()
+        },
+    );
+    println!("fit = {}", out.fit);
+}
