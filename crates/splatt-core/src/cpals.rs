@@ -23,9 +23,11 @@ use splatt_dense::{
     Matrix, RidgeOutcome,
 };
 use splatt_faults::{FaultKind, FaultPlan, FaultRecord, RecoveryAction};
+use splatt_guard::{LaneSpan, RunGuard, TripReason};
 use splatt_par::{Routine, TaskTeam, TimerRegistry};
-use splatt_probe::{FaultRow, MttkrpProbe, ProfileReport, RoutineRow, SpanNode};
+use splatt_probe::{FaultRow, GuardRow, MttkrpProbe, ProfileReport, RoutineRow, SpanNode};
 use splatt_tensor::SparseTensor;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -62,6 +64,32 @@ pub enum CpalsError {
         /// Injection site (e.g. `mode 1 gram`).
         site: String,
     },
+    /// The run guard tripped (deadline, memory budget, cancellation, or
+    /// watchdog stall) and the run aborted cooperatively.
+    Aborted(Box<RunAborted>),
+}
+
+/// What a governed run leaves behind when its guard trips.
+///
+/// Everything needed to continue is here: the checkpoint the run last
+/// wrote (resume bit-for-bit from it) and the in-memory partial model
+/// (usable directly when no checkpoint directory was configured, though
+/// its factors may reflect an incomplete iteration).
+#[derive(Debug)]
+pub struct RunAborted {
+    /// Why the guard tripped.
+    pub reason: TripReason,
+    /// The 1-based count of the ALS iteration in flight when the run
+    /// stopped (equals the would-be `CpalsOutput::iterations`).
+    pub iteration: usize,
+    /// Most recent durable checkpoint, if any: the file written by this
+    /// run, or the `resume_from` path when the run aborted before
+    /// completing a fresh iteration.
+    pub last_checkpoint: Option<PathBuf>,
+    /// Factor state at the abort point. Valid matrices, but mid-iteration
+    /// modes may already reflect partial updates — prefer
+    /// `last_checkpoint` for exact resumption.
+    pub partial: KruskalModel,
 }
 
 impl std::fmt::Display for CpalsError {
@@ -76,6 +104,16 @@ impl std::fmt::Display for CpalsError {
                 f,
                 "unrecovered {} fault at iteration {iteration} ({site})",
                 kind.label()
+            ),
+            CpalsError::Aborted(ab) => write!(
+                f,
+                "run aborted at iteration {}: {}{}",
+                ab.iteration,
+                ab.reason,
+                match &ab.last_checkpoint {
+                    Some(p) => format!(" (last checkpoint: {})", p.display()),
+                    None => String::new(),
+                }
             ),
         }
     }
@@ -180,13 +218,35 @@ pub fn try_cp_als(
     opts: &CpalsOptions,
     faults: Option<&FaultPlan>,
 ) -> Result<CpalsOutput, CpalsError> {
+    try_cp_als_guarded(tensor, opts, faults, None)
+}
+
+/// [`try_cp_als`] under run governance: when `guard` is given, the
+/// driver checks it at every iteration and mode boundary (and the
+/// kernels beneath poll it at tile/chunk granularity), aborting into
+/// [`CpalsError::Aborted`] with the last durable checkpoint and the
+/// partial model once the guard trips. The driver heartbeats lane 0 for
+/// the guard's watchdog across the iteration loop; kernel tasks
+/// heartbeat their own lanes.
+///
+/// # Errors
+/// As [`try_cp_als`], plus [`CpalsError::Aborted`] on a guard trip.
+///
+/// # Panics
+/// As [`cp_als`] on invalid options.
+pub fn try_cp_als_guarded(
+    tensor: &SparseTensor,
+    opts: &CpalsOptions,
+    faults: Option<&FaultPlan>,
+    guard: Option<&RunGuard>,
+) -> Result<CpalsOutput, CpalsError> {
     let team = TaskTeam::with_config(
         opts.ntasks,
         splatt_par::TeamConfig {
             spin_count: opts.spin_count,
         },
     );
-    try_cp_als_with_team(tensor, opts, &team, faults)
+    try_cp_als_with_team_guarded(tensor, opts, &team, faults, guard)
 }
 
 /// [`try_cp_als`] with a caller-provided task team.
@@ -202,6 +262,44 @@ pub fn try_cp_als_with_team(
     team: &TaskTeam,
     faults: Option<&FaultPlan>,
 ) -> Result<CpalsOutput, CpalsError> {
+    try_cp_als_with_team_guarded(tensor, opts, team, faults, None)
+}
+
+/// Builds the `Aborted` error from the driver's loop state at a guard
+/// trip. The factor clones are the price of handing back a usable
+/// partial model; aborts are cold.
+fn abort_error(
+    reason: TripReason,
+    iteration: usize,
+    last_checkpoint: &Option<PathBuf>,
+    lambda: &[f64],
+    factors: &[Matrix],
+) -> CpalsError {
+    CpalsError::Aborted(Box::new(RunAborted {
+        reason,
+        iteration,
+        last_checkpoint: last_checkpoint.clone(),
+        partial: KruskalModel {
+            lambda: lambda.to_vec(),
+            factors: factors.to_vec(),
+        },
+    }))
+}
+
+/// [`try_cp_als_guarded`] with a caller-provided task team.
+///
+/// # Errors
+/// As [`try_cp_als_guarded`].
+///
+/// # Panics
+/// As [`cp_als_with_team`] on invalid options.
+pub fn try_cp_als_with_team_guarded(
+    tensor: &SparseTensor,
+    opts: &CpalsOptions,
+    team: &TaskTeam,
+    faults: Option<&FaultPlan>,
+    guard: Option<&RunGuard>,
+) -> Result<CpalsOutput, CpalsError> {
     assert!(opts.rank > 0, "rank must be positive");
     assert!(opts.max_iters > 0, "max_iters must be positive");
     assert_eq!(team.ntasks(), opts.ntasks, "team size must match options");
@@ -211,7 +309,14 @@ pub fn try_cp_als_with_team(
     let rank = opts.rank;
 
     // ---- pre-processing: sort + CSF construction ----
-    let set = CsfSet::build_timed(tensor, opts.csf_alloc, team, opts.sort_variant, &timers);
+    let set = CsfSet::build_timed_guarded(
+        tensor,
+        opts.csf_alloc,
+        team,
+        opts.sort_variant,
+        &timers,
+        guard,
+    );
     // optional mode tiling for the modes that would otherwise scatter
     // (sorting inside the tile build is attributed to the Sort timer)
     let tiled: Vec<Option<crate::tiling::TiledCsf>> = if opts.tiling {
@@ -219,7 +324,14 @@ pub fn try_cp_als_with_team(
             .map(|m| match set.for_mode(m).1 {
                 crate::csf::KernelKind::Root => None,
                 _ => Some(timers.time(Routine::Sort, || {
-                    crate::tiling::TiledCsf::build(tensor, m, opts.ntasks, team, opts.sort_variant)
+                    crate::tiling::TiledCsf::build_guarded(
+                        tensor,
+                        m,
+                        opts.ntasks,
+                        team,
+                        opts.sort_variant,
+                        guard,
+                    )
                 })),
             })
             .collect()
@@ -234,6 +346,7 @@ pub fn try_cp_als_with_team(
         priv_threshold: opts.priv_threshold,
     };
     let mut ws = MttkrpWorkspace::new(&mtt_cfg, opts.ntasks);
+    ws.set_guard(guard.cloned());
 
     // ---- observability (tentpole): probes are attached only on request,
     // so the unprofiled hot path pays one `Option` branch per site ----
@@ -294,11 +407,31 @@ pub fn try_cp_als_with_team(
     let policy = opts.recovery;
     let mut iterations = start_iter;
     let mut rollbacks_used = 0u32;
+    // the resume source counts as "last durable state" until this run
+    // writes a checkpoint of its own
+    let mut last_checkpoint: Option<PathBuf> = opts.resume_from.clone();
+
+    // The driver occupies watchdog lane 0 for the whole iteration loop
+    // (entered only now — CSF builds heartbeat through the sort kernels,
+    // and an idle lane is never reported). Kernel tasks nest into their
+    // own lanes; lane occupancy is a counter, so the spans compose.
+    let _driver_lane = LaneSpan::enter(guard, 0);
 
     let loop_start = Instant::now();
     let mut it = start_iter;
     while it < opts.max_iters {
         iterations = it + 1;
+        if let Some(g) = guard {
+            if let Err(reason) = g.check(0) {
+                return Err(abort_error(
+                    reason,
+                    iterations,
+                    &last_checkpoint,
+                    &lambda,
+                    &factors,
+                ));
+            }
+        }
         // iteration-entry snapshot: the rollback target when a NaN guard
         // fires; only taken when faults can actually be injected
         let snapshot = faults
@@ -311,20 +444,35 @@ pub fn try_cp_als_with_team(
         // set when non-finite state is detected (kind, site of the poison)
         let mut poisoned: Option<(FaultKind, String)> = None;
         for mode in 0..order {
+            if let Some(g) = guard {
+                if let Err(reason) = g.check(0) {
+                    return Err(abort_error(
+                        reason,
+                        iterations,
+                        &last_checkpoint,
+                        &lambda,
+                        &factors,
+                    ));
+                }
+            }
             let mode_start = Instant::now();
             let mut mode_node = iter_node
                 .is_some()
                 .then(|| SpanNode::new(format!("mode {mode}")));
             // straggler fault: one task is late; the team absorbs the delay
+            // (clamped so a recovery sleep can never outlive the deadline)
             if let Some(plan) = faults {
                 if plan.roll(FaultKind::Straggler, it, mode, 0) {
-                    let nanos = plan.straggler_delay_nanos(it, mode);
-                    std::thread::sleep(Duration::from_nanos(nanos));
+                    let delay = Duration::from_nanos(plan.straggler_delay_nanos(it, mode));
+                    let delay = guard.map_or(delay, |g| g.clamp_sleep(delay));
+                    std::thread::sleep(delay);
                     plan.record(FaultRecord {
                         kind: FaultKind::Straggler,
                         iteration: it,
                         site: format!("mode {mode} mttkrp"),
-                        action: RecoveryAction::AbsorbedDelay { nanos },
+                        action: RecoveryAction::AbsorbedDelay {
+                            nanos: delay.as_nanos() as u64,
+                        },
                     });
                 }
             }
@@ -334,7 +482,14 @@ pub fn try_cp_als_with_team(
                 mode_node.as_mut().map(|n| (n, "mttkrp")),
                 || {
                     if let Some(tc) = &tiled[mode] {
-                        crate::mttkrp::mttkrp_tiled(tc, &factors, &mut mout[mode], team, &mtt_cfg);
+                        crate::mttkrp::mttkrp_tiled_guarded(
+                            tc,
+                            &factors,
+                            &mut mout[mode],
+                            team,
+                            &mtt_cfg,
+                            guard,
+                        );
                     } else {
                         mttkrp(
                             &set,
@@ -348,6 +503,19 @@ pub fn try_cp_als_with_team(
                     }
                 },
             );
+            // a tripped guard may have cancelled the kernel mid-scatter;
+            // abort before the partial MTTKRP output is consumed
+            if let Some(g) = guard {
+                if let Err(reason) = g.check(0) {
+                    return Err(abort_error(
+                        reason,
+                        iterations,
+                        &last_checkpoint,
+                        &lambda,
+                        &factors,
+                    ));
+                }
+            }
             // kernel-boundary poison: corrupt one MTTKRP output entry; the
             // NaN guard below detects it and rolls the iteration back
             if let Some(plan) = faults {
@@ -477,7 +645,10 @@ pub fn try_cp_als_with_team(
                             site: site(),
                         });
                     }
-                    std::thread::sleep(policy.backoff_duration(attempts - 1));
+                    // bound the recovery backoff by the active deadline:
+                    // a retry sleep must never be what blows the budget
+                    let backoff = policy.backoff_duration(attempts - 1);
+                    std::thread::sleep(guard.map_or(backoff, |g| g.clamp_sleep(backoff)));
                 }
                 if attempts > 0 {
                     plan.record(FaultRecord {
@@ -522,10 +693,19 @@ pub fn try_cp_als_with_team(
         };
 
         if let Some((kind, site)) = poisoned {
+            // organic non-finite values (no fault plan, so no snapshot to
+            // roll back to, and a replay would poison identically anyway)
+            // surface as a typed error instead of entering recovery
+            let Some(plan) = faults else {
+                return Err(CpalsError::Unrecovered {
+                    kind,
+                    iteration: it,
+                    site,
+                });
+            };
             // roll the iteration back to its entry snapshot and re-execute;
             // one-shot injection sites guarantee the replay runs clean
-            let plan = faults.expect("poison implies a plan");
-            let (f, l, a) = snapshot.expect("poison implies a snapshot");
+            let (f, l, a) = snapshot.expect("a fault plan implies a snapshot");
             factors = f;
             lambda = l;
             ata = a;
@@ -561,13 +741,15 @@ pub fn try_cp_als_with_team(
         // durable checkpoint after every completed iteration: `iteration`
         // counts completed iterations, so resume starts at `it + 1`
         if let Some(dir) = &opts.checkpoint_dir {
-            Checkpoint {
-                iteration: it + 1,
-                lambda: lambda.clone(),
-                fits: fits.clone(),
-                factors: factors.clone(),
-            }
-            .write_to_dir(dir)?;
+            last_checkpoint = Some(
+                Checkpoint {
+                    iteration: it + 1,
+                    lambda: lambda.clone(),
+                    fits: fits.clone(),
+                    factors: factors.clone(),
+                }
+                .write_to_dir(dir)?,
+            );
         }
 
         if opts.tolerance > 0.0 && it > 0 && (fit - oldfit).abs() < opts.tolerance {
@@ -615,6 +797,16 @@ pub fn try_cp_als_with_team(
                         .collect()
                 })
                 .unwrap_or_default(),
+            guard: guard.map(|g| {
+                let snap = g.snapshot();
+                GuardRow {
+                    checks: snap.checks,
+                    trips: snap.trips,
+                    watchdog_reports: snap.watchdog_reports,
+                    watchdog_samples: snap.watchdog_samples,
+                    trip: snap.trip.map(|t| t.to_string()).unwrap_or_default(),
+                }
+            }),
         }
     });
 

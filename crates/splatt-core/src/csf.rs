@@ -74,6 +74,30 @@ impl Csf {
         Self::from_sorted(&sorted, dim_perm)
     }
 
+    /// [`Csf::build`] under run governance: the sort polls `guard`
+    /// between buckets. A cancelled build returns a structurally valid
+    /// but unusable CSF; the caller's next guard check aborts before it
+    /// is consumed.
+    pub fn build_guarded(
+        tensor: &SparseTensor,
+        dim_perm: &[usize],
+        team: &TaskTeam,
+        variant: SortVariant,
+        guard: Option<&splatt_guard::RunGuard>,
+    ) -> Self {
+        let mut sorted = tensor.clone();
+        sort::sort_by_perm_guarded(&mut sorted, dim_perm, team, variant, guard);
+        // A cancelled sort may leave the buffer partially ordered; fall
+        // back to a canonical sort only when the data is actually usable
+        // (i.e. not cancelled), otherwise skip the (now pointless) walk.
+        if guard.is_some_and(|g| g.is_cancelled()) && !sorted.is_sorted_by(dim_perm) {
+            // Produce an empty-but-valid CSF; the run is aborting.
+            let empty = SparseTensor::new(tensor.dims().to_vec());
+            return Self::from_sorted(&empty, dim_perm);
+        }
+        Self::from_sorted(&sorted, dim_perm)
+    }
+
     /// Build from a tensor already sorted by `dim_perm`.
     pub(crate) fn from_sorted(sorted: &SparseTensor, dim_perm: &[usize]) -> Self {
         debug_assert!(sorted.is_sorted_by(dim_perm), "tensor must be pre-sorted");
@@ -287,6 +311,20 @@ impl CsfSet {
         variant: SortVariant,
         timers: &splatt_par::TimerRegistry,
     ) -> Self {
+        Self::build_timed_guarded(tensor, alloc, team, variant, timers, None)
+    }
+
+    /// [`CsfSet::build_timed`] under run governance: the sorting phase
+    /// polls `guard` so a cancelled run stops building representations
+    /// early instead of finishing a multi-second preprocessing pass.
+    pub fn build_timed_guarded(
+        tensor: &SparseTensor,
+        alloc: CsfAlloc,
+        team: &TaskTeam,
+        variant: SortVariant,
+        timers: &splatt_par::TimerRegistry,
+        guard: Option<&splatt_guard::RunGuard>,
+    ) -> Self {
         let dims = tensor.dims();
         let roots = Self::roots_for(dims, alloc);
         let csfs = roots
@@ -295,9 +333,14 @@ impl CsfSet {
                 let perm = perm_rooted_at(dims, r);
                 let mut sorted = tensor.clone();
                 timers.time(splatt_par::Routine::Sort, || {
-                    sort::sort_by_perm(&mut sorted, &perm, team, variant);
+                    sort::sort_by_perm_guarded(&mut sorted, &perm, team, variant, guard);
                 });
-                Csf::from_sorted(&sorted, &perm)
+                if guard.is_some_and(|g| g.is_cancelled()) && !sorted.is_sorted_by(&perm) {
+                    let empty = SparseTensor::new(dims.to_vec());
+                    Csf::from_sorted(&empty, &perm)
+                } else {
+                    Csf::from_sorted(&sorted, &perm)
+                }
             })
             .collect();
         CsfSet { csfs, alloc }

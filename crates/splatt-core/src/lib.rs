@@ -40,6 +40,7 @@ mod completion;
 mod cpals;
 mod csf;
 mod diagnostics;
+mod governed;
 mod kruskal;
 mod options;
 mod sgd;
@@ -52,10 +53,14 @@ pub use ccd::{tensor_complete_ccd, CcdOptions};
 pub use checkpoint::{Checkpoint, CheckpointError, CHECKPOINT_HEADER};
 pub use completion::{rmse_observed, tensor_complete, CompletionOptions, CompletionOutput};
 pub use cpals::{
-    cp_als, cp_als_with_team, try_cp_als, try_cp_als_with_team, CpalsError, CpalsOutput,
+    cp_als, cp_als_with_team, try_cp_als, try_cp_als_guarded, try_cp_als_with_team,
+    try_cp_als_with_team_guarded, CpalsError, CpalsOutput, RunAborted,
 };
 pub use csf::{Csf, CsfAlloc, CsfSet, KernelKind};
 pub use diagnostics::corcondia;
+pub use governed::{
+    try_cp_als_governed, try_cp_als_governed_with_team, GovernancePolicy, GovernedRun, OnOverrun,
+};
 pub use kruskal::KruskalModel;
 pub use mttkrp::{MatrixAccess, MttkrpConfig, MttkrpWorkspace};
 pub use options::{Constraint, CpalsOptions, Implementation};

@@ -101,6 +101,7 @@ pub struct MttkrpWorkspace {
     replicas: ThreadScratch,
     ntasks: usize,
     probe: Option<std::sync::Arc<splatt_probe::MttkrpProbe>>,
+    guard: Option<splatt_guard::RunGuard>,
 }
 
 impl MttkrpWorkspace {
@@ -111,6 +112,7 @@ impl MttkrpWorkspace {
             replicas: ThreadScratch::new(ntasks, 0),
             ntasks,
             probe: None,
+            guard: None,
         }
     }
 
@@ -133,7 +135,27 @@ impl MttkrpWorkspace {
     pub fn probe(&self) -> Option<&std::sync::Arc<splatt_probe::MttkrpProbe>> {
         self.probe.as_ref()
     }
+
+    /// Attach a run guard: every subsequent [`mttkrp`] through this
+    /// workspace heartbeats its task lanes and polls for cancellation
+    /// once per [`GUARD_CHUNK`] root slices, so a tripped run stops
+    /// scattering within a bounded amount of work. Pass `None` to return
+    /// the kernels to the unguarded fast path.
+    pub fn set_guard(&mut self, guard: Option<splatt_guard::RunGuard>) {
+        self.guard = guard;
+    }
+
+    /// The attached guard, if any.
+    pub fn guard(&self) -> Option<&splatt_guard::RunGuard> {
+        self.guard.as_ref()
+    }
 }
+
+/// Root slices processed between guard polls in a guarded kernel. Small
+/// enough that cancellation latency stays in the microsecond range,
+/// large enough that a clean run's overhead is one predictable branch
+/// plus a relaxed load every `GUARD_CHUNK` slices.
+pub const GUARD_CHUNK: usize = 64;
 
 /// Shared writable view of the output matrix for scatter kernels.
 ///
@@ -440,6 +462,25 @@ pub fn mttkrp_tiled(
     team: &TaskTeam,
     cfg: &MttkrpConfig,
 ) {
+    mttkrp_tiled_guarded(tiled, factors, out, team, cfg, None)
+}
+
+/// [`mttkrp_tiled`] under run governance: each task heartbeats its lane
+/// and polls `guard` between tiles (and every [`GUARD_CHUNK`] root slices
+/// within a tile), abandoning remaining work once the run is cancelled.
+/// The output is unspecified after a cancelled kernel; the driver's next
+/// guard check aborts the run before the partial output is consumed.
+///
+/// # Panics
+/// Panics if shapes disagree.
+pub fn mttkrp_tiled_guarded(
+    tiled: &crate::tiling::TiledCsf,
+    factors: &[Matrix],
+    out: &mut Matrix,
+    team: &TaskTeam,
+    cfg: &MttkrpConfig,
+    guard: Option<&splatt_guard::RunGuard>,
+) {
     let mode = tiled.mode();
     for (m, f) in factors.iter().enumerate() {
         assert_eq!(f.cols(), out.cols(), "factor {m} rank mismatch");
@@ -449,12 +490,12 @@ pub fn mttkrp_tiled(
         "output rows must match mode dim"
     );
     match cfg.access {
-        MatrixAccess::RowCopy => run_tiled::<RowCopyAccess>(tiled, factors, out, team),
-        MatrixAccess::Index2D => run_tiled::<Index2DAccess>(tiled, factors, out, team),
+        MatrixAccess::RowCopy => run_tiled::<RowCopyAccess>(tiled, factors, out, team, guard),
+        MatrixAccess::Index2D => run_tiled::<Index2DAccess>(tiled, factors, out, team, guard),
         MatrixAccess::PointerChecked => {
-            run_tiled::<PointerCheckedAccess>(tiled, factors, out, team)
+            run_tiled::<PointerCheckedAccess>(tiled, factors, out, team, guard)
         }
-        MatrixAccess::PointerZip => run_tiled::<PointerZipAccess>(tiled, factors, out, team),
+        MatrixAccess::PointerZip => run_tiled::<PointerZipAccess>(tiled, factors, out, team, guard),
     }
 }
 
@@ -463,6 +504,7 @@ fn run_tiled<A: Access>(
     factors: &[Matrix],
     out: &mut Matrix,
     team: &TaskTeam,
+    guard: Option<&splatt_guard::RunGuard>,
 ) {
     out.fill(0.0);
     let rank = out.cols();
@@ -473,7 +515,11 @@ fn run_tiled<A: Access>(
     let shared = SharedOut::new(out);
     let shared = &shared;
     team.coforall(|tid| {
+        let _lane = splatt_guard::LaneSpan::enter(guard, tid);
         for t in partition::block(tiled.ntiles(), ntasks, tid) {
+            if guard.is_some_and(|g| g.poll(tid)) {
+                break;
+            }
             let csf = tiled.tile(t);
             if csf.nnz() == 0 {
                 continue;
@@ -486,7 +532,15 @@ fn run_tiled<A: Access>(
                 out: shared,
                 pool: None,
             };
-            task_slices::<A>(csf, 0, &flevel, rank, &mut target, 0..csf.nfibers(0));
+            task_slices::<A>(
+                csf,
+                0,
+                &flevel,
+                rank,
+                &mut target,
+                0..csf.nfibers(0),
+                guard.map(|g| (g, tid)),
+            );
         }
     });
 }
@@ -538,6 +592,11 @@ fn run<A: Access>(
     let privatize =
         needs_sync && use_privatization(csf.dims()[mode], ntasks, csf.nnz(), cfg.priv_threshold);
 
+    // Cheap Arc clone so the guard handle outlives the mutable borrows
+    // of the workspace below.
+    let guard = ws.guard.clone();
+    let guard = guard.as_ref();
+
     if privatize {
         ws.replicas.ensure_len(out.rows() * rank);
         ws.replicas.reset();
@@ -548,6 +607,7 @@ fn run<A: Access>(
         let flevel = &flevel;
         let bounds = &bounds;
         let body = |tid: usize| {
+            let _lane = splatt_guard::LaneSpan::enter(guard, tid);
             replicas.with_mut(tid, |buf| {
                 let mut target = OutTarget::Replica { buf, rank };
                 task_slices::<A>(
@@ -557,6 +617,7 @@ fn run<A: Access>(
                     rank,
                     &mut target,
                     bounds[tid]..bounds[tid + 1],
+                    guard.map(|g| (g, tid)),
                 );
             });
         };
@@ -577,6 +638,7 @@ fn run<A: Access>(
         let flevel = &flevel;
         let bounds = &bounds;
         let body = |tid: usize| {
+            let _lane = splatt_guard::LaneSpan::enter(guard, tid);
             let mut target = OutTarget::Shared { out: shared, pool };
             task_slices::<A>(
                 csf,
@@ -585,6 +647,7 @@ fn run<A: Access>(
                 rank,
                 &mut target,
                 bounds[tid]..bounds[tid + 1],
+                guard.map(|g| (g, tid)),
             );
         };
         match &ws.probe {
@@ -597,7 +660,12 @@ fn run<A: Access>(
     }
 }
 
-/// Process a contiguous range of root slices for one task.
+/// Process a contiguous range of root slices for one task. When `guard`
+/// is present, the task heartbeats and polls for cancellation once per
+/// [`GUARD_CHUNK`] slices on its lane and returns early if the run was
+/// tripped (leaving the target partially written — the governed driver
+/// discards it).
+#[allow(clippy::too_many_arguments)]
 fn task_slices<A: Access>(
     csf: &Csf,
     od: usize,
@@ -605,12 +673,18 @@ fn task_slices<A: Access>(
     rank: usize,
     target: &mut OutTarget<'_>,
     slices: std::ops::Range<usize>,
+    guard: Option<(&splatt_guard::RunGuard, usize)>,
 ) {
     let order = csf.order();
     let mut up_bufs: Vec<Vec<f64>> = vec![vec![0.0; rank]; order];
     let mut down_bufs: Vec<Vec<f64>> = vec![vec![0.0; rank]; order];
     let ones = vec![1.0; rank];
-    for s in slices {
+    for (n, s) in slices.enumerate() {
+        if let Some((g, lane)) = guard {
+            if n % GUARD_CHUNK == 0 && g.poll(lane) {
+                return;
+            }
+        }
         descend::<A>(
             csf,
             0,

@@ -49,6 +49,23 @@ impl TiledCsf {
         team: &TaskTeam,
         variant: SortVariant,
     ) -> Self {
+        Self::build_guarded(tensor, mode, ntiles, team, variant, None)
+    }
+
+    /// [`TiledCsf::build`] under run governance: the per-tile sorts poll
+    /// `guard` so cancellation stops a long tiling pass early; empty
+    /// tiles are substituted for any tile whose sort was abandoned.
+    ///
+    /// # Panics
+    /// Panics if `ntiles == 0` or `mode` is out of range.
+    pub fn build_guarded(
+        tensor: &SparseTensor,
+        mode: usize,
+        ntiles: usize,
+        team: &TaskTeam,
+        variant: SortVariant,
+        guard: Option<&splatt_guard::RunGuard>,
+    ) -> Self {
         assert!(ntiles > 0, "ntiles must be positive");
         assert!(mode < tensor.order(), "mode out of range");
         let dim = tensor.dims()[mode];
@@ -97,8 +114,13 @@ impl TiledCsf {
             .into_iter()
             .map(|(inds, vals)| {
                 let mut t = SparseTensor::from_parts(tensor.dims().to_vec(), inds, vals);
-                sort::sort_by_perm(&mut t, &perm, team, variant);
-                Csf::from_sorted(&t, &perm)
+                sort::sort_by_perm_guarded(&mut t, &perm, team, variant, guard);
+                if guard.is_some_and(|g| g.is_cancelled()) && !t.is_sorted_by(&perm) {
+                    let empty = SparseTensor::new(tensor.dims().to_vec());
+                    Csf::from_sorted(&empty, &perm)
+                } else {
+                    Csf::from_sorted(&t, &perm)
+                }
             })
             .collect();
 

@@ -40,6 +40,11 @@ pub struct DistCpalsOptions {
     /// Recovery bounds for injected interconnect faults (retry budget,
     /// backoff schedule). Ignored when no fault plan is supplied.
     pub recovery: RecoveryPolicy,
+    /// Wall-clock deadline: recovery sleeps (straggler absorption,
+    /// retry backoff) clamp against it, and a collective still retrying
+    /// past it fails with [`DistCpalsError::DeadlineExpired`] instead of
+    /// sleeping the budget away.
+    pub deadline: Option<splatt_guard::Deadline>,
 }
 
 impl Default for DistCpalsOptions {
@@ -50,31 +55,63 @@ impl Default for DistCpalsOptions {
             tolerance: 0.0,
             seed: 0xD157,
             recovery: RecoveryPolicy::default(),
+            deadline: None,
         }
     }
 }
 
-/// A distributed solve that could not complete: an injected interconnect
-/// fault exhausted its retry budget.
+/// A distributed solve that could not complete.
 #[derive(Debug)]
-pub struct DistCpalsError {
-    /// The fault kind that could not be recovered.
-    pub kind: FaultKind,
-    /// ALS iteration the fault hit.
-    pub iteration: usize,
-    /// Collective site (e.g. `mode 1 layer 0 allreduce`).
-    pub site: String,
+pub enum DistCpalsError {
+    /// An injected interconnect fault exhausted its retry budget.
+    Unrecovered {
+        /// The fault kind that could not be recovered.
+        kind: FaultKind,
+        /// ALS iteration the fault hit.
+        iteration: usize,
+        /// Collective site (e.g. `mode 1 layer 0 allreduce`).
+        site: String,
+    },
+    /// The run deadline expired while a collective was still retrying;
+    /// retrying on is pointless, so the solve stops with a typed error
+    /// instead of burning the rest of the budget in backoff sleeps.
+    DeadlineExpired {
+        /// ALS iteration the expiry hit.
+        iteration: usize,
+        /// Collective site that was mid-retry.
+        site: String,
+        /// Wall time consumed when the expiry was noticed.
+        elapsed: Duration,
+        /// The configured budget.
+        limit: Duration,
+    },
 }
 
 impl std::fmt::Display for DistCpalsError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "unrecovered {} fault at iteration {} ({})",
-            self.kind.label(),
-            self.iteration,
-            self.site
-        )
+        match self {
+            DistCpalsError::Unrecovered {
+                kind,
+                iteration,
+                site,
+            } => write!(
+                f,
+                "unrecovered {} fault at iteration {iteration} ({site})",
+                kind.label()
+            ),
+            DistCpalsError::DeadlineExpired {
+                iteration,
+                site,
+                elapsed,
+                limit,
+            } => write!(
+                f,
+                "deadline expired at iteration {iteration} during {site} \
+                 ({:.3}s elapsed of {:.3}s budget)",
+                elapsed.as_secs_f64(),
+                limit.as_secs_f64()
+            ),
+        }
     }
 }
 
@@ -126,6 +163,7 @@ struct FaultCtx<'a> {
     plan: &'a FaultPlan,
     policy: RecoveryPolicy,
     comm: &'a CommStats,
+    deadline: Option<splatt_guard::Deadline>,
 }
 
 impl FaultCtx<'_> {
@@ -161,13 +199,32 @@ impl FaultCtx<'_> {
                     site: site.to_string(),
                     action: RecoveryAction::Unrecovered,
                 });
-                return Err(DistCpalsError {
+                return Err(DistCpalsError::Unrecovered {
                     kind: FaultKind::DroppedCollective,
                     iteration: it,
                     site: site.to_string(),
                 });
             }
-            std::thread::sleep(self.policy.backoff_duration(attempts - 1));
+            // a retry past the deadline cannot help: fail typed instead
+            // of sleeping away wall clock nobody has
+            if let Some(dl) = self.deadline {
+                if dl.expired() {
+                    self.plan.record(FaultRecord {
+                        kind: FaultKind::DroppedCollective,
+                        iteration: it,
+                        site: site.to_string(),
+                        action: RecoveryAction::Unrecovered,
+                    });
+                    return Err(DistCpalsError::DeadlineExpired {
+                        iteration: it,
+                        site: site.to_string(),
+                        elapsed: dl.elapsed(),
+                        limit: dl.limit(),
+                    });
+                }
+            }
+            let backoff = self.policy.backoff_duration(attempts - 1);
+            std::thread::sleep(self.deadline.map_or(backoff, |dl| dl.clamp(backoff)));
             self.comm.charge_retry();
             recharge();
         }
@@ -249,6 +306,7 @@ pub fn try_dist_cp_als(
         plan,
         policy,
         comm: &comm,
+        deadline: opts.deadline,
     });
     // distinct fault-site units: per-layer collectives first, then the
     // global reductions after them
@@ -271,13 +329,17 @@ pub fn try_dist_cp_als(
                 // the bulk-synchronous barrier absorbs the delay
                 if let Some(plan) = faults {
                     if plan.roll(FaultKind::Straggler, it, mode * nprocs + r, 0) {
-                        let nanos = plan.straggler_delay_nanos(it, mode * nprocs + r);
-                        std::thread::sleep(Duration::from_nanos(nanos));
+                        let delay =
+                            Duration::from_nanos(plan.straggler_delay_nanos(it, mode * nprocs + r));
+                        let delay = opts.deadline.map_or(delay, |dl| dl.clamp(delay));
+                        std::thread::sleep(delay);
                         plan.record(FaultRecord {
                             kind: FaultKind::Straggler,
                             iteration: it,
                             site: format!("mode {mode} rank {r} mttkrp"),
-                            action: RecoveryAction::AbsorbedDelay { nanos },
+                            action: RecoveryAction::AbsorbedDelay {
+                                nanos: delay.as_nanos() as u64,
+                            },
                         });
                     }
                 }
@@ -620,9 +682,93 @@ mod tests {
             Some(&plan),
         )
         .expect_err("all-drop plan must exhaust retries");
-        assert_eq!(err.kind, splatt_faults::FaultKind::DroppedCollective);
+        match &err {
+            DistCpalsError::Unrecovered { kind, .. } => {
+                assert_eq!(*kind, splatt_faults::FaultKind::DroppedCollective);
+            }
+            other => panic!("expected Unrecovered, got {other:?}"),
+        }
         assert!(plan.any_unrecovered());
         assert!(err.to_string().contains("unrecovered"));
+    }
+
+    #[test]
+    fn expired_deadline_fails_retries_typed_instead_of_sleeping() {
+        use splatt_faults::{FaultPlan, FaultRates};
+        let t = planted();
+        let dist = TensorDistribution::new(&t, ProcessGrid::new(vec![2, 1, 1]));
+        // drops on every attempt would normally burn the whole backoff
+        // schedule; an already-expired deadline must cut that short
+        let plan = FaultPlan::new(
+            7,
+            FaultRates {
+                straggler: 0.0,
+                dropped: 1.0,
+                corrupt: 0.0,
+                nan: 0.0,
+                nonspd: 0.0,
+            },
+        );
+        let start = std::time::Instant::now();
+        let err = try_dist_cp_als(
+            &dist,
+            &DistCpalsOptions {
+                rank: 2,
+                max_iters: 2,
+                deadline: Some(splatt_guard::Deadline::after(Duration::ZERO)),
+                ..Default::default()
+            },
+            Some(&plan),
+        )
+        .expect_err("expired deadline must surface");
+        match &err {
+            DistCpalsError::DeadlineExpired { limit, .. } => {
+                assert_eq!(*limit, Duration::ZERO);
+            }
+            other => panic!("expected DeadlineExpired, got {other:?}"),
+        }
+        assert!(err.to_string().contains("deadline expired"));
+        // no backoff sleeps happened on the way out
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "retry path slept past an expired deadline"
+        );
+    }
+
+    #[test]
+    fn deadline_clamped_stragglers_preserve_the_bits() {
+        use splatt_faults::{FaultPlan, FaultRates};
+        let t = planted();
+        let dist = TensorDistribution::new(&t, ProcessGrid::new(vec![2, 2, 1]));
+        let opts = DistCpalsOptions {
+            rank: 2,
+            max_iters: 6,
+            ..Default::default()
+        };
+        let clean = dist_cp_als(&dist, &opts);
+        let plan = FaultPlan::new(
+            0xFA,
+            FaultRates {
+                straggler: 0.3,
+                dropped: 0.0,
+                corrupt: 0.0,
+                nan: 0.0,
+                nonspd: 0.0,
+            },
+        );
+        // an expired deadline clamps every straggler absorption to zero
+        // sleep; the arithmetic stream must still be untouched
+        let faulty = try_dist_cp_als(
+            &dist,
+            &DistCpalsOptions {
+                deadline: Some(splatt_guard::Deadline::after(Duration::ZERO)),
+                ..opts
+            },
+            Some(&plan),
+        )
+        .expect("stragglers alone are always recoverable");
+        assert_eq!(clean.fit.to_bits(), faulty.fit.to_bits());
+        assert!(plan.event_count() > 0, "no stragglers fired");
     }
 
     #[test]

@@ -113,6 +113,10 @@ pub struct FaultPlan {
     rates: FaultRates,
     /// Faults only fire in iterations `< horizon` (`usize::MAX` = always).
     horizon: usize,
+    /// Multiplier on straggler delays (default 1: 100 µs – 1 ms). The
+    /// governance tests scale delays up into watchdog territory without
+    /// changing which sites fire.
+    straggler_scale: u64,
     fired: Mutex<HashSet<(u64, u64, u64, u64)>>,
     events: Mutex<Vec<FaultRecord>>,
 }
@@ -157,6 +161,7 @@ impl FaultPlan {
             seed,
             rates,
             horizon: usize::MAX,
+            straggler_scale: 1,
             fired: Mutex::new(HashSet::new()),
             events: Mutex::new(Vec::new()),
         }
@@ -175,9 +180,21 @@ impl FaultPlan {
         self
     }
 
+    /// Multiply straggler delays by `scale` (min 1). Which sites fire is
+    /// unchanged — only how long each absorbed delay lasts.
+    pub fn with_straggler_scale(mut self, scale: u64) -> Self {
+        self.straggler_scale = scale.max(1);
+        self
+    }
+
     /// The seed this plan derives every decision from.
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// The straggler-delay multiplier.
+    pub fn straggler_scale(&self) -> u64 {
+        self.straggler_scale
     }
 
     /// Configured rates.
@@ -266,7 +283,8 @@ impl FaultPlan {
     }
 
     /// A deterministic per-site straggler delay in nanoseconds
-    /// (100 µs – 1 ms), derived from the same hash stream.
+    /// (100 µs – 1 ms at the default scale), derived from the same hash
+    /// stream and multiplied by the straggler scale.
     pub fn straggler_delay_nanos(&self, iteration: usize, unit: usize) -> u64 {
         let h = site_hash(
             self.seed ^ 0xDE1A_F00D,
@@ -275,7 +293,7 @@ impl FaultPlan {
             unit as u64,
             0,
         );
-        100_000 + h % 900_000
+        (100_000 + h % 900_000).saturating_mul(self.straggler_scale)
     }
 
     /// A deterministic index used to pick which payload element gets
@@ -478,5 +496,23 @@ mod tests {
             assert!(t < 37);
         }
         assert_eq!(a.target_index(FaultKind::NanPoison, 0, 0, 0), 0);
+    }
+
+    #[test]
+    fn straggler_scale_multiplies_delays_without_changing_decisions() {
+        let base = noisy();
+        let scaled = noisy().with_straggler_scale(100);
+        assert_eq!(scaled.straggler_scale(), 100);
+        for it in 0..10 {
+            assert_eq!(
+                scaled.straggler_delay_nanos(it, 1),
+                100 * base.straggler_delay_nanos(it, 1)
+            );
+            for kind in FaultKind::ALL {
+                assert_eq!(base.roll(kind, it, 1, 0), scaled.roll(kind, it, 1, 0));
+            }
+        }
+        // scale 0 clamps to 1 rather than zeroing every delay
+        assert_eq!(noisy().with_straggler_scale(0).straggler_scale(), 1);
     }
 }

@@ -52,6 +52,60 @@ impl TeamConfig {
     }
 }
 
+/// Why a `coforall` broadcast failed.
+///
+/// Replaces the old untyped `panic!("a task in TaskTeam::coforall
+/// panicked")`: the error carries which task failed and the panic
+/// payload's message, so callers can attribute a kernel failure to a
+/// worker instead of unwinding with a context-free string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TeamError {
+    /// A task panicked while running the broadcast body.
+    Panicked {
+        /// The task id (`tid`) whose body panicked. When several tasks
+        /// panic in one broadcast, the first to be recorded wins.
+        worker: usize,
+        /// The panic payload's message (`&str` / `String` payloads are
+        /// preserved verbatim; anything else is summarized).
+        payload: String,
+    },
+    /// The broadcast was abandoned because its cancellation predicate
+    /// fired (only returned by [`TaskTeam::coforall_cancellable`]).
+    Cancelled,
+}
+
+impl TeamError {
+    fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "<non-string panic payload>".to_string()
+        }
+    }
+}
+
+impl std::fmt::Display for TeamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TeamError::Panicked { worker, payload } => {
+                write!(f, "task {worker} in TaskTeam::coforall panicked: {payload}")
+            }
+            TeamError::Cancelled => write!(f, "coforall cancelled before completion"),
+        }
+    }
+}
+
+impl std::error::Error for TeamError {}
+
+/// Internal broadcast outcome: a caller (task 0) panic keeps its
+/// original payload so `coforall` can resume it unchanged.
+enum Broadcast {
+    Caller(Box<dyn std::any::Any + Send>),
+    Worker(TeamError),
+}
+
 /// Type-erased reference to the closure being broadcast. Only valid while
 /// the owning `coforall` frame is alive; see the safety notes in
 /// [`TaskTeam::coforall`].
@@ -80,6 +134,8 @@ struct Shared {
     shutdown: AtomicBool,
     /// Any worker panicked while running the current job.
     panicked: AtomicBool,
+    /// First (worker id, panic message) of the current job.
+    panic_info: Mutex<Option<(usize, String)>>,
     /// Workers park here while idle.
     idle_lock: Mutex<()>,
     idle_cv: Condvar,
@@ -131,6 +187,7 @@ impl TaskTeam {
             remaining: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
             panicked: AtomicBool::new(false),
+            panic_info: Mutex::new(None),
             idle_lock: Mutex::new(()),
             idle_cv: Condvar::new(),
             done_lock: Mutex::new(()),
@@ -167,30 +224,90 @@ impl TaskTeam {
     /// all of them. The calling thread executes task 0.
     ///
     /// # Panics
-    /// Panics (after all tasks finish or unwind) if any task panicked.
+    /// Panics (after all tasks finish or unwind) if any task panicked: a
+    /// task-0 panic resumes its original payload on the caller, a worker
+    /// panic raises the [`TeamError`] message naming the worker.
     pub fn coforall<F>(&self, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        match self.broadcast(&f) {
+            Ok(()) => {}
+            Err(Broadcast::Caller(payload)) => std::panic::resume_unwind(payload),
+            Err(Broadcast::Worker(err)) => panic!("{err}"),
+        }
+    }
+
+    /// Fallible [`TaskTeam::coforall`]: every task still runs to
+    /// completion (or unwinds), but a panic anywhere in the team comes
+    /// back as a typed [`TeamError`] instead of unwinding the caller.
+    pub fn try_coforall<F>(&self, f: F) -> Result<(), TeamError>
+    where
+        F: Fn(usize) + Sync,
+    {
+        match self.broadcast(&f) {
+            Ok(()) => Ok(()),
+            Err(Broadcast::Caller(payload)) => Err(TeamError::Panicked {
+                worker: 0,
+                payload: TeamError::panic_message(payload.as_ref()),
+            }),
+            Err(Broadcast::Worker(err)) => Err(err),
+        }
+    }
+
+    /// Cancellable [`TaskTeam::try_coforall`]: each task consults
+    /// `is_cancelled` before running its body (and the whole broadcast
+    /// is skipped when it is already set), so a tripped run guard stops
+    /// scheduling new task bodies. Returns [`TeamError::Cancelled`] when
+    /// the predicate was set before or during the broadcast; bodies that
+    /// did run ran to completion.
+    ///
+    /// The predicate is a plain `Fn() -> bool` rather than a guard type
+    /// so this crate stays independent of `splatt-guard`; pass
+    /// `|| guard.is_cancelled()`.
+    pub fn coforall_cancellable<F, C>(&self, is_cancelled: &C, f: F) -> Result<(), TeamError>
+    where
+        F: Fn(usize) + Sync,
+        C: Fn() -> bool + Sync,
+    {
+        if is_cancelled() {
+            return Err(TeamError::Cancelled);
+        }
+        self.try_coforall(|tid| {
+            if !is_cancelled() {
+                f(tid);
+            }
+        })?;
+        if is_cancelled() {
+            return Err(TeamError::Cancelled);
+        }
+        Ok(())
+    }
+
+    /// The broadcast core shared by the `coforall` variants.
+    fn broadcast<F>(&self, f: &F) -> Result<(), Broadcast>
     where
         F: Fn(usize) + Sync,
     {
         fn call_impl<F: Fn(usize) + Sync>(data: *const (), tid: usize) {
             // SAFETY: `data` points at the `f` borrowed by the enclosing
-            // `coforall` frame, which blocks until `remaining == 0`; thus
+            // `broadcast` frame, which blocks until `remaining == 0`; thus
             // the referent is alive for every invocation.
             let f = unsafe { &*(data as *const F) };
             f(tid);
         }
 
         if self.ntasks == 1 {
-            f(0);
-            return;
+            return catch_unwind(AssertUnwindSafe(|| f(0))).map_err(Broadcast::Caller);
         }
 
         let job = JobRef {
-            data: &f as *const F as *const (),
+            data: f as *const F as *const (),
             call: call_impl::<F>,
         };
 
         self.shared.panicked.store(false, Ordering::Relaxed);
+        *self.shared.panic_info.lock() = None;
         self.shared
             .remaining
             .store(self.ntasks - 1, Ordering::Relaxed);
@@ -223,11 +340,18 @@ impl TaskTeam {
         }
 
         if let Err(payload) = caller_result {
-            std::panic::resume_unwind(payload);
+            return Err(Broadcast::Caller(payload));
         }
         if self.shared.panicked.load(Ordering::Relaxed) {
-            panic!("a task in TaskTeam::coforall panicked");
+            let (worker, payload) = self
+                .shared
+                .panic_info
+                .lock()
+                .take()
+                .unwrap_or_else(|| (0, "<panic message lost>".to_string()));
+            return Err(Broadcast::Worker(TeamError::Panicked { worker, payload }));
         }
+        Ok(())
     }
 
     /// [`TaskTeam::coforall`] with per-thread busy-time recording: each
@@ -311,7 +435,12 @@ fn worker_loop(shared: Arc<Shared>, tid: usize) {
             }
         };
         let result = catch_unwind(AssertUnwindSafe(|| (job.call)(job.data, tid)));
-        if result.is_err() {
+        if let Err(payload) = result {
+            let mut info = shared.panic_info.lock();
+            if info.is_none() {
+                *info = Some((tid, TeamError::panic_message(payload.as_ref())));
+            }
+            drop(info);
             shared.panicked.store(true, Ordering::Relaxed);
         }
         if shared.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
@@ -422,6 +551,108 @@ mod tests {
             total.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(total.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn try_coforall_returns_typed_error_with_worker_and_payload() {
+        let team = TaskTeam::new(4);
+        let err = team
+            .try_coforall(|tid| {
+                if tid == 2 {
+                    panic!("kernel exploded on tile {tid}");
+                }
+            })
+            .unwrap_err();
+        assert_eq!(
+            err,
+            TeamError::Panicked {
+                worker: 2,
+                payload: "kernel exploded on tile 2".to_string(),
+            }
+        );
+        assert!(err.to_string().contains("task 2"));
+        // team must still be usable afterwards
+        team.try_coforall(|_| {}).unwrap();
+    }
+
+    #[test]
+    fn try_coforall_reports_caller_panic_as_worker_zero() {
+        let team = TaskTeam::new(2);
+        let err = team
+            .try_coforall(|tid| {
+                if tid == 0 {
+                    panic!("driver-side failure");
+                }
+            })
+            .unwrap_err();
+        assert_eq!(
+            err,
+            TeamError::Panicked {
+                worker: 0,
+                payload: "driver-side failure".to_string(),
+            }
+        );
+    }
+
+    #[test]
+    fn try_coforall_single_task_team_is_fallible_too() {
+        let team = TaskTeam::new(1);
+        let err = team.try_coforall(|_| panic!("inline")).unwrap_err();
+        assert!(matches!(err, TeamError::Panicked { worker: 0, .. }));
+        team.try_coforall(|_| {}).unwrap();
+    }
+
+    #[test]
+    fn coforall_panic_message_names_the_worker() {
+        let team = TaskTeam::new(4);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            team.coforall(|tid| {
+                if tid == 3 {
+                    panic!("boom");
+                }
+            });
+        }));
+        let payload = result.unwrap_err();
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("task 3"), "message was: {msg}");
+        assert!(msg.contains("boom"), "message was: {msg}");
+    }
+
+    #[test]
+    fn coforall_cancellable_skips_bodies_once_cancelled() {
+        let team = TaskTeam::new(4);
+        let ran = AtomicUsize::new(0);
+
+        // Already cancelled: no body runs at all.
+        let err = team
+            .coforall_cancellable(&|| true, |_| {
+                ran.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap_err();
+        assert_eq!(err, TeamError::Cancelled);
+        assert_eq!(ran.load(Ordering::Relaxed), 0);
+
+        // Not cancelled: all bodies run.
+        team.coforall_cancellable(&|| false, |_| {
+            ran.fetch_add(1, Ordering::Relaxed);
+        })
+        .unwrap();
+        assert_eq!(ran.load(Ordering::Relaxed), 4);
+
+        // Cancelled mid-broadcast: the error surfaces even though some
+        // bodies ran.
+        let flag = AtomicBool::new(false);
+        let err = team
+            .coforall_cancellable(&|| flag.load(Ordering::Relaxed), |tid| {
+                if tid == 0 {
+                    flag.store(true, Ordering::Relaxed);
+                }
+            })
+            .unwrap_err();
+        assert_eq!(err, TeamError::Cancelled);
     }
 
     #[test]

@@ -94,6 +94,14 @@ impl AllocStats {
                 .wrapping_sub(earlier.replica_reductions),
         }
     }
+
+    /// Total bytes across the three traffic streams — the quantity a
+    /// memory budget bounds.
+    pub fn total_bytes(&self) -> u64 {
+        self.row_copy_bytes
+            .wrapping_add(self.descriptor_bytes)
+            .wrapping_add(self.replica_bytes)
+    }
 }
 
 pub fn snapshot() -> AllocStats {

@@ -31,7 +31,7 @@ mod span;
 mod tasks;
 
 pub use locks::{LockCounters, LockStats};
-pub use report::{FaultRow, ProfileReport, RoutineRow, PROFILE_SCHEMA};
+pub use report::{FaultRow, GuardRow, ProfileReport, RoutineRow, PROFILE_SCHEMA};
 pub use span::SpanNode;
 pub use tasks::{TaskTimes, ThreadLoad, ThreadLoadRow};
 

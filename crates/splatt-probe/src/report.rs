@@ -12,8 +12,9 @@ use std::fmt::Write as _;
 
 /// Version tag embedded in every JSON profile. Bump only with a schema
 /// change; tests pin the current value. v2 added the `faults` array
-/// (injected-fault and recovery-action rows).
-pub const PROFILE_SCHEMA: &str = "splatt-profile-v2";
+/// (injected-fault and recovery-action rows); v3 added the `guard`
+/// object (run-governance checks, trips, and watchdog activity).
+pub const PROFILE_SCHEMA: &str = "splatt-profile-v3";
 
 /// One row of the per-routine table (label from `splatt_par::Routine`).
 #[derive(Debug, Clone, PartialEq)]
@@ -39,6 +40,25 @@ pub struct FaultRow {
     pub action: String,
 }
 
+/// Run-governance activity during one profiled run.
+///
+/// Like [`FaultRow`], kept as plain data so this crate stays independent
+/// of the guard crate: the CP-ALS drivers translate a guard snapshot
+/// into this row.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GuardRow {
+    /// Full driver guard checks performed.
+    pub checks: u64,
+    /// Checks that returned a trip.
+    pub trips: u64,
+    /// Stall reports filed by the watchdog.
+    pub watchdog_reports: u64,
+    /// Sampling passes the watchdog completed.
+    pub watchdog_samples: u64,
+    /// Human-readable trip reason, empty if the run never tripped.
+    pub trip: String,
+}
+
 /// Everything measured during one profiled CP-ALS run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ProfileReport {
@@ -58,6 +78,8 @@ pub struct ProfileReport {
     /// Injected faults and their recovery actions, in injection order.
     /// Empty when the run had no fault plan.
     pub faults: Vec<FaultRow>,
+    /// Run-governance activity; `None` when the run was unguarded.
+    pub guard: Option<GuardRow>,
 }
 
 impl Default for RoutineRow {
@@ -181,7 +203,21 @@ impl ProfileReport {
             json::write_escaped(&mut out, &f.action);
             out.push('}');
         }
-        out.push_str("\n  ],\n  \"spans\": ");
+        out.push_str("\n  ],\n  \"guard\": ");
+        match &self.guard {
+            None => out.push_str("null"),
+            Some(g) => {
+                let _ = write!(
+                    out,
+                    "{{\"checks\": {}, \"trips\": {}, \"watchdog_reports\": {}, \
+                     \"watchdog_samples\": {}, \"trip\": ",
+                    g.checks, g.trips, g.watchdog_reports, g.watchdog_samples
+                );
+                json::write_escaped(&mut out, &g.trip);
+                out.push('}');
+            }
+        }
+        out.push_str(",\n  \"spans\": ");
         span_json(&mut out, &self.span);
         out.push_str("\n}\n");
         out
@@ -264,6 +300,21 @@ impl ProfileReport {
                 );
             }
         }
+        if let Some(g) = &self.guard {
+            let _ = writeln!(
+                out,
+                "\n  guard: {} checks, {} trips, watchdog {} reports over {} samples{}",
+                g.checks,
+                g.trips,
+                g.watchdog_reports,
+                g.watchdog_samples,
+                if g.trip.is_empty() {
+                    String::new()
+                } else {
+                    format!(" — tripped: {}", g.trip)
+                }
+            );
+        }
         out.push_str("\n  span tree\n");
         self.span.render_into(&mut out, 1);
         out
@@ -332,6 +383,13 @@ mod tests {
                 site: "mode 1 mttkrp".into(),
                 action: "absorbed 0.5ms delay".into(),
             }],
+            guard: Some(GuardRow {
+                checks: 40,
+                trips: 1,
+                watchdog_reports: 2,
+                watchdog_samples: 100,
+                trip: "deadline exceeded (1.5s elapsed of 1.0s budget)".into(),
+            }),
         }
     }
 
@@ -376,6 +434,26 @@ mod tests {
             faults[0].get("action").unwrap().as_str(),
             Some("absorbed 0.5ms delay")
         );
+        let guard = doc.get("guard").unwrap();
+        assert_eq!(guard.get("checks").unwrap().as_u64(), Some(40));
+        assert_eq!(guard.get("trips").unwrap().as_u64(), Some(1));
+        assert_eq!(guard.get("watchdog_reports").unwrap().as_u64(), Some(2));
+        assert!(guard
+            .get("trip")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("deadline"));
+    }
+
+    #[test]
+    fn unguarded_report_serializes_null_guard() {
+        let mut report = sample();
+        report.guard = None;
+        let json = report.to_json();
+        assert!(json.contains("\"guard\": null"), "json: {json}");
+        json::parse(&json).expect("valid JSON");
+        assert!(!report.render().contains("guard:"));
     }
 
     #[test]
@@ -397,6 +475,8 @@ mod tests {
         assert!(text.contains("row copies"));
         assert!(text.contains("faults injected: 1"));
         assert!(text.contains("straggler"));
+        assert!(text.contains("guard: 40 checks, 1 trips"));
+        assert!(text.contains("tripped: deadline"));
         assert!(text.contains("span tree"));
     }
 

@@ -16,11 +16,12 @@ use splatt::core::{
 use splatt::par::Routine;
 use splatt::tensor::{io, synth, TensorStats};
 use splatt::{
-    corcondia, try_cp_als, Constraint, CpalsOptions, CsfAlloc, FaultPlan, Implementation,
-    KruskalModel, Matrix,
+    corcondia, try_cp_als, try_cp_als_governed, Constraint, CpalsError, CpalsOptions, CsfAlloc,
+    FaultPlan, GovernancePolicy, Implementation, KruskalModel, Matrix, OnOverrun, WatchdogConfig,
 };
 use std::io::Write;
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -31,7 +32,9 @@ fn usage() -> ExitCode {
          [--dedup keep|sum|error]\n              \
          [--profile FILE.json] [--out PREFIX]\n              \
          [--fault-plan seed=S,straggler=P,drop=P,corrupt=P,nan=P,nonspd=P,horizon=N]\n              \
-         [--checkpoint DIR] [--resume FILE|DIR]\n  \
+         [--checkpoint DIR] [--resume FILE|DIR]\n              \
+         [--deadline SECS] [--mem-budget BYTES] [--stall-bound MS]\n              \
+         [--on-overrun abort|checkpoint|degrade]\n  \
          splatt complete <train.tns> [--solver als|sgd|ccd] [--rank R] [--iters N]\n              \
          [--tol T] [--reg MU] [--tasks N] [--seed S]\n              \
          [--test FILE.tns] [--out PREFIX] [--model FILE]\n  \
@@ -197,7 +200,75 @@ fn cmd_cpd(path: &str, flags: &Flags) -> Result<(), String> {
     if let Some(dir) = &opts.checkpoint_dir {
         println!("checkpointing to {}", dir.display());
     }
-    let out = try_cp_als(&tensor, &opts, fault_plan.as_ref()).map_err(|e| e.to_string())?;
+
+    // ---- run governance flags ----
+    let deadline_secs: Option<f64> = flags
+        .get("deadline")
+        .map(|v| {
+            v.parse()
+                .map_err(|_| format!("invalid value '{v}' for --deadline"))
+        })
+        .transpose()?;
+    let mem_budget: Option<u64> = flags
+        .get("mem-budget")
+        .map(|v| {
+            v.parse()
+                .map_err(|_| format!("invalid value '{v}' for --mem-budget"))
+        })
+        .transpose()?;
+    let stall_bound_ms: Option<u64> = flags
+        .get("stall-bound")
+        .map(|v| {
+            v.parse()
+                .map_err(|_| format!("invalid value '{v}' for --stall-bound"))
+        })
+        .transpose()?;
+    let on_overrun = flags
+        .get("on-overrun")
+        .map(|v| {
+            OnOverrun::parse(v)
+                .ok_or_else(|| format!("unknown --on-overrun '{v}' (abort|checkpoint|degrade)"))
+        })
+        .transpose()?
+        .unwrap_or_default();
+    if on_overrun == OnOverrun::Checkpoint && opts.checkpoint_dir.is_none() {
+        return Err("--on-overrun checkpoint requires --checkpoint DIR".into());
+    }
+    let policy = GovernancePolicy {
+        deadline: deadline_secs.map(Duration::from_secs_f64),
+        mem_budget,
+        watchdog: stall_bound_ms.map(|ms| WatchdogConfig {
+            stall_bound: Duration::from_millis(ms),
+            ..Default::default()
+        }),
+        on_overrun,
+    };
+
+    let out = if policy.is_armed() {
+        println!(
+            "governance: deadline {}, mem budget {}, stall bound {}, on overrun {}",
+            deadline_secs.map_or("none".into(), |s| format!("{s}s")),
+            mem_budget.map_or("none".into(), |b| format!("{b} bytes")),
+            stall_bound_ms.map_or("none".into(), |ms| format!("{ms}ms")),
+            policy.on_overrun.label()
+        );
+        match try_cp_als_governed(&tensor, &opts, fault_plan.as_ref(), &policy) {
+            Ok(run) => {
+                for d in &run.degradations {
+                    println!("degraded: {d}");
+                }
+                run.output
+            }
+            Err(CpalsError::Aborted(ab)) => {
+                let mut msg = format!("{}", CpalsError::Aborted(ab));
+                msg.push_str("\nhint: re-run with --resume to continue from the checkpoint");
+                return Err(msg);
+            }
+            Err(e) => return Err(e.to_string()),
+        }
+    } else {
+        try_cp_als(&tensor, &opts, fault_plan.as_ref()).map_err(|e| e.to_string())?
+    };
     println!(
         "converged: fit {:.6} after {} iterations",
         out.fit, out.iterations

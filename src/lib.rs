@@ -18,6 +18,7 @@
 //! | [`locks`] | mutex pools: spin / sleeping / OS-adaptive |
 //! | [`probe`] | lock/thread/allocation profiling, `ProfileReport` |
 //! | [`faults`] | seeded fault injection (`FaultPlan`), recovery policies |
+//! | [`mod@guard`] | run governance: cancellation, deadlines, budgets, watchdog |
 //! | [`rt`] | sync primitives, seeded RNG, parallel helpers, qc harness |
 //!
 //! The most common entry points are also re-exported at the top level.
@@ -79,13 +80,24 @@ pub mod rt {
     pub use splatt_rt::*;
 }
 
+/// Run governance: cooperative cancellation, deadlines, memory budgets,
+/// and the stall watchdog ([`RunGuard`] and friends).
+pub mod guard {
+    pub use splatt_guard::*;
+}
+
 pub use splatt_core::{
     corcondia, cp_als, tensor_complete, tensor_complete_ccd, tensor_complete_sgd, try_cp_als,
-    CcdOptions, Checkpoint, CheckpointError, CompletionOptions, CompletionOutput, Constraint,
-    CpalsError, CpalsOptions, CpalsOutput, Csf, CsfAlloc, CsfSet, Implementation, KruskalModel,
-    MatrixAccess, SgdOptions,
+    try_cp_als_governed, try_cp_als_guarded, CcdOptions, Checkpoint, CheckpointError,
+    CompletionOptions, CompletionOutput, Constraint, CpalsError, CpalsOptions, CpalsOutput, Csf,
+    CsfAlloc, CsfSet, GovernancePolicy, GovernedRun, Implementation, KruskalModel, MatrixAccess,
+    OnOverrun, RunAborted, SgdOptions,
 };
 pub use splatt_dense::Matrix;
 pub use splatt_faults::{FaultKind, FaultPlan, FaultRates, RecoveryAction, RecoveryPolicy};
+pub use splatt_guard::{
+    CancelToken, Deadline, GuardConfig, MemoryBudget, RunGuard, TripReason, WatchdogConfig,
+};
 pub use splatt_locks::LockStrategy;
+pub use splatt_par::TeamError;
 pub use splatt_tensor::{SortVariant, SparseTensor};

@@ -300,3 +300,126 @@ fn profile_report_lists_every_injected_fault() {
         );
     }
 }
+
+/// Cancelling a guarded run between modes must leave a valid
+/// `ckpt-*.splatt` on disk, and resuming from it must reproduce the
+/// uncancelled run bit for bit (ISSUE satellite: cooperative
+/// cancellation composes with checkpoint/restart).
+#[test]
+fn cancel_mid_run_leaves_resumable_checkpoints() {
+    let tensor = planted();
+    let dir = std::env::temp_dir().join("splatt_ft_cancel");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let base = CpalsOptions {
+        rank: 3,
+        max_iters: 12,
+        tolerance: 0.0,
+        ntasks: 2,
+        ..Default::default()
+    };
+    let straight = try_cp_als(&tensor, &base, None).unwrap();
+
+    // the victim run is slowed by stragglers (pure latency, no
+    // numerical effect) so the main thread can cancel it mid-flight
+    let guard = splatt::RunGuard::unarmed();
+    let handle = {
+        let tensor = tensor.clone();
+        let opts = CpalsOptions {
+            checkpoint_dir: Some(dir.clone()),
+            ..base.clone()
+        };
+        let guard = guard.clone();
+        std::thread::spawn(move || {
+            let plan = FaultPlan::new(
+                0xCA9CE1,
+                FaultRates {
+                    straggler: 1.0,
+                    ..Default::default()
+                },
+            )
+            .with_straggler_scale(400);
+            splatt::try_cp_als_guarded(&tensor, &opts, Some(&plan), Some(&guard))
+        })
+    };
+
+    // wait for at least two durable checkpoints, then pull the plug
+    let give_up = std::time::Instant::now() + std::time::Duration::from_secs(120);
+    loop {
+        let ckpts = std::fs::read_dir(&dir).map(|d| d.count()).unwrap_or(0);
+        if ckpts >= 2 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < give_up,
+            "run never wrote two checkpoints"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    guard.cancel();
+
+    let err = handle
+        .join()
+        .expect("guarded run must not panic")
+        .expect_err("cancelled run must abort");
+    let ab = match err {
+        splatt::CpalsError::Aborted(ab) => ab,
+        other => panic!("expected Aborted, got {other}"),
+    };
+    assert_eq!(ab.reason, splatt::TripReason::Cancelled);
+    assert!(ab.iteration >= 2, "two checkpoints imply two iterations");
+    let latest = ab.last_checkpoint.expect("checkpoints were written");
+    assert_eq!(Some(latest.clone()), Checkpoint::latest_in(&dir).unwrap());
+    // the checkpoint the abort names is itself readable and coherent
+    Checkpoint::read_from(&latest).expect("abort named a valid checkpoint");
+
+    let resumed = try_cp_als(
+        &tensor,
+        &CpalsOptions {
+            resume_from: Some(latest),
+            ..base
+        },
+        None,
+    )
+    .unwrap();
+    assert_bit_identical(&straight, &resumed, "cancel-then-resume");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A NaN that is organically present in the input (not injected) must
+/// surface as a typed error — with no plan there is nothing to roll
+/// back to, and with a plan the bounded rollback budget must stop the
+/// identical replays. Either way: never a panic, never a hang.
+#[test]
+fn organic_nan_surfaces_typed_error() {
+    let mut t = splatt::SparseTensor::new(vec![3, 3, 3]);
+    t.push(&[0, 0, 0], 1.0);
+    t.push(&[1, 1, 1], f64::NAN);
+    t.push(&[2, 2, 2], 2.0);
+    let opts = CpalsOptions {
+        rank: 2,
+        max_iters: 3,
+        tolerance: 0.0,
+        ntasks: 1,
+        ..Default::default()
+    };
+    let err = try_cp_als(&t, &opts, None).expect_err("organic NaN must fail");
+    match err {
+        splatt::CpalsError::Unrecovered { kind, .. } => {
+            assert_eq!(kind, splatt::FaultKind::NanPoison)
+        }
+        other => panic!("expected Unrecovered, got {other}"),
+    }
+    // an armed (but never-firing) plan exhausts its rollback budget on
+    // the identical replays and surfaces the same typed error
+    let plan = FaultPlan::new(0x0A9, FaultRates::default());
+    let err = try_cp_als(&t, &opts, Some(&plan)).expect_err("organic NaN must fail");
+    assert!(matches!(
+        err,
+        splatt::CpalsError::Unrecovered {
+            kind: splatt::FaultKind::NanPoison,
+            ..
+        }
+    ));
+}

@@ -1,0 +1,427 @@
+//! Cross-crate run-governance tests: the guarantees the RunGuard stack
+//! must uphold.
+//!
+//! * Every injected stall is caught by the watchdog within its bound.
+//! * A tripping watchdog aborts the run with a `Stalled` reason.
+//! * Deadline and memory-budget aborts leave a durable checkpoint, and
+//!   resuming from it reproduces the ungoverned run bit for bit.
+//! * The profile report (schema v3) records guard activity.
+//! * A clean guarded MTTKRP costs < 2% over the unguarded kernel
+//!   (release-mode smoke, `--ignored`).
+//!
+//! The allocation counters and the wall clock are process-global, so
+//! every test serializes on one mutex — the timing bounds and budget
+//! calibrations assume no sibling test is burning the same resources.
+
+use splatt::guard::{GuardConfig, RunGuard, StallReport, TripReason, WatchdogConfig};
+use splatt::tensor::synth;
+use splatt::{
+    try_cp_als, try_cp_als_guarded, Checkpoint, CpalsError, CpalsOptions, CpalsOutput, FaultKind,
+    FaultPlan, FaultRates, Matrix, RunAborted,
+};
+use std::sync::Mutex;
+use std::time::Duration;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn planted() -> splatt::SparseTensor {
+    synth::planted_dense(&[18, 15, 12], 3, 0.0, 7).0
+}
+
+fn base_opts() -> CpalsOptions {
+    CpalsOptions {
+        rank: 3,
+        max_iters: 10,
+        tolerance: 0.0,
+        ntasks: 2,
+        ..Default::default()
+    }
+}
+
+/// A plan whose only faults are stragglers: pure injected latency, never
+/// a numerical change — so governed runs stay bit-comparable to clean
+/// ones.
+fn straggler_plan(seed: u64, scale: u64) -> FaultPlan {
+    FaultPlan::new(
+        seed,
+        FaultRates {
+            straggler: 1.0,
+            ..Default::default()
+        },
+    )
+    .with_straggler_scale(scale)
+}
+
+fn matrix_bits(m: &Matrix) -> Vec<u64> {
+    (0..m.rows())
+        .flat_map(|i| m.row(i).iter().map(|v| v.to_bits()))
+        .collect()
+}
+
+fn assert_bit_identical(a: &CpalsOutput, b: &CpalsOutput, what: &str) {
+    assert_eq!(a.fit.to_bits(), b.fit.to_bits(), "{what}: fit bits");
+    assert_eq!(
+        a.fits.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+        b.fits.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+        "{what}: fit history bits"
+    );
+    for (m, (fa, fb)) in a.model.factors.iter().zip(&b.model.factors).enumerate() {
+        assert_eq!(matrix_bits(fa), matrix_bits(fb), "{what}: factor {m} bits");
+    }
+}
+
+fn expect_aborted(r: Result<CpalsOutput, CpalsError>, what: &str) -> Box<RunAborted> {
+    match r {
+        Err(CpalsError::Aborted(ab)) => ab,
+        Err(other) => panic!("{what}: expected Aborted, got {other}"),
+        Ok(out) => panic!(
+            "{what}: run finished ({} iterations) instead of aborting",
+            out.iterations
+        ),
+    }
+}
+
+/// Every straggler sleep exceeds the stall bound, so the watchdog must
+/// file at least one report per injected stall — and a non-tripping
+/// watchdog must never perturb the run.
+#[test]
+fn watchdog_reports_every_straggler_stall() {
+    let _s = serial();
+    let tensor = planted();
+    let opts = CpalsOptions {
+        max_iters: 4,
+        ..base_opts()
+    };
+    // scale 200: sleeps of 20..200ms, all far above the 5ms bound
+    let plan = straggler_plan(0xD06, 200);
+    let bound = Duration::from_millis(5);
+    let guard = RunGuard::new(GuardConfig {
+        watchdog: Some(WatchdogConfig {
+            stall_bound: bound,
+            sample_interval: Duration::from_millis(1),
+            trip_cancel: false,
+        }),
+        lanes: opts.ntasks,
+        ..Default::default()
+    });
+    let clean = try_cp_als(&tensor, &opts, None).expect("clean run");
+    let out = try_cp_als_guarded(&tensor, &opts, Some(&plan), Some(&guard))
+        .expect("a non-tripping watchdog must not abort the run");
+    guard.shutdown();
+
+    let stalls = plan
+        .events()
+        .iter()
+        .filter(|e| e.kind == FaultKind::Straggler)
+        .count();
+    assert_eq!(stalls, 4 * 3, "rate-1.0 plan stalls every mode");
+    let reports: Vec<StallReport> = guard.stall_reports();
+    assert!(
+        reports.len() >= stalls,
+        "{} watchdog reports for {} injected stalls",
+        reports.len(),
+        stalls
+    );
+    for r in &reports {
+        assert!(
+            r.stalled_for >= bound,
+            "reported stall {:?} under the {:?} bound",
+            r.stalled_for,
+            bound
+        );
+        assert_eq!(r.lane, 0, "stragglers sleep on the driver lane");
+    }
+    let snap = guard.snapshot();
+    assert!(snap.watchdog_samples > 0);
+    assert_eq!(snap.trip, None, "observing watchdog must not trip");
+    // injected latency is invisible to the arithmetic
+    assert_bit_identical(&clean, &out, "watchdog-observed run");
+}
+
+/// With `trip_cancel` armed, a stall cancels the run and the abort is
+/// attributed to the watchdog.
+#[test]
+fn tripping_watchdog_aborts_with_stalled_reason() {
+    let _s = serial();
+    let tensor = planted();
+    let opts = CpalsOptions {
+        max_iters: 40,
+        ..base_opts()
+    };
+    let plan = straggler_plan(0x57A11, 400); // 40..400ms sleeps
+    let bound = Duration::from_millis(10);
+    let guard = RunGuard::new(GuardConfig {
+        watchdog: Some(WatchdogConfig {
+            stall_bound: bound,
+            sample_interval: Duration::from_millis(2),
+            trip_cancel: true,
+        }),
+        lanes: opts.ntasks,
+        ..Default::default()
+    });
+    let ab = expect_aborted(
+        try_cp_als_guarded(&tensor, &opts, Some(&plan), Some(&guard)),
+        "tripping watchdog",
+    );
+    guard.shutdown();
+    match ab.reason {
+        TripReason::Stalled { lane, stalled_for } => {
+            assert_eq!(lane, 0);
+            assert!(stalled_for >= bound);
+        }
+        other => panic!("expected Stalled, got {other:?}"),
+    }
+    assert!(ab.iteration >= 1);
+}
+
+/// A deadline abort mid-run leaves a durable checkpoint; resuming from
+/// it without governance reproduces the uninterrupted run bit for bit.
+#[test]
+fn deadline_abort_resumes_bit_for_bit() {
+    let _s = serial();
+    let tensor = planted();
+    let dir = std::env::temp_dir().join("splatt_gov_deadline");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let base = CpalsOptions {
+        max_iters: 40,
+        ..base_opts()
+    };
+    let straight = try_cp_als(&tensor, &base, None).unwrap();
+
+    // every iteration sleeps >= 30ms, so 40 iterations need >= 1.2s and
+    // the 800ms deadline must trip mid-run; the first iteration sleeps
+    // at most ~300ms, so at least one checkpoint lands inside the budget
+    let plan = straggler_plan(0xDEAD, 100);
+    let limit = Duration::from_millis(800);
+    let guard = RunGuard::new(GuardConfig {
+        deadline: Some(limit),
+        lanes: base.ntasks,
+        ..Default::default()
+    });
+    let ab = expect_aborted(
+        try_cp_als_guarded(
+            &tensor,
+            &CpalsOptions {
+                checkpoint_dir: Some(dir.clone()),
+                ..base.clone()
+            },
+            Some(&plan),
+            Some(&guard),
+        ),
+        "deadline",
+    );
+    match ab.reason {
+        TripReason::DeadlineExceeded { elapsed, limit: l } => {
+            assert_eq!(l, limit);
+            assert!(elapsed >= limit, "tripped early: {elapsed:?} < {limit:?}");
+        }
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    assert!(ab.iteration >= 1 && ab.iteration < 40);
+    assert_eq!(ab.partial.factors.len(), 3, "partial model is present");
+
+    let latest = ab
+        .last_checkpoint
+        .expect("at least one iteration fit inside the deadline");
+    assert_eq!(Some(latest.clone()), Checkpoint::latest_in(&dir).unwrap());
+    let resumed = try_cp_als(
+        &tensor,
+        &CpalsOptions {
+            resume_from: Some(latest),
+            ..base
+        },
+        None,
+    )
+    .unwrap();
+    assert_bit_identical(&straight, &resumed, "deadline-abort resume");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A memory-budget abort is also checkpoint-resumable. The budget is
+/// calibrated from the run's own measured allocation traffic so the
+/// trip lands deterministically around iteration three.
+#[test]
+fn memory_budget_abort_resumes_bit_for_bit() {
+    let _s = serial();
+    let tensor = planted();
+    let dir = std::env::temp_dir().join("splatt_gov_membudget");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let base = base_opts();
+    let straight = try_cp_als(&tensor, &base, None).unwrap();
+
+    // calibrate: traffic of (build + 1 iteration) and per-iteration delta
+    splatt::probe::alloc::enable();
+    let before1 = splatt::probe::alloc::snapshot();
+    try_cp_als(
+        &tensor,
+        &CpalsOptions {
+            max_iters: 1,
+            ..base.clone()
+        },
+        None,
+    )
+    .unwrap();
+    let one = splatt::probe::alloc::snapshot().since(&before1);
+    let before3 = splatt::probe::alloc::snapshot();
+    try_cp_als(
+        &tensor,
+        &CpalsOptions {
+            max_iters: 3,
+            ..base.clone()
+        },
+        None,
+    )
+    .unwrap();
+    let three = splatt::probe::alloc::snapshot().since(&before3);
+    let per_iter = (three.total_bytes() - one.total_bytes()) / 2;
+    assert!(per_iter > 0, "kernels produced no allocation traffic");
+
+    // enough for build + ~2.5 iterations: trips during iteration 3,
+    // after checkpoints exist
+    let budget = one.total_bytes() + per_iter * 3 / 2;
+    let guard = RunGuard::new(GuardConfig {
+        mem_budget: Some(budget),
+        lanes: base.ntasks,
+        ..Default::default()
+    });
+    let ab = expect_aborted(
+        try_cp_als_guarded(
+            &tensor,
+            &CpalsOptions {
+                checkpoint_dir: Some(dir.clone()),
+                ..base.clone()
+            },
+            None,
+            Some(&guard),
+        ),
+        "memory budget",
+    );
+    match ab.reason {
+        TripReason::MemoryExceeded {
+            used_bytes,
+            limit_bytes,
+        } => {
+            assert_eq!(limit_bytes, budget);
+            assert!(used_bytes > limit_bytes);
+        }
+        other => panic!("expected MemoryExceeded, got {other:?}"),
+    }
+    assert!(
+        ab.iteration >= 2 && ab.iteration <= 4,
+        "calibrated budget should trip around iteration 3, tripped at {}",
+        ab.iteration
+    );
+
+    let latest = ab.last_checkpoint.expect("iterations completed pre-trip");
+    let resumed = try_cp_als(
+        &tensor,
+        &CpalsOptions {
+            resume_from: Some(latest),
+            ..base
+        },
+        None,
+    )
+    .unwrap();
+    assert_bit_identical(&straight, &resumed, "budget-abort resume");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Schema v3: a guarded profiled run records guard activity; an
+/// unguarded one serializes `"guard": null`.
+#[test]
+fn profile_records_guard_activity() {
+    let _s = serial();
+    let tensor = planted();
+    let opts = CpalsOptions {
+        max_iters: 3,
+        profile: true,
+        ..base_opts()
+    };
+    let guard = RunGuard::unarmed();
+    let out = try_cp_als_guarded(&tensor, &opts, None, Some(&guard)).unwrap();
+    let p = out.profile.expect("profiling was enabled");
+    let g = p.guard.as_ref().expect("guarded run records a guard row");
+    assert!(g.checks > 0, "driver checks were counted");
+    assert_eq!(g.trips, 0);
+    assert_eq!(g.trip, "");
+    let json = p.to_json();
+    assert!(json.contains(splatt::probe::PROFILE_SCHEMA));
+    assert!(json.contains("\"guard\""), "guard object missing: {json}");
+    assert!(json.contains("\"checks\""));
+
+    let out2 = try_cp_als(&tensor, &opts, None).unwrap();
+    let p2 = out2.profile.expect("profiling was enabled");
+    assert!(p2.guard.is_none());
+    assert!(p2.to_json().contains("\"guard\": null"));
+}
+
+/// An already-cancelled guard aborts before the first iteration, with
+/// the partial model echoing the (resumed or random) initial factors.
+#[test]
+fn pre_cancelled_guard_aborts_immediately() {
+    let _s = serial();
+    let tensor = planted();
+    let guard = RunGuard::unarmed();
+    guard.cancel();
+    let ab = expect_aborted(
+        try_cp_als_guarded(&tensor, &base_opts(), None, Some(&guard)),
+        "pre-cancelled",
+    );
+    assert_eq!(ab.reason, TripReason::Cancelled);
+    assert_eq!(ab.iteration, 1, "tripped at the first iteration check");
+    assert!(ab.last_checkpoint.is_none());
+}
+
+/// Release-mode smoke for the ISSUE's overhead bound: a clean guarded
+/// MTTKRP must cost < 2% over the unguarded kernel (best-of-5 on the
+/// paper's critical routine). Run via the CI governance job:
+/// `cargo test --release --test governance -- --ignored`.
+#[test]
+#[ignore = "perf smoke: run in release mode via the CI governance job"]
+fn clean_guard_overhead_is_under_two_percent() {
+    let _s = serial();
+    // a workload big enough that a 2% MTTKRP delta is far above timer
+    // noise (total MTTKRP time per run is well over 100ms)
+    let tensor = synth::power_law(&[150, 120, 100], 400_000, 1.5, 3);
+    let opts = CpalsOptions {
+        rank: 16,
+        max_iters: 30,
+        tolerance: 0.0,
+        ntasks: 2,
+        ..Default::default()
+    };
+    let run = |guarded: bool| -> f64 {
+        let out = if guarded {
+            try_cp_als_guarded(&tensor, &opts, None, Some(&RunGuard::unarmed())).unwrap()
+        } else {
+            try_cp_als(&tensor, &opts, None).unwrap()
+        };
+        out.timers.seconds(splatt::par::Routine::Mttkrp)
+    };
+    // paired rounds: each round runs clean and guarded back to back and
+    // records the ratio, so both arms see the same machine state. The
+    // best round is the one least polluted by scheduler noise — a true
+    // overhead above 2% would push every round's ratio over the bar.
+    run(false); // warm-up
+    let mut best = f64::INFINITY;
+    for _ in 0..7 {
+        let (clean, guarded) = (run(false), run(true));
+        best = best.min(guarded / clean);
+        if best <= 1.02 {
+            break;
+        }
+    }
+    assert!(
+        best <= 1.02,
+        "guard overhead {:.2}% exceeds 2% in every paired round",
+        (best - 1.0) * 100.0
+    );
+}
