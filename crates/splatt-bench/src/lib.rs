@@ -26,6 +26,7 @@
 //! physical core count run oversubscribed; relative shapes, not absolute
 //! speedups, are the reproduction target.
 
+pub mod baseline;
 pub mod datasets;
 pub mod experiments;
 pub mod harness;

@@ -1,0 +1,137 @@
+//! Smoke over the committed MTTKRP bench baseline.
+//!
+//! Three guarantees, in increasing strictness:
+//! 1. `BENCH_mttkrp.json` at the repo root parses and carries the pinned
+//!    schema — a PR that changes the layout must bump `BENCH_SCHEMA` and
+//!    regenerate the file.
+//! 2. The rank-specialized dispatch is **bit-identical** to the generic
+//!    dynamic-width path on deterministic kernels (root and privatized),
+//!    so committing the specialization cannot move any oracle.
+//! 3. In release builds, the specialized kernels actually pay for
+//!    themselves: the best R=16 cell must beat the generic path by at
+//!    least 1.15x (the bar is measured on the same pinned workload the
+//!    committed baseline uses).
+
+use splatt_bench::baseline::{
+    bench_team, run_cells, workload_tensor, BenchWorkload, BASELINE_FILE, BENCH_RANKS, BENCH_SCHEMA,
+};
+use splatt_core::mttkrp::{mttkrp, MatrixAccess, MttkrpConfig, MttkrpWorkspace};
+use splatt_core::{CsfAlloc, CsfSet};
+use splatt_dense::Matrix;
+use splatt_probe::json;
+use std::path::PathBuf;
+
+fn committed_baseline_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(BASELINE_FILE)
+}
+
+#[test]
+fn committed_baseline_is_schema_stable() {
+    let path = committed_baseline_path();
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing committed baseline {}: {e}", path.display()));
+    let doc = json::parse(&text).expect("committed baseline is valid JSON");
+    assert_eq!(doc.get("schema").unwrap().as_str(), Some(BENCH_SCHEMA));
+
+    let wl = doc.get("workload").unwrap();
+    for key in ["dims", "nnz", "alpha", "seed", "ntasks", "reps", "warmup"] {
+        assert!(wl.get(key).is_some(), "workload is missing '{key}'");
+    }
+
+    let cells = doc.get("cells").unwrap().as_array().unwrap();
+    // 1 root sync + 2 syncs x 2 scatter kernels = 5 rows per rank
+    assert_eq!(cells.len(), 5 * BENCH_RANKS.len());
+    for cell in cells {
+        let kernel = cell.get("kernel").unwrap().as_str().unwrap();
+        assert!(["root", "internal", "leaf"].contains(&kernel));
+        let sync = cell.get("sync").unwrap().as_str().unwrap();
+        assert!(["none", "privatized", "locks"].contains(&sync));
+        let rank = cell.get("rank").unwrap().as_u64().unwrap() as usize;
+        assert!(BENCH_RANKS.contains(&rank), "unexpected rank {rank}");
+        assert!(cell.get("generic_ns").unwrap().as_u64().unwrap() > 0);
+        assert!(cell.get("specialized_ns").unwrap().as_u64().unwrap() > 0);
+        assert!(cell.get("speedup").unwrap().as_f64().unwrap() > 0.0);
+    }
+}
+
+/// Specialized dispatch must not move a single bit on the deterministic
+/// kernel paths (root, and scatter kernels under privatization — the
+/// task-ordered reduction makes those exact).
+#[test]
+fn specialized_dispatch_is_bit_identical_on_bench_workload() {
+    let w = BenchWorkload {
+        dims: vec![30, 24, 40],
+        nnz: 5_000,
+        alpha: 1.6,
+        seed: 0xB17,
+        ntasks: 2,
+        reps: 1,
+        warmup: 0,
+    };
+    let tensor = workload_tensor(&w);
+    let team = bench_team(w.ntasks);
+    let set = CsfSet::build(
+        &tensor,
+        CsfAlloc::One,
+        &team,
+        splatt_tensor::SortVariant::AllOpts,
+    );
+    for rank in BENCH_RANKS {
+        let factors: Vec<Matrix> = tensor
+            .dims()
+            .iter()
+            .enumerate()
+            .map(|(m, &d)| Matrix::random(d, rank, 0xFACE + m as u64))
+            .collect();
+        for mode in 0..tensor.order() {
+            let run = |specialize: bool| {
+                let cfg = MttkrpConfig {
+                    access: MatrixAccess::PointerZip,
+                    priv_threshold: 1e12, // force the deterministic path
+                    specialize,
+                    ..Default::default()
+                };
+                let mut ws = MttkrpWorkspace::new(&cfg, w.ntasks);
+                let mut out = Matrix::zeros(tensor.dims()[mode], rank);
+                mttkrp(&set, &factors, mode, &mut out, &mut ws, &team, &cfg);
+                out
+            };
+            let generic = run(false);
+            let specialized = run(true);
+            assert_eq!(
+                generic.as_slice(),
+                specialized.as_slice(),
+                "rank {rank} mode {mode}: specialized dispatch changed bits"
+            );
+        }
+    }
+}
+
+/// The perf floor the PR commits to: on the pinned baseline workload the
+/// best R=16 cell runs at least 1.15x faster specialized than generic.
+/// Meaningless without optimization, so debug builds skip it; CI runs it
+/// with `cargo test --release -- --ignored`.
+#[cfg_attr(
+    debug_assertions,
+    ignore = "perf floor is only meaningful in release builds"
+)]
+#[test]
+fn specialized_r16_beats_generic_in_release() {
+    let w = BenchWorkload::default();
+    let mut best = 0.0f64;
+    // Three attempts absorb scheduler noise on small CI boxes; the floor
+    // itself is well under the steady-state speedup (~1.3x).
+    for attempt in 0..3 {
+        let cells = run_cells(&w);
+        for c in cells.iter().filter(|c| c.rank == 16) {
+            best = best.max(c.speedup());
+        }
+        eprintln!("attempt {attempt}: best R=16 speedup so far {best:.2}x");
+        if best >= 1.15 {
+            return;
+        }
+    }
+    panic!("specialized R=16 kernels only reached {best:.2}x over generic (need >= 1.15x)");
+}

@@ -193,20 +193,25 @@ fn update_mode(csf: &Csf, factors: &mut [Matrix], mode: usize, mu: f64, team: &T
     let flevel_ref = &flevel;
     let updates_ref = &updates;
 
+    let order = csf.order();
     team.coforall(|tid| {
         let mut local = Vec::new();
         let ones = vec![1.0; rank];
         let mut h = Matrix::zeros(rank, rank); // normal matrix per row
         let mut b = vec![0.0; rank];
+        let mut rhs = Matrix::zeros(1, rank);
+        // per-level Khatri-Rao prefix buffers, reused across every slice
+        // this task owns — the subtree walk must not allocate per fiber
+        let mut kr_bufs = vec![0.0; (order - 1) * rank];
         for s in bounds_ref[tid]..bounds_ref[tid + 1] {
             h.fill(0.0);
             b.fill(0.0);
-            accumulate_subtree(csf, 0, s, flevel_ref, &ones, &mut h, &mut b);
+            accumulate_subtree(csf, 0, s, flevel_ref, &ones, &mut kr_bufs, &mut h, &mut b);
             for r in 0..rank {
                 h[(r, r)] += mu;
             }
             // solve (H + mu I) a = b for this row
-            let mut rhs = Matrix::from_vec(1, rank, b.clone());
+            rhs.as_mut_slice().copy_from_slice(&b);
             match cholesky_factor(&h) {
                 Ok(l) => cholesky_solve(&l, &mut rhs),
                 Err(_) => {
@@ -235,37 +240,40 @@ fn update_mode(csf: &Csf, factors: &mut [Matrix], mode: usize, mu: f64, team: &T
 /// `prefix` is the element-wise product of the factor rows along the path
 /// from (but excluding) the root to `level`; callers start a slice with a
 /// ones vector — the root's own factor row is the unknown being solved.
+#[allow(clippy::too_many_arguments)]
 fn accumulate_subtree(
     csf: &Csf,
     level: usize,
     fiber: usize,
     flevel: &[Matrix],
     prefix: &[f64],
+    kr_bufs: &mut [f64],
     h: &mut Matrix,
     b: &mut [f64],
 ) {
     let order = csf.order();
+    let rank = prefix.len();
     if level == order - 2 {
         // children are the leaf observations
+        let (k, _) = kr_bufs.split_at_mut(rank);
         let leaf_fids = csf.fids(order - 1);
         let vals = csf.vals();
-        let mut k = vec![0.0; prefix.len()];
         for x in csf.children(level, fiber) {
             let leaf_row = flevel[order - 1].row(leaf_fids[x] as usize);
             for ((kk, &p), &l) in k.iter_mut().zip(prefix).zip(leaf_row) {
                 *kk = p * l;
             }
-            rank_one_update(h, b, &k, vals[x]);
+            rank_one_update(h, b, k, vals[x]);
         }
     } else {
+        let (next, rest) = kr_bufs.split_at_mut(rank);
         let child_fids = csf.fids(level + 1);
         for c in csf.children(level, fiber) {
             let row = flevel[level + 1].row(child_fids[c] as usize);
-            let mut next = vec![0.0; prefix.len()];
             for ((n, &p), &r) in next.iter_mut().zip(prefix).zip(row) {
                 *n = p * r;
             }
-            accumulate_subtree(csf, level + 1, c, flevel, &next, h, b);
+            accumulate_subtree(csf, level + 1, c, flevel, next, rest, h, b);
         }
     }
 }

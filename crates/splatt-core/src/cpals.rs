@@ -344,6 +344,7 @@ pub fn try_cp_als_with_team_guarded(
         locks: opts.locks,
         pool_size: opts.pool_size,
         priv_threshold: opts.priv_threshold,
+        specialize: opts.specialize,
     };
     let mut ws = MttkrpWorkspace::new(&mtt_cfg, opts.ntasks);
     ws.set_guard(guard.cloned());

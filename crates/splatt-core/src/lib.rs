@@ -38,7 +38,7 @@ mod ccd;
 mod checkpoint;
 mod completion;
 mod cpals;
-mod csf;
+pub mod csf;
 mod diagnostics;
 mod governed;
 mod kruskal;

@@ -76,6 +76,12 @@ pub struct MttkrpConfig {
     pub pool_size: usize,
     /// Privatize when `dim[mode] * ntasks <= priv_threshold * nnz`.
     pub priv_threshold: f64,
+    /// Dispatch to fixed-width inner kernels when the rank is one of
+    /// [`SPECIALIZED_RANKS`]. The specialized paths perform the exact
+    /// same element-wise operations in the same order as the generic
+    /// loop, so results are bit-identical; the compile-time trip count
+    /// is what lets LLVM fully unroll and vectorize them.
+    pub specialize: bool,
 }
 
 impl Default for MttkrpConfig {
@@ -85,8 +91,26 @@ impl Default for MttkrpConfig {
             locks: LockStrategy::default(),
             pool_size: DEFAULT_POOL_SIZE,
             priv_threshold: DEFAULT_PRIV_THRESHOLD,
+            specialize: true,
         }
     }
+}
+
+/// Ranks with dedicated fixed-width kernel instantiations. Any other rank
+/// (or `specialize: false`) takes the generic dynamic-width path.
+pub const SPECIALIZED_RANKS: [usize; 3] = [8, 16, 32];
+
+/// Re-slice a rank-length slice as a fixed-width array reference. Only
+/// reachable from kernels dispatched with `R == rank`, so the length
+/// always matches.
+#[inline(always)]
+fn fixed<const R: usize>(s: &[f64]) -> &[f64; R] {
+    s.try_into().expect("specialized kernel width mismatch")
+}
+
+#[inline(always)]
+fn fixed_mut<const R: usize>(s: &mut [f64]) -> &mut [f64; R] {
+    s.try_into().expect("specialized kernel width mismatch")
 }
 
 /// SPLATT's privatization heuristic: replicate the output per task when
@@ -99,6 +123,9 @@ pub fn use_privatization(dim: usize, ntasks: usize, nnz: usize, threshold: f64) 
 pub struct MttkrpWorkspace {
     pool: LockPool,
     replicas: ThreadScratch,
+    /// Per-task walk buffers (`ones` + up/down prefix products), grow-only
+    /// so steady-state kernel calls never allocate.
+    kernel: ThreadScratch,
     ntasks: usize,
     probe: Option<std::sync::Arc<splatt_probe::MttkrpProbe>>,
     guard: Option<splatt_guard::RunGuard>,
@@ -110,6 +137,7 @@ impl MttkrpWorkspace {
         MttkrpWorkspace {
             pool: LockPool::new(cfg.locks, cfg.pool_size),
             replicas: ThreadScratch::new(ntasks, 0),
+            kernel: ThreadScratch::new(ntasks, 0),
             ntasks,
             probe: None,
             guard: None,
@@ -207,9 +235,11 @@ enum OutTarget<'t> {
 }
 
 impl OutTarget<'_> {
-    /// `row[r] += down[r] * up[r]` on output row `idx`.
+    /// `row[r] += down[r] * up[r]` on output row `idx`. `R` is the
+    /// compile-time rank (`0` = dynamic); both paths apply the identical
+    /// element-wise update order, so they are bit-identical.
     #[inline]
-    fn add_product(&mut self, idx: usize, down: &[f64], up: &[f64]) {
+    fn add_product<const R: usize>(&mut self, idx: usize, down: &[f64], up: &[f64]) {
         match self {
             OutTarget::Shared { out, pool } => {
                 let _guard = pool.map(|p| p.lock(idx));
@@ -217,14 +247,28 @@ impl OutTarget<'_> {
                 // row's hash class, or (root kernel) the row is owned by
                 // this task alone.
                 let row = unsafe { out.row_mut(idx) };
-                for ((o, &d), &u) in row.iter_mut().zip(down).zip(up) {
-                    *o += d * u;
+                if R > 0 {
+                    let (row, down, up) = (fixed_mut::<R>(row), fixed::<R>(down), fixed::<R>(up));
+                    for r in 0..R {
+                        row[r] += down[r] * up[r];
+                    }
+                } else {
+                    for ((o, &d), &u) in row.iter_mut().zip(down).zip(up) {
+                        *o += d * u;
+                    }
                 }
             }
             OutTarget::Replica { buf, rank } => {
                 let row = &mut buf[idx * *rank..(idx + 1) * *rank];
-                for ((o, &d), &u) in row.iter_mut().zip(down).zip(up) {
-                    *o += d * u;
+                if R > 0 {
+                    let (row, down, up) = (fixed_mut::<R>(row), fixed::<R>(down), fixed::<R>(up));
+                    for r in 0..R {
+                        row[r] += down[r] * up[r];
+                    }
+                } else {
+                    for ((o, &d), &u) in row.iter_mut().zip(down).zip(up) {
+                        *o += d * u;
+                    }
                 }
             }
         }
@@ -232,20 +276,34 @@ impl OutTarget<'_> {
 
     /// `row[r] += v * src[r]` on output row `idx` (leaf scatter).
     #[inline]
-    fn add_scaled(&mut self, idx: usize, v: f64, src: &[f64]) {
+    fn add_scaled<const R: usize>(&mut self, idx: usize, v: f64, src: &[f64]) {
         match self {
             OutTarget::Shared { out, pool } => {
                 let _guard = pool.map(|p| p.lock(idx));
                 // SAFETY: as in `add_product`.
                 let row = unsafe { out.row_mut(idx) };
-                for (o, &s) in row.iter_mut().zip(src) {
-                    *o += v * s;
+                if R > 0 {
+                    let (row, src) = (fixed_mut::<R>(row), fixed::<R>(src));
+                    for r in 0..R {
+                        row[r] += v * src[r];
+                    }
+                } else {
+                    for (o, &s) in row.iter_mut().zip(src) {
+                        *o += v * s;
+                    }
                 }
             }
             OutTarget::Replica { buf, rank } => {
                 let row = &mut buf[idx * *rank..(idx + 1) * *rank];
-                for (o, &s) in row.iter_mut().zip(src) {
-                    *o += v * s;
+                if R > 0 {
+                    let (row, src) = (fixed_mut::<R>(row), fixed::<R>(src));
+                    for r in 0..R {
+                        row[r] += v * src[r];
+                    }
+                } else {
+                    for (o, &s) in row.iter_mut().zip(src) {
+                        *o += v * s;
+                    }
                 }
             }
         }
@@ -253,13 +311,19 @@ impl OutTarget<'_> {
 }
 
 /// Monomorphized factor-row access operations.
+///
+/// Each method is additionally const-generic over the compile-time rank
+/// `R` (`0` = dynamic width). When `R > 0` the row and accumulator are
+/// re-sliced to `&[f64; R]`, giving LLVM an exact trip count to unroll
+/// and vectorize against; the arithmetic — element order included — is
+/// identical to the dynamic path, so both produce bit-identical results.
 trait Access {
     /// `accum[r] += scale * f[idx][r]` — the leaf gather.
-    fn axpy_row(f: &Matrix, idx: usize, scale: f64, accum: &mut [f64]);
+    fn axpy_row<const R: usize>(f: &Matrix, idx: usize, scale: f64, accum: &mut [f64]);
     /// `dst[r] = a[r] * f[idx][r]` — extend the downward prefix product.
-    fn mul_row(f: &Matrix, idx: usize, a: &[f64], dst: &mut [f64]);
+    fn mul_row<const R: usize>(f: &Matrix, idx: usize, a: &[f64], dst: &mut [f64]);
     /// `accum[r] += a[r] * f[idx][r]` — combine a child's upward product.
-    fn fma_row(f: &Matrix, idx: usize, a: &[f64], accum: &mut [f64]);
+    fn fma_row<const R: usize>(f: &Matrix, idx: usize, a: &[f64], accum: &mut [f64]);
 }
 
 /// Chapel-slicing analogue: a fresh owned copy per row access.
@@ -288,28 +352,52 @@ fn counted_row_copy(f: &Matrix, idx: usize) -> Vec<f64> {
 }
 
 impl Access for RowCopyAccess {
+    // The specialized widths still pay the full descriptor + copy cost:
+    // rank specialization must not quietly erase the modeled Chapel
+    // slicing overhead this variant exists to measure.
     #[inline]
-    fn axpy_row(f: &Matrix, idx: usize, scale: f64, accum: &mut [f64]) {
+    fn axpy_row<const R: usize>(f: &Matrix, idx: usize, scale: f64, accum: &mut [f64]) {
         let _desc = slice_descriptor(idx, f.cols());
         let row = counted_row_copy(f, idx); // allocation: the modeled slicing cost
-        for (a, &v) in accum.iter_mut().zip(&row) {
-            *a += scale * v;
+        if R > 0 {
+            let (row, accum) = (fixed::<R>(&row), fixed_mut::<R>(accum));
+            for r in 0..R {
+                accum[r] += scale * row[r];
+            }
+        } else {
+            for (a, &v) in accum.iter_mut().zip(&row) {
+                *a += scale * v;
+            }
         }
     }
     #[inline]
-    fn mul_row(f: &Matrix, idx: usize, a: &[f64], dst: &mut [f64]) {
+    fn mul_row<const R: usize>(f: &Matrix, idx: usize, a: &[f64], dst: &mut [f64]) {
         let _desc = slice_descriptor(idx, f.cols());
         let row = counted_row_copy(f, idx);
-        for ((d, &x), &v) in dst.iter_mut().zip(a).zip(&row) {
-            *d = x * v;
+        if R > 0 {
+            let (row, a, dst) = (fixed::<R>(&row), fixed::<R>(a), fixed_mut::<R>(dst));
+            for r in 0..R {
+                dst[r] = a[r] * row[r];
+            }
+        } else {
+            for ((d, &x), &v) in dst.iter_mut().zip(a).zip(&row) {
+                *d = x * v;
+            }
         }
     }
     #[inline]
-    fn fma_row(f: &Matrix, idx: usize, a: &[f64], accum: &mut [f64]) {
+    fn fma_row<const R: usize>(f: &Matrix, idx: usize, a: &[f64], accum: &mut [f64]) {
         let _desc = slice_descriptor(idx, f.cols());
         let row = counted_row_copy(f, idx);
-        for ((acc, &x), &v) in accum.iter_mut().zip(a).zip(&row) {
-            *acc += x * v;
+        if R > 0 {
+            let (row, a, accum) = (fixed::<R>(&row), fixed::<R>(a), fixed_mut::<R>(accum));
+            for r in 0..R {
+                accum[r] += a[r] * row[r];
+            }
+        } else {
+            for ((acc, &x), &v) in accum.iter_mut().zip(a).zip(&row) {
+                *acc += x * v;
+            }
         }
     }
 }
@@ -317,22 +405,45 @@ impl Access for RowCopyAccess {
 /// Direct 2D indexing: index arithmetic + bounds check per element.
 struct Index2DAccess;
 impl Access for Index2DAccess {
+    // Specialized widths keep the per-element 2D index arithmetic (and
+    // its bounds check) — only the trip count becomes compile-time.
     #[inline]
-    fn axpy_row(f: &Matrix, idx: usize, scale: f64, accum: &mut [f64]) {
-        for (r, a) in accum.iter_mut().enumerate() {
-            *a += scale * f[(idx, r)];
+    fn axpy_row<const R: usize>(f: &Matrix, idx: usize, scale: f64, accum: &mut [f64]) {
+        if R > 0 {
+            let accum = fixed_mut::<R>(accum);
+            for r in 0..R {
+                accum[r] += scale * f[(idx, r)];
+            }
+        } else {
+            for (r, a) in accum.iter_mut().enumerate() {
+                *a += scale * f[(idx, r)];
+            }
         }
     }
     #[inline]
-    fn mul_row(f: &Matrix, idx: usize, a: &[f64], dst: &mut [f64]) {
-        for (r, (d, &x)) in dst.iter_mut().zip(a).enumerate() {
-            *d = x * f[(idx, r)];
+    fn mul_row<const R: usize>(f: &Matrix, idx: usize, a: &[f64], dst: &mut [f64]) {
+        if R > 0 {
+            let (a, dst) = (fixed::<R>(a), fixed_mut::<R>(dst));
+            for r in 0..R {
+                dst[r] = a[r] * f[(idx, r)];
+            }
+        } else {
+            for (r, (d, &x)) in dst.iter_mut().zip(a).enumerate() {
+                *d = x * f[(idx, r)];
+            }
         }
     }
     #[inline]
-    fn fma_row(f: &Matrix, idx: usize, a: &[f64], accum: &mut [f64]) {
-        for (r, (acc, &x)) in accum.iter_mut().zip(a).enumerate() {
-            *acc += x * f[(idx, r)];
+    fn fma_row<const R: usize>(f: &Matrix, idx: usize, a: &[f64], accum: &mut [f64]) {
+        if R > 0 {
+            let (a, accum) = (fixed::<R>(a), fixed_mut::<R>(accum));
+            for r in 0..R {
+                accum[r] += a[r] * f[(idx, r)];
+            }
+        } else {
+            for (r, (acc, &x)) in accum.iter_mut().zip(a).enumerate() {
+                *acc += x * f[(idx, r)];
+            }
         }
     }
 }
@@ -341,24 +452,45 @@ impl Access for Index2DAccess {
 struct PointerCheckedAccess;
 impl Access for PointerCheckedAccess {
     #[inline]
-    fn axpy_row(f: &Matrix, idx: usize, scale: f64, accum: &mut [f64]) {
+    fn axpy_row<const R: usize>(f: &Matrix, idx: usize, scale: f64, accum: &mut [f64]) {
         let row = f.row(idx);
-        for (r, a) in accum.iter_mut().enumerate() {
-            *a += scale * row[r];
+        if R > 0 {
+            let (row, accum) = (fixed::<R>(row), fixed_mut::<R>(accum));
+            for r in 0..R {
+                accum[r] += scale * row[r];
+            }
+        } else {
+            for (r, a) in accum.iter_mut().enumerate() {
+                *a += scale * row[r];
+            }
         }
     }
     #[inline]
-    fn mul_row(f: &Matrix, idx: usize, a: &[f64], dst: &mut [f64]) {
+    fn mul_row<const R: usize>(f: &Matrix, idx: usize, a: &[f64], dst: &mut [f64]) {
         let row = f.row(idx);
-        for (r, (d, &x)) in dst.iter_mut().zip(a).enumerate() {
-            *d = x * row[r];
+        if R > 0 {
+            let (row, a, dst) = (fixed::<R>(row), fixed::<R>(a), fixed_mut::<R>(dst));
+            for r in 0..R {
+                dst[r] = a[r] * row[r];
+            }
+        } else {
+            for (r, (d, &x)) in dst.iter_mut().zip(a).enumerate() {
+                *d = x * row[r];
+            }
         }
     }
     #[inline]
-    fn fma_row(f: &Matrix, idx: usize, a: &[f64], accum: &mut [f64]) {
+    fn fma_row<const R: usize>(f: &Matrix, idx: usize, a: &[f64], accum: &mut [f64]) {
         let row = f.row(idx);
-        for (r, (acc, &x)) in accum.iter_mut().zip(a).enumerate() {
-            *acc += x * row[r];
+        if R > 0 {
+            let (row, a, accum) = (fixed::<R>(row), fixed::<R>(a), fixed_mut::<R>(accum));
+            for r in 0..R {
+                accum[r] += a[r] * row[r];
+            }
+        } else {
+            for (r, (acc, &x)) in accum.iter_mut().zip(a).enumerate() {
+                *acc += x * row[r];
+            }
         }
     }
 }
@@ -367,21 +499,42 @@ impl Access for PointerCheckedAccess {
 struct PointerZipAccess;
 impl Access for PointerZipAccess {
     #[inline]
-    fn axpy_row(f: &Matrix, idx: usize, scale: f64, accum: &mut [f64]) {
-        for (a, &v) in accum.iter_mut().zip(f.row(idx)) {
-            *a += scale * v;
+    fn axpy_row<const R: usize>(f: &Matrix, idx: usize, scale: f64, accum: &mut [f64]) {
+        if R > 0 {
+            let (row, accum) = (fixed::<R>(f.row(idx)), fixed_mut::<R>(accum));
+            for r in 0..R {
+                accum[r] += scale * row[r];
+            }
+        } else {
+            for (a, &v) in accum.iter_mut().zip(f.row(idx)) {
+                *a += scale * v;
+            }
         }
     }
     #[inline]
-    fn mul_row(f: &Matrix, idx: usize, a: &[f64], dst: &mut [f64]) {
-        for ((d, &x), &v) in dst.iter_mut().zip(a).zip(f.row(idx)) {
-            *d = x * v;
+    fn mul_row<const R: usize>(f: &Matrix, idx: usize, a: &[f64], dst: &mut [f64]) {
+        if R > 0 {
+            let (row, a, dst) = (fixed::<R>(f.row(idx)), fixed::<R>(a), fixed_mut::<R>(dst));
+            for r in 0..R {
+                dst[r] = a[r] * row[r];
+            }
+        } else {
+            for ((d, &x), &v) in dst.iter_mut().zip(a).zip(f.row(idx)) {
+                *d = x * v;
+            }
         }
     }
     #[inline]
-    fn fma_row(f: &Matrix, idx: usize, a: &[f64], accum: &mut [f64]) {
-        for ((acc, &x), &v) in accum.iter_mut().zip(a).zip(f.row(idx)) {
-            *acc += x * v;
+    fn fma_row<const R: usize>(f: &Matrix, idx: usize, a: &[f64], accum: &mut [f64]) {
+        if R > 0 {
+            let (row, a, accum) = (fixed::<R>(f.row(idx)), fixed::<R>(a), fixed_mut::<R>(accum));
+            for r in 0..R {
+                accum[r] += a[r] * row[r];
+            }
+        } else {
+            for ((acc, &x), &v) in accum.iter_mut().zip(a).zip(f.row(idx)) {
+                *acc += x * v;
+            }
         }
     }
 }
@@ -436,15 +589,23 @@ pub fn mttkrp(
         assert_eq!(f.rows(), csf.dims()[m], "factor {m} rows mismatch");
         assert_eq!(f.cols(), out.cols(), "factor {m} rank mismatch");
     }
+    // Two-level dispatch: access strategy (outer) x compile-time rank
+    // (inner). `R = 0` is the dynamic-width fallback.
+    macro_rules! dispatch {
+        ($A:ty) => {
+            match out.cols() {
+                8 if cfg.specialize => run::<$A, 8>(csf, kind, factors, mode, out, ws, team, cfg),
+                16 if cfg.specialize => run::<$A, 16>(csf, kind, factors, mode, out, ws, team, cfg),
+                32 if cfg.specialize => run::<$A, 32>(csf, kind, factors, mode, out, ws, team, cfg),
+                _ => run::<$A, 0>(csf, kind, factors, mode, out, ws, team, cfg),
+            }
+        };
+    }
     match cfg.access {
-        MatrixAccess::RowCopy => run::<RowCopyAccess>(csf, kind, factors, mode, out, ws, team, cfg),
-        MatrixAccess::Index2D => run::<Index2DAccess>(csf, kind, factors, mode, out, ws, team, cfg),
-        MatrixAccess::PointerChecked => {
-            run::<PointerCheckedAccess>(csf, kind, factors, mode, out, ws, team, cfg)
-        }
-        MatrixAccess::PointerZip => {
-            run::<PointerZipAccess>(csf, kind, factors, mode, out, ws, team, cfg)
-        }
+        MatrixAccess::RowCopy => dispatch!(RowCopyAccess),
+        MatrixAccess::Index2D => dispatch!(Index2DAccess),
+        MatrixAccess::PointerChecked => dispatch!(PointerCheckedAccess),
+        MatrixAccess::PointerZip => dispatch!(PointerZipAccess),
     }
 }
 
@@ -489,17 +650,25 @@ pub fn mttkrp_tiled_guarded(
         tiled.ntiles() == 0 || out.rows() == tiled.tile(0).dims()[mode],
         "output rows must match mode dim"
     );
+    macro_rules! dispatch {
+        ($A:ty) => {
+            match out.cols() {
+                8 if cfg.specialize => run_tiled::<$A, 8>(tiled, factors, out, team, guard),
+                16 if cfg.specialize => run_tiled::<$A, 16>(tiled, factors, out, team, guard),
+                32 if cfg.specialize => run_tiled::<$A, 32>(tiled, factors, out, team, guard),
+                _ => run_tiled::<$A, 0>(tiled, factors, out, team, guard),
+            }
+        };
+    }
     match cfg.access {
-        MatrixAccess::RowCopy => run_tiled::<RowCopyAccess>(tiled, factors, out, team, guard),
-        MatrixAccess::Index2D => run_tiled::<Index2DAccess>(tiled, factors, out, team, guard),
-        MatrixAccess::PointerChecked => {
-            run_tiled::<PointerCheckedAccess>(tiled, factors, out, team, guard)
-        }
-        MatrixAccess::PointerZip => run_tiled::<PointerZipAccess>(tiled, factors, out, team, guard),
+        MatrixAccess::RowCopy => dispatch!(RowCopyAccess),
+        MatrixAccess::Index2D => dispatch!(Index2DAccess),
+        MatrixAccess::PointerChecked => dispatch!(PointerCheckedAccess),
+        MatrixAccess::PointerZip => dispatch!(PointerZipAccess),
     }
 }
 
-fn run_tiled<A: Access>(
+fn run_tiled<A: Access, const R: usize>(
     tiled: &crate::tiling::TiledCsf,
     factors: &[Matrix],
     out: &mut Matrix,
@@ -512,10 +681,13 @@ fn run_tiled<A: Access>(
         return;
     }
     let ntasks = team.ntasks();
+    let order = tiled.tile(0).order();
     let shared = SharedOut::new(out);
     let shared = &shared;
     team.coforall(|tid| {
         let _lane = splatt_guard::LaneSpan::enter(guard, tid);
+        // one walk arena per task, shared by every tile it owns
+        let mut arena = vec![0.0; arena_len(order, rank)];
         for t in partition::block(tiled.ntiles(), ntasks, tid) {
             if guard.is_some_and(|g| g.poll(tid)) {
                 break;
@@ -524,7 +696,6 @@ fn run_tiled<A: Access>(
             if csf.nnz() == 0 {
                 continue;
             }
-            let flevel: Vec<&Matrix> = csf.dim_perm().iter().map(|&m| &factors[m]).collect();
             // SAFETY justification for `pool: None`: tile CSFs are rooted
             // at the output mode and tiles own disjoint output-row ranges,
             // so no two tasks ever write the same row.
@@ -532,17 +703,25 @@ fn run_tiled<A: Access>(
                 out: shared,
                 pool: None,
             };
-            task_slices::<A>(
+            task_slices::<A, R>(
                 csf,
                 0,
-                &flevel,
+                factors,
                 rank,
                 &mut target,
+                &mut arena,
                 0..csf.nfibers(0),
                 guard.map(|g| (g, tid)),
             );
         }
     });
+}
+
+/// Per-task walk arena length: `ones` (one rank row) plus an up and a
+/// down prefix-product buffer per tree level.
+#[inline]
+fn arena_len(order: usize, rank: usize) -> usize {
+    (2 * order + 1) * rank
 }
 
 /// Does an MTTKRP on `mode` under this configuration take the lock-based
@@ -558,7 +737,7 @@ pub fn uses_locks(set: &CsfSet, mode: usize, ntasks: usize, cfg: &MttkrpConfig) 
 }
 
 #[allow(clippy::too_many_arguments)]
-fn run<A: Access>(
+fn run<A: Access, const R: usize>(
     csf: &Csf,
     kind: KernelKind,
     factors: &[Matrix],
@@ -581,9 +760,6 @@ fn run<A: Access>(
     };
     debug_assert_eq!(csf.dim_perm()[od], mode);
 
-    // factors in tree-level order
-    let flevel: Vec<&Matrix> = csf.dim_perm().iter().map(|&m| &factors[m]).collect();
-
     let ntasks = team.ntasks();
     let prefix = partition::prefix_sum(csf.slice_nnz());
     let bounds = partition::weighted(&prefix, ntasks);
@@ -592,33 +768,44 @@ fn run<A: Access>(
     let privatize =
         needs_sync && use_privatization(csf.dims()[mode], ntasks, csf.nnz(), cfg.priv_threshold);
 
+    // Grow-only scratch: steady-state calls find the buffers already
+    // sized and record no allocations — only actual growth is counted.
+    let grown = ws.kernel.ensure_len(arena_len(order, rank));
+    if grown > 0 {
+        splatt_probe::alloc::record_kernel_scratch(grown);
+    }
+
     // Cheap Arc clone so the guard handle outlives the mutable borrows
     // of the workspace below.
     let guard = ws.guard.clone();
     let guard = guard.as_ref();
 
     if privatize {
-        ws.replicas.ensure_len(out.rows() * rank);
+        let grown = ws.replicas.ensure_len(out.rows() * rank);
+        if grown > 0 {
+            splatt_probe::alloc::record_replica_growth(grown);
+        }
         ws.replicas.reset();
-        splatt_probe::alloc::record_privatization(
-            ntasks * out.rows() * rank * std::mem::size_of::<f64>(),
-        );
+        splatt_probe::alloc::record_replica_reduction();
         let replicas = &ws.replicas;
-        let flevel = &flevel;
+        let kernel = &ws.kernel;
         let bounds = &bounds;
         let body = |tid: usize| {
             let _lane = splatt_guard::LaneSpan::enter(guard, tid);
             replicas.with_mut(tid, |buf| {
-                let mut target = OutTarget::Replica { buf, rank };
-                task_slices::<A>(
-                    csf,
-                    od,
-                    flevel,
-                    rank,
-                    &mut target,
-                    bounds[tid]..bounds[tid + 1],
-                    guard.map(|g| (g, tid)),
-                );
+                kernel.with_mut(tid, |arena| {
+                    let mut target = OutTarget::Replica { buf, rank };
+                    task_slices::<A, R>(
+                        csf,
+                        od,
+                        factors,
+                        rank,
+                        &mut target,
+                        arena,
+                        bounds[tid]..bounds[tid + 1],
+                        guard.map(|g| (g, tid)),
+                    );
+                });
             });
         };
         match &ws.probe {
@@ -635,20 +822,23 @@ fn run<A: Access>(
         let shared = SharedOut::new(out);
         let shared = &shared;
         let pool = needs_sync.then_some(&ws.pool);
-        let flevel = &flevel;
+        let kernel = &ws.kernel;
         let bounds = &bounds;
         let body = |tid: usize| {
             let _lane = splatt_guard::LaneSpan::enter(guard, tid);
-            let mut target = OutTarget::Shared { out: shared, pool };
-            task_slices::<A>(
-                csf,
-                od,
-                flevel,
-                rank,
-                &mut target,
-                bounds[tid]..bounds[tid + 1],
-                guard.map(|g| (g, tid)),
-            );
+            kernel.with_mut(tid, |arena| {
+                let mut target = OutTarget::Shared { out: shared, pool };
+                task_slices::<A, R>(
+                    csf,
+                    od,
+                    factors,
+                    rank,
+                    &mut target,
+                    arena,
+                    bounds[tid]..bounds[tid + 1],
+                    guard.map(|g| (g, tid)),
+                );
+            });
         };
         match &ws.probe {
             None => team.coforall(body),
@@ -666,66 +856,65 @@ fn run<A: Access>(
 /// tripped (leaving the target partially written — the governed driver
 /// discards it).
 #[allow(clippy::too_many_arguments)]
-fn task_slices<A: Access>(
+fn task_slices<A: Access, const R: usize>(
     csf: &Csf,
     od: usize,
-    flevel: &[&Matrix],
+    factors: &[Matrix],
     rank: usize,
     target: &mut OutTarget<'_>,
+    arena: &mut [f64],
     slices: std::ops::Range<usize>,
     guard: Option<(&splatt_guard::RunGuard, usize)>,
 ) {
     let order = csf.order();
-    let mut up_bufs: Vec<Vec<f64>> = vec![vec![0.0; rank]; order];
-    let mut down_bufs: Vec<Vec<f64>> = vec![vec![0.0; rank]; order];
-    let ones = vec![1.0; rank];
+    // the grow-only arena may be larger than this call needs; carve the
+    // layout [ones | up prefix products | down prefix products] off the
+    // front, one rank row per tree level for each direction
+    let (ones, rest) = arena.split_at_mut(rank);
+    ones.fill(1.0);
+    let (up_bufs, down_bufs) = rest.split_at_mut(order * rank);
     for (n, s) in slices.enumerate() {
         if let Some((g, lane)) = guard {
             if n % GUARD_CHUNK == 0 && g.poll(lane) {
                 return;
             }
         }
-        descend::<A>(
-            csf,
-            0,
-            s,
-            od,
-            &ones,
-            flevel,
-            target,
-            &mut up_bufs,
-            &mut down_bufs,
+        descend::<A, R>(
+            csf, 0, s, od, ones, factors, rank, target, up_bufs, down_bufs,
         );
     }
 }
 
 /// Walk from `fiber` at `level` toward the output depth `od`, carrying the
 /// running product `down` of factor rows at levels `< level` (excluding
-/// the output level).
+/// the output level). `up_bufs`/`down_bufs` are flat per-task arenas; each
+/// recursion level peels one rank-length row off the front.
 #[allow(clippy::too_many_arguments)]
-fn descend<A: Access>(
+fn descend<A: Access, const R: usize>(
     csf: &Csf,
     level: usize,
     fiber: usize,
     od: usize,
     down: &[f64],
-    flevel: &[&Matrix],
+    factors: &[Matrix],
+    rank: usize,
     target: &mut OutTarget<'_>,
-    up_bufs: &mut [Vec<f64>],
-    down_bufs: &mut [Vec<f64>],
+    up_bufs: &mut [f64],
+    down_bufs: &mut [f64],
 ) {
     let order = csf.order();
+    let perm = csf.dim_perm();
     if level == od {
         // up-product of the subtree below (excluding this level's factor)
-        compute_up::<A>(csf, level, fiber, flevel, up_bufs);
+        compute_up::<A, R>(csf, level, fiber, factors, rank, up_bufs);
         let fid = csf.fids(level)[fiber] as usize;
-        target.add_product(fid, down, &up_bufs[0]);
+        target.add_product::<R>(fid, down, &up_bufs[..rank]);
         return;
     }
     debug_assert!(level < od);
     let fid = csf.fids(level)[fiber] as usize;
-    let (cur, rest) = down_bufs.split_first_mut().expect("down buffer underflow");
-    A::mul_row(flevel[level], fid, down, cur);
+    let (cur, rest) = down_bufs.split_at_mut(rank);
+    A::mul_row::<R>(&factors[perm[level]], fid, down, cur);
     if level == order - 2 {
         // children are the leaves and the output is the leaf mode:
         // scatter each nonzero into its leaf row (SPLATT's leaf kernel)
@@ -733,39 +922,55 @@ fn descend<A: Access>(
         let leaf_fids = csf.fids(order - 1);
         let vals = csf.vals();
         for x in csf.children(level, fiber) {
-            target.add_scaled(leaf_fids[x] as usize, vals[x], cur);
+            target.add_scaled::<R>(leaf_fids[x] as usize, vals[x], cur);
         }
     } else {
         for c in csf.children(level, fiber) {
-            descend::<A>(csf, level + 1, c, od, cur, flevel, target, up_bufs, rest);
+            descend::<A, R>(
+                csf,
+                level + 1,
+                c,
+                od,
+                cur,
+                factors,
+                rank,
+                target,
+                up_bufs,
+                rest,
+            );
         }
     }
 }
 
-/// Fill `bufs[0]` with the upward product of `fiber`'s subtree: the sum
-/// over nonzeros below of `val * prod(factor rows at levels > level)`.
-fn compute_up<A: Access>(
+/// Fill the first rank row of `bufs` with the upward product of `fiber`'s
+/// subtree: the sum over nonzeros below of `val * prod(factor rows at
+/// levels > level)`.
+fn compute_up<A: Access, const R: usize>(
     csf: &Csf,
     level: usize,
     fiber: usize,
-    flevel: &[&Matrix],
-    bufs: &mut [Vec<f64>],
+    factors: &[Matrix],
+    rank: usize,
+    bufs: &mut [f64],
 ) {
     let order = csf.order();
-    let (buf, rest) = bufs.split_first_mut().expect("up buffer underflow");
+    let perm = csf.dim_perm();
+    let (buf, rest) = bufs.split_at_mut(rank);
     buf.fill(0.0);
     if level == order - 2 {
         // hot loop: gather leaf nonzeros against the leaf factor
+        let leaf = &factors[perm[order - 1]];
         let leaf_fids = csf.fids(order - 1);
         let vals = csf.vals();
         for x in csf.children(level, fiber) {
-            A::axpy_row(flevel[order - 1], leaf_fids[x] as usize, vals[x], buf);
+            A::axpy_row::<R>(leaf, leaf_fids[x] as usize, vals[x], buf);
         }
     } else {
+        let child = &factors[perm[level + 1]];
         let child_fids = csf.fids(level + 1);
         for c in csf.children(level, fiber) {
-            compute_up::<A>(csf, level + 1, c, flevel, rest);
-            A::fma_row(flevel[level + 1], child_fids[c] as usize, &rest[0], buf);
+            compute_up::<A, R>(csf, level + 1, c, factors, rank, rest);
+            A::fma_row::<R>(child, child_fids[c] as usize, &rest[..rank], buf);
         }
     }
 }
@@ -891,6 +1096,116 @@ mod tests {
             ],
         );
         run_config(&t, 4, CsfAlloc::Two, &MttkrpConfig::default(), 2);
+    }
+
+    #[test]
+    fn duplicate_coordinates_flat_nested_and_coo_agree() {
+        // Repeated coordinates keep one leaf per nonzero. The flat-slab
+        // two-pass build must structurally match the old nested (push-
+        // per-nonzero) construction AND numerically match the COO
+        // reference through every kernel.
+        let t = SparseTensor::from_entries(
+            vec![4, 3, 5],
+            &[
+                (vec![2, 1, 4], 1.5),
+                (vec![2, 1, 4], -0.5),
+                (vec![2, 1, 4], 2.0),
+                (vec![0, 0, 0], 1.0),
+                (vec![0, 0, 0], 1.0),
+                (vec![3, 2, 1], 4.0),
+            ],
+        );
+        let team = TaskTeam::new(2);
+        for root in 0..t.order() {
+            let mut perm: Vec<usize> = (0..t.order()).collect();
+            perm.swap(0, root);
+            let flat = Csf::build(&t, &perm, &team, SortVariant::AllOpts);
+            let nested = crate::csf::nested::build(&t, &perm, &team, SortVariant::AllOpts);
+            crate::csf::nested::assert_equivalent(&flat, &nested);
+        }
+        run_config(&t, 4, CsfAlloc::All, &MttkrpConfig::default(), 2);
+    }
+
+    #[test]
+    fn specialized_dispatch_is_bit_identical_to_generic() {
+        // The fixed-width kernels must not merely be close — they perform
+        // the same operations in the same order, so outputs are equal to
+        // the last bit. Privatized + root paths are deterministic (task-
+        // ordered reduction), which makes exact comparison meaningful.
+        for rank in SPECIALIZED_RANKS {
+            let t = synth::power_law(&[30, 14, 40], 2_000, 1.8, rank as u64);
+            let team = TaskTeam::new(3);
+            let set = CsfSet::build(&t, CsfAlloc::Two, &team, SortVariant::AllOpts);
+            let factors = factors_for(&t, rank, 3);
+            for access in ALL_ACCESS {
+                let generic = MttkrpConfig {
+                    access,
+                    specialize: false,
+                    priv_threshold: 1e9,
+                    ..Default::default()
+                };
+                let special = MttkrpConfig {
+                    specialize: true,
+                    ..generic
+                };
+                let mut ws_g = MttkrpWorkspace::new(&generic, 3);
+                let mut ws_s = MttkrpWorkspace::new(&special, 3);
+                for mode in 0..t.order() {
+                    let mut a = Matrix::zeros(t.dims()[mode], rank);
+                    let mut b = Matrix::zeros(t.dims()[mode], rank);
+                    mttkrp(&set, &factors, mode, &mut a, &mut ws_g, &team, &generic);
+                    mttkrp(&set, &factors, mode, &mut b, &mut ws_s, &team, &special);
+                    assert_eq!(
+                        a.as_slice(),
+                        b.as_slice(),
+                        "rank {rank} mode {mode} access {access:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn specialized_dispatch_matches_reference_under_locks() {
+        // The lock path interleaves task updates nondeterministically, so
+        // compare against the COO reference (within fp tolerance) rather
+        // than bit-for-bit.
+        let t = synth::power_law(&[20, 12, 28], 1_500, 1.5, 17);
+        for rank in SPECIALIZED_RANKS {
+            let cfg = MttkrpConfig {
+                priv_threshold: 0.0,
+                specialize: true,
+                ..Default::default()
+            };
+            run_config(&t, rank, CsfAlloc::Two, &cfg, 4);
+        }
+    }
+
+    #[test]
+    fn specialized_tiled_is_bit_identical_to_generic() {
+        let t = synth::power_law(&[25, 18, 33], 2_000, 1.8, 29);
+        let rank = 16;
+        let factors = factors_for(&t, rank, 5);
+        let team = TaskTeam::new(2);
+        for mode in 0..t.order() {
+            let tiled = crate::tiling::TiledCsf::build(&t, mode, 2, &team, SortVariant::AllOpts);
+            for access in ALL_ACCESS {
+                let generic = MttkrpConfig {
+                    access,
+                    specialize: false,
+                    ..Default::default()
+                };
+                let special = MttkrpConfig {
+                    specialize: true,
+                    ..generic
+                };
+                let mut a = Matrix::zeros(t.dims()[mode], rank);
+                let mut b = Matrix::zeros(t.dims()[mode], rank);
+                mttkrp_tiled(&tiled, &factors, &mut a, &team, &generic);
+                mttkrp_tiled(&tiled, &factors, &mut b, &team, &special);
+                assert_eq!(a.as_slice(), b.as_slice(), "mode {mode} access {access:?}");
+            }
+        }
     }
 
     #[test]

@@ -97,6 +97,10 @@ pub struct CpalsOptions {
     pub csf_alloc: CsfAlloc,
     /// Privatization threshold (SPLATT default 0.02).
     pub priv_threshold: f64,
+    /// Dispatch to the fixed-width MTTKRP kernels when the rank is one
+    /// of [`crate::mttkrp::SPECIALIZED_RANKS`]. Bit-identical to the
+    /// generic path; on by default.
+    pub specialize: bool,
     /// Spin-before-park count for the task team's idle workers.
     /// Defaults to 300 — the `QT_SPINCOUNT=300` setting the paper lands
     /// on (Section V-E); pass 300 000 for Qthreads' out-of-the-box
@@ -140,6 +144,7 @@ impl Default for CpalsOptions {
             sort_variant: SortVariant::default(),
             csf_alloc: CsfAlloc::default(),
             priv_threshold: DEFAULT_PRIV_THRESHOLD,
+            specialize: true,
             spin_count: 300,
             constraint: Constraint::None,
             tiling: false,

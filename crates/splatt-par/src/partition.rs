@@ -66,9 +66,18 @@ pub fn weighted(prefix: &[usize], nparts: usize) -> Vec<usize> {
         let target = (total as u128 * p as u128 / nparts as u128) as usize;
         // first index whose prefix weight reaches the target
         let idx = prefix.partition_point(|&w| w < target).min(n);
+        let prev = *bounds.last().unwrap();
+        // A heavy item straddling the target drags `idx` past it by the
+        // item's full weight; cutting *before* that item can sit much
+        // closer to the target. Pick whichever boundary is nearer (ties
+        // keep the forward cut).
+        let idx = if idx > prev && target.abs_diff(prefix[idx - 1]) < target.abs_diff(prefix[idx]) {
+            idx - 1
+        } else {
+            idx
+        };
         // keep boundaries monotonic even with zero-weight runs
-        let idx = idx.max(*bounds.last().unwrap());
-        bounds.push(idx);
+        bounds.push(idx.max(prev));
     }
     bounds.push(n);
     bounds
@@ -177,6 +186,38 @@ mod tests {
         for k in 1..b.len() {
             assert!(b[k] >= b[k - 1]);
         }
+    }
+
+    #[test]
+    fn weighted_heavy_boundary_slice_takes_closer_cut() {
+        // 30 light items, one weight-50 slice, 20 light items. The flooring
+        // target for 2 parts is 50; the first prefix reaching it is *past*
+        // the heavy slice (weight 80), while cutting before it leaves
+        // weight 30 — closer to the target. The old code always took the
+        // forward cut, handing one task 80% of the load.
+        let mut w = vec![1usize; 30];
+        w.push(50);
+        w.extend(std::iter::repeat_n(1, 20));
+        let p = prefix_sum(&w);
+        let b = weighted(&p, 2);
+        assert_eq!(b, vec![0, 30, 51]);
+        let loads: Vec<usize> = (0..2).map(|k| w[b[k]..b[k + 1]].iter().sum()).collect();
+        let mean = 100.0 / 2.0;
+        let max = *loads.iter().max().unwrap() as f64;
+        assert!(
+            max / mean <= 1.4 + 1e-9,
+            "max/mean load ratio {} too high (loads {loads:?})",
+            max / mean
+        );
+    }
+
+    #[test]
+    fn weighted_exact_targets_keep_forward_cut() {
+        // uniform weights hit every target exactly; the closer-cut rule
+        // must not move those boundaries
+        let w = vec![2usize; 50];
+        let p = prefix_sum(&w);
+        assert_eq!(weighted(&p, 5), vec![0, 10, 20, 30, 40, 50]);
     }
 
     #[test]

@@ -63,12 +63,21 @@ impl ThreadScratch {
     /// Ensure each buffer holds at least `len` elements, growing (zeroed)
     /// if needed. Shrinks never happen, mirroring SPLATT's grow-only
     /// `thd_info` reallocation.
-    pub fn ensure_len(&mut self, len: usize) {
+    ///
+    /// Returns the number of bytes newly allocated across all task
+    /// buffers — `0` when the buffers were already large enough — so
+    /// callers can feed allocation accounting only on actual growth and
+    /// verify the steady state allocates nothing.
+    pub fn ensure_len(&mut self, len: usize) -> usize {
         if len > self.len {
             for b in &mut self.bufs {
                 b.get_mut().resize(len, 0.0);
             }
+            let grown = (len - self.len) * self.bufs.len() * std::mem::size_of::<f64>();
             self.len = len;
+            grown
+        } else {
+            0
         }
     }
 
@@ -146,16 +155,19 @@ mod tests {
     fn ensure_len_grows_and_preserves() {
         let mut s = ThreadScratch::new(2, 2);
         s.with_mut(0, |b| b[1] = 3.0);
-        s.ensure_len(5);
+        // growth reports the newly allocated bytes across both buffers
+        assert_eq!(s.ensure_len(5), 3 * 2 * std::mem::size_of::<f64>());
         assert_eq!(s.len(), 5);
         s.with_mut(0, |b| {
             assert_eq!(b.len(), 5);
             assert_eq!(b[1], 3.0);
             assert_eq!(b[4], 0.0);
         });
-        // shrink request is ignored
-        s.ensure_len(1);
+        // shrink request is ignored and allocates nothing
+        assert_eq!(s.ensure_len(1), 0);
         assert_eq!(s.len(), 5);
+        // re-requesting the current size is also allocation-free
+        assert_eq!(s.ensure_len(5), 0);
     }
 
     #[test]

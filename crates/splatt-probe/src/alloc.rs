@@ -24,6 +24,8 @@ static DESCRIPTOR_ALLOCS: AtomicU64 = AtomicU64::new(0);
 static DESCRIPTOR_BYTES: AtomicU64 = AtomicU64::new(0);
 static REPLICA_BYTES: AtomicU64 = AtomicU64::new(0);
 static REPLICA_REDUCTIONS: AtomicU64 = AtomicU64::new(0);
+static KERNEL_SCRATCH_ALLOCS: AtomicU64 = AtomicU64::new(0);
+static KERNEL_SCRATCH_BYTES: AtomicU64 = AtomicU64::new(0);
 
 /// Turn recording on (used while a profiled run is active).
 pub fn enable() {
@@ -67,6 +69,36 @@ pub fn record_privatization(bytes: usize) {
     }
 }
 
+/// A privatized MTTKRP *grew* its per-task replica buffers by `bytes`.
+/// Replicas are grow-only workspace scratch, so this fires on the first
+/// call (and on rank/dim increases) and stays silent in steady state —
+/// a nonzero delta across a steady-state window is a hot-loop allocation
+/// regression.
+#[inline]
+pub fn record_replica_growth(bytes: usize) {
+    if enabled() {
+        REPLICA_BYTES.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+}
+
+/// One reduction pass over the per-task replicas.
+#[inline]
+pub fn record_replica_reduction() {
+    if enabled() {
+        REPLICA_REDUCTIONS.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The per-task kernel walk arenas grew by `bytes` (grow-only, like
+/// replicas: silent in steady state).
+#[inline]
+pub fn record_kernel_scratch(bytes: usize) {
+    if enabled() {
+        KERNEL_SCRATCH_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        KERNEL_SCRATCH_BYTES.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+}
+
 /// Point-in-time copy of the global counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct AllocStats {
@@ -76,6 +108,8 @@ pub struct AllocStats {
     pub descriptor_bytes: u64,
     pub replica_bytes: u64,
     pub replica_reductions: u64,
+    pub kernel_scratch_allocs: u64,
+    pub kernel_scratch_bytes: u64,
 }
 
 impl AllocStats {
@@ -92,15 +126,42 @@ impl AllocStats {
             replica_reductions: self
                 .replica_reductions
                 .wrapping_sub(earlier.replica_reductions),
+            kernel_scratch_allocs: self
+                .kernel_scratch_allocs
+                .wrapping_sub(earlier.kernel_scratch_allocs),
+            kernel_scratch_bytes: self
+                .kernel_scratch_bytes
+                .wrapping_sub(earlier.kernel_scratch_bytes),
         }
     }
 
-    /// Total bytes across the three traffic streams — the quantity a
-    /// memory budget bounds.
+    /// Total bytes across the traffic streams — the quantity a memory
+    /// budget bounds.
     pub fn total_bytes(&self) -> u64 {
         self.row_copy_bytes
             .wrapping_add(self.descriptor_bytes)
             .wrapping_add(self.replica_bytes)
+            .wrapping_add(self.kernel_scratch_bytes)
+    }
+
+    /// Bytes allocated inside the kernels themselves (everything except
+    /// reduction-pass counts, which are not allocations). A steady-state
+    /// MTTKRP window — warm workspace, unchanged shapes — must report
+    /// zero here for the slice-based access strategies.
+    pub fn hot_loop_bytes(&self) -> u64 {
+        self.row_copy_bytes
+            .wrapping_add(self.descriptor_bytes)
+            .wrapping_add(self.replica_bytes)
+            .wrapping_add(self.kernel_scratch_bytes)
+    }
+
+    /// Allocation *events* in the hot path (copies, descriptors, scratch
+    /// growths — replica growth is byte-only and covered by
+    /// [`AllocStats::hot_loop_bytes`]).
+    pub fn hot_loop_allocs(&self) -> u64 {
+        self.row_copies
+            .wrapping_add(self.descriptor_allocs)
+            .wrapping_add(self.kernel_scratch_allocs)
     }
 }
 
@@ -112,6 +173,8 @@ pub fn snapshot() -> AllocStats {
         descriptor_bytes: DESCRIPTOR_BYTES.load(Ordering::Relaxed),
         replica_bytes: REPLICA_BYTES.load(Ordering::Relaxed),
         replica_reductions: REPLICA_REDUCTIONS.load(Ordering::Relaxed),
+        kernel_scratch_allocs: KERNEL_SCRATCH_ALLOCS.load(Ordering::Relaxed),
+        kernel_scratch_bytes: KERNEL_SCRATCH_BYTES.load(Ordering::Relaxed),
     }
 }
 
@@ -135,13 +198,20 @@ mod tests {
         record_row_copy(280);
         record_descriptor(16);
         record_privatization(1024);
+        record_replica_growth(512);
+        record_replica_reduction();
+        record_kernel_scratch(2048);
         let delta = snapshot().since(&before);
         disable();
         assert_eq!(delta.row_copies, 2);
         assert_eq!(delta.row_copy_bytes, 560);
         assert_eq!(delta.descriptor_allocs, 1);
         assert_eq!(delta.descriptor_bytes, 16);
-        assert_eq!(delta.replica_bytes, 1024);
-        assert_eq!(delta.replica_reductions, 1);
+        assert_eq!(delta.replica_bytes, 1024 + 512);
+        assert_eq!(delta.replica_reductions, 2);
+        assert_eq!(delta.kernel_scratch_allocs, 1);
+        assert_eq!(delta.kernel_scratch_bytes, 2048);
+        assert_eq!(delta.hot_loop_allocs(), 2 + 1 + 1);
+        assert_eq!(delta.hot_loop_bytes(), 560 + 16 + 1024 + 512 + 2048);
     }
 }

@@ -14,7 +14,7 @@ use std::fmt::Write as _;
 /// change; tests pin the current value. v2 added the `faults` array
 /// (injected-fault and recovery-action rows); v3 added the `guard`
 /// object (run-governance checks, trips, and watchdog activity).
-pub const PROFILE_SCHEMA: &str = "splatt-profile-v3";
+pub const PROFILE_SCHEMA: &str = "splatt-profile-v4";
 
 /// One row of the per-routine table (label from `splatt_par::Routine`).
 #[derive(Debug, Clone, PartialEq)]
@@ -182,13 +182,16 @@ impl ProfileReport {
             out,
             "}},\n  \"alloc\": {{\"row_copies\": {}, \"row_copy_bytes\": {}, \
              \"descriptor_allocs\": {}, \"descriptor_bytes\": {}, \"replica_bytes\": {}, \
-             \"replica_reductions\": {}}},",
+             \"replica_reductions\": {}, \"kernel_scratch_allocs\": {}, \
+             \"kernel_scratch_bytes\": {}}},",
             self.alloc.row_copies,
             self.alloc.row_copy_bytes,
             self.alloc.descriptor_allocs,
             self.alloc.descriptor_bytes,
             self.alloc.replica_bytes,
-            self.alloc.replica_reductions
+            self.alloc.replica_reductions,
+            self.alloc.kernel_scratch_allocs,
+            self.alloc.kernel_scratch_bytes
         );
         out.push_str("\n  \"faults\": [");
         for (i, f) in self.faults.iter().enumerate() {
@@ -282,13 +285,15 @@ impl ProfileReport {
         );
         let _ = writeln!(
             out,
-            "  alloc: {} row copies ({} B), {} descriptors ({} B), {} B replicas over {} reductions",
+            "  alloc: {} row copies ({} B), {} descriptors ({} B), {} B replicas over {} reductions, {} scratch growths ({} B)",
             self.alloc.row_copies,
             self.alloc.row_copy_bytes,
             self.alloc.descriptor_allocs,
             self.alloc.descriptor_bytes,
             self.alloc.replica_bytes,
-            self.alloc.replica_reductions
+            self.alloc.replica_reductions,
+            self.alloc.kernel_scratch_allocs,
+            self.alloc.kernel_scratch_bytes
         );
         if !self.faults.is_empty() {
             let _ = writeln!(out, "\n  faults injected: {}", self.faults.len());
@@ -375,6 +380,8 @@ mod tests {
                 descriptor_bytes: 112,
                 replica_bytes: 0,
                 replica_reductions: 0,
+                kernel_scratch_allocs: 1,
+                kernel_scratch_bytes: 2048,
             },
             span,
             faults: vec![FaultRow {
@@ -422,6 +429,14 @@ mod tests {
                 .unwrap()
                 .as_u64(),
             Some(7)
+        );
+        assert_eq!(
+            doc.get("alloc")
+                .unwrap()
+                .get("kernel_scratch_bytes")
+                .unwrap()
+                .as_u64(),
+            Some(2048)
         );
         let spans = doc.get("spans").unwrap();
         assert_eq!(spans.get("label").unwrap().as_str(), Some("cpd"));

@@ -17,7 +17,7 @@ use splatt::guard::{GuardConfig, RunGuard, StallReport, TripReason, WatchdogConf
 use splatt::tensor::synth;
 use splatt::{
     try_cp_als, try_cp_als_guarded, Checkpoint, CpalsError, CpalsOptions, CpalsOutput, FaultKind,
-    FaultPlan, FaultRates, Matrix, RunAborted,
+    FaultPlan, FaultRates, Matrix, MatrixAccess, RunAborted,
 };
 use std::sync::Mutex;
 use std::time::Duration;
@@ -245,7 +245,11 @@ fn deadline_abort_resumes_bit_for_bit() {
 
 /// A memory-budget abort is also checkpoint-resumable. The budget is
 /// calibrated from the run's own measured allocation traffic so the
-/// trip lands deterministically around iteration three.
+/// trip lands deterministically around iteration three. The run uses
+/// the Chapel-initial `RowCopy` access on purpose: it is the
+/// allocation-heavy configuration the budget governor exists for — the
+/// optimized access paths allocate nothing per iteration in steady
+/// state, so there is no per-iteration traffic to calibrate against.
 #[test]
 fn memory_budget_abort_resumes_bit_for_bit() {
     let _s = serial();
@@ -254,7 +258,10 @@ fn memory_budget_abort_resumes_bit_for_bit() {
     std::fs::remove_dir_all(&dir).ok();
     std::fs::create_dir_all(&dir).unwrap();
 
-    let base = base_opts();
+    let base = CpalsOptions {
+        access: MatrixAccess::RowCopy,
+        ..base_opts()
+    };
     let straight = try_cp_als(&tensor, &base, None).unwrap();
 
     // calibrate: traffic of (build + 1 iteration) and per-iteration delta
