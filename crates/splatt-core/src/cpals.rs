@@ -808,6 +808,7 @@ pub fn try_cp_als_with_team_guarded(
                     trip: snap.trip.map(|t| t.to_string()).unwrap_or_default(),
                 }
             }),
+            serve: None,
         }
     });
 

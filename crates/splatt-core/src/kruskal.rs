@@ -153,17 +153,43 @@ impl KruskalModel {
 
     /// `||Z||^2` via the Hadamard product of factor Gramians:
     /// `lambda^T (hadamard_m A_m^T A_m) lambda`.
+    ///
+    /// Single pass over the factors: both the running Hadamard product
+    /// and the per-mode Gramian live in one packed upper-triangle buffer
+    /// each (the Gramian is symmetric, so only `r <= s` is stored and the
+    /// final bilinear form counts each off-diagonal entry twice). No
+    /// `rank x rank` matrices are materialized.
     pub fn norm_squared(&self) -> f64 {
         let rank = self.rank();
-        let mut had = Matrix::filled(rank, rank, 1.0);
+        let packed = rank * (rank + 1) / 2;
+        let mut had = vec![1.0; packed];
+        let mut gram = vec![0.0; packed];
         for f in &self.factors {
-            let g = splatt_dense::mat_ata(f);
-            splatt_dense::hadamard_assign(&mut had, &g);
+            gram.iter_mut().for_each(|g| *g = 0.0);
+            for i in 0..f.rows() {
+                let row = f.row(i);
+                let mut p = 0;
+                for r in 0..rank {
+                    let fr = row[r];
+                    for &fs in &row[r..] {
+                        gram[p] += fr * fs;
+                        p += 1;
+                    }
+                }
+            }
+            for (h, &g) in had.iter_mut().zip(&gram) {
+                *h *= g;
+            }
         }
         let mut total = 0.0;
+        let mut p = 0;
         for r in 0..rank {
-            for s in 0..rank {
-                total += self.lambda[r] * had[(r, s)] * self.lambda[s];
+            let lr = self.lambda[r];
+            total += lr * had[p] * lr;
+            p += 1;
+            for s in r + 1..rank {
+                total += 2.0 * (lr * had[p] * self.lambda[s]);
+                p += 1;
             }
         }
         total
@@ -197,6 +223,40 @@ mod tests {
         let m = rank1_model();
         // dense Z has a single entry 2 -> ||Z||^2 = 4
         assert!((m.norm_squared() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn norm_squared_matches_dense_oracle_on_random_model() {
+        // Regression pin for the single-pass Gramian path: reconstruct the
+        // full dense tensor and sum squares the slow way.
+        let m = KruskalModel {
+            lambda: vec![1.5, -0.75, 0.3],
+            factors: vec![
+                Matrix::random(4, 3, 21),
+                Matrix::random(3, 3, 22),
+                Matrix::random(5, 3, 23),
+            ],
+        };
+        let mut dense_sq = 0.0;
+        for i in 0..4u32 {
+            for j in 0..3u32 {
+                for k in 0..5u32 {
+                    let v = m.value_at(&[i, j, k]);
+                    dense_sq += v * v;
+                }
+            }
+        }
+        let got = m.norm_squared();
+        assert!(
+            (got - dense_sq).abs() <= 1e-12 * dense_sq.max(1.0),
+            "norm_squared {got} vs dense oracle {dense_sq}"
+        );
+        // Degenerate shapes stay finite and exact.
+        let empty = KruskalModel {
+            lambda: vec![],
+            factors: vec![Matrix::zeros(2, 0), Matrix::zeros(3, 0)],
+        };
+        assert_eq!(empty.norm_squared(), 0.0);
     }
 
     #[test]

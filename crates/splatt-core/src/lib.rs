@@ -42,7 +42,9 @@ pub mod csf;
 mod diagnostics;
 mod governed;
 mod kruskal;
+mod model_file;
 mod options;
+pub mod query;
 mod sgd;
 mod tiling;
 
@@ -62,7 +64,11 @@ pub use governed::{
     try_cp_als_governed, try_cp_als_governed_with_team, GovernancePolicy, GovernedRun, OnOverrun,
 };
 pub use kruskal::KruskalModel;
+pub use model_file::{
+    load_model, load_model_path, model_from_checkpoint, save_model, MODEL_HEADER,
+};
 pub use mttkrp::{MatrixAccess, MttkrpConfig, MttkrpWorkspace};
 pub use options::{Constraint, CpalsOptions, Implementation};
+pub use query::{QueryArena, QueryError};
 pub use sgd::{tensor_complete_sgd, SgdOptions};
 pub use tiling::TiledCsf;

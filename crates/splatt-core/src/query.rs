@@ -1,0 +1,471 @@
+//! Query kernels over a decomposed Kruskal model — the compute layer of
+//! the serving subsystem.
+//!
+//! Three query kinds, all brute-force dense reconstruction from the
+//! factors (the downstream counterpart of the paper's pattern-extraction
+//! use case):
+//!
+//! * [`entry_values`] — reconstruct the modeled value at a batch of
+//!   coordinates.
+//! * [`slice_values`] — reconstruct the full dense slice obtained by
+//!   fixing one `(mode, index)` pair, row-major over the remaining modes.
+//! * [`top_k`] — score every index along one mode against fixed
+//!   coordinates in all other modes and return the `k` best, ties broken
+//!   toward the lower index.
+//!
+//! Every value is produced by the same scalar evaluation as
+//! [`crate::reference::kruskal_value`] — same association, same summation
+//! order — so batched answers are **bit-identical** to the unbatched
+//! dense-reconstruction oracle, the invariant the serving property tests
+//! pin down.
+//!
+//! Kernels take a [`QueryArena`]: a grow-only scratch (the PR 4 kernel
+//! discipline) so the steady-state query hot path allocates nothing once
+//! warmed up per shape. Growth is reported to `splatt-probe`'s
+//! kernel-scratch counters and to the arena's own monotonic counters,
+//! which the serving stats surface for allocation-free certification.
+
+use crate::kruskal::KruskalModel;
+use crate::reference::kruskal_value;
+
+/// Why a query cannot be answered against a given model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// Mode index `mode` out of range for a model of order `order`.
+    ModeOutOfRange { mode: usize, order: usize },
+    /// Coordinate `index` out of range for mode `mode` of size `dim`.
+    CoordOutOfRange { mode: usize, index: u32, dim: usize },
+    /// A coordinate tuple of the wrong length for the model's order.
+    OrderMismatch { got: usize, order: usize },
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::ModeOutOfRange { mode, order } => {
+                write!(f, "mode {mode} out of range for order-{order} model")
+            }
+            QueryError::CoordOutOfRange { mode, index, dim } => {
+                write!(
+                    f,
+                    "coordinate {index} out of range for mode {mode} (dim {dim})"
+                )
+            }
+            QueryError::OrderMismatch { got, order } => {
+                write!(f, "{got} coordinates for an order-{order} model")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// Grow-only scratch for the query kernels: one coordinate buffer, one
+/// score buffer, one candidate-index buffer. Buffers never shrink; after
+/// the first query of each shape the kernels allocate nothing.
+#[derive(Debug, Default)]
+pub struct QueryArena {
+    coord: Vec<u32>,
+    scores: Vec<f64>,
+    ranked: Vec<u32>,
+    growth_allocs: u64,
+    growth_bytes: u64,
+}
+
+impl QueryArena {
+    /// A fresh, empty arena.
+    pub fn new() -> Self {
+        QueryArena::default()
+    }
+
+    /// Number of times any buffer grew (monotonic).
+    pub fn growth_allocs(&self) -> u64 {
+        self.growth_allocs
+    }
+
+    /// Total bytes of growth (monotonic).
+    pub fn growth_bytes(&self) -> u64 {
+        self.growth_bytes
+    }
+
+    fn record(&mut self, bytes: usize) {
+        if bytes > 0 {
+            self.growth_allocs += 1;
+            self.growth_bytes += bytes as u64;
+            splatt_probe::alloc::record_kernel_scratch(bytes);
+        }
+    }
+
+    fn coord_buf(&mut self, order: usize) -> &mut [u32] {
+        if self.coord.len() < order {
+            let bytes = (order - self.coord.len()) * std::mem::size_of::<u32>();
+            self.coord.resize(order, 0);
+            self.record(bytes);
+        }
+        &mut self.coord[..order]
+    }
+
+    fn score_bufs(&mut self, order: usize, dim: usize) -> (&mut [u32], &mut [f64], &mut [u32]) {
+        if self.coord.len() < order {
+            let bytes = (order - self.coord.len()) * std::mem::size_of::<u32>();
+            self.coord.resize(order, 0);
+            self.record(bytes);
+        }
+        if self.scores.len() < dim {
+            let bytes = (dim - self.scores.len()) * std::mem::size_of::<f64>();
+            self.scores.resize(dim, 0.0);
+            self.record(bytes);
+        }
+        if self.ranked.len() < dim {
+            let bytes = (dim - self.ranked.len()) * std::mem::size_of::<u32>();
+            self.ranked.resize(dim, 0);
+            self.record(bytes);
+        }
+        (
+            &mut self.coord[..order],
+            &mut self.scores[..dim],
+            &mut self.ranked[..dim],
+        )
+    }
+}
+
+fn check_coord(model: &KruskalModel, coord: &[u32]) -> Result<(), QueryError> {
+    let order = model.order();
+    if coord.len() != order {
+        return Err(QueryError::OrderMismatch {
+            got: coord.len(),
+            order,
+        });
+    }
+    for (m, (&i, f)) in coord.iter().zip(&model.factors).enumerate() {
+        if i as usize >= f.rows() {
+            return Err(QueryError::CoordOutOfRange {
+                mode: m,
+                index: i,
+                dim: f.rows(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Reconstruct the modeled value at each coordinate tuple of `coords`
+/// (flat, `order` entries per tuple) into `out`.
+///
+/// # Errors
+/// Rejects coordinate tuples that do not tile `coords` exactly or fall
+/// outside the model's dimensions; `out` is only fully written on `Ok`.
+///
+/// # Panics
+/// Panics if `out.len() != coords.len() / order`.
+pub fn entry_values(
+    model: &KruskalModel,
+    coords: &[u32],
+    out: &mut [f64],
+) -> Result<(), QueryError> {
+    let order = model.order();
+    if order == 0 || !coords.len().is_multiple_of(order) {
+        return Err(QueryError::OrderMismatch {
+            got: coords.len(),
+            order,
+        });
+    }
+    let count = coords.len() / order;
+    assert_eq!(out.len(), count, "entry_values: output length mismatch");
+    for (slot, coord) in out.iter_mut().zip(coords.chunks_exact(order)) {
+        check_coord(model, coord)?;
+        *slot = kruskal_value(&model.lambda, &model.factors, coord);
+    }
+    Ok(())
+}
+
+/// Number of entries in the dense slice obtained by fixing `mode`.
+pub fn slice_len(model: &KruskalModel, mode: usize) -> Result<usize, QueryError> {
+    let order = model.order();
+    if mode >= order {
+        return Err(QueryError::ModeOutOfRange { mode, order });
+    }
+    Ok(model
+        .factors
+        .iter()
+        .enumerate()
+        .filter(|(m, _)| *m != mode)
+        .map(|(_, f)| f.rows())
+        .product())
+}
+
+/// Reconstruct the dense slice `X[.., index, ..]` (fixing `mode` at
+/// `index`) into `out`, row-major over the remaining modes in ascending
+/// mode order.
+///
+/// # Errors
+/// Rejects out-of-range `mode`/`index`.
+///
+/// # Panics
+/// Panics if `out.len() != slice_len(model, mode)`.
+pub fn slice_values(
+    model: &KruskalModel,
+    mode: usize,
+    index: u32,
+    arena: &mut QueryArena,
+    out: &mut [f64],
+) -> Result<(), QueryError> {
+    let len = slice_len(model, mode)?;
+    let dim = model.factors[mode].rows();
+    if index as usize >= dim {
+        return Err(QueryError::CoordOutOfRange { mode, index, dim });
+    }
+    assert_eq!(out.len(), len, "slice_values: output length mismatch");
+    let order = model.order();
+    let coord = arena.coord_buf(order);
+    coord[mode] = index;
+    // Mixed-radix walk over the remaining modes: the *last* free mode
+    // varies fastest (row-major).
+    for (m, c) in coord.iter_mut().enumerate() {
+        if m != mode {
+            *c = 0;
+        }
+    }
+    for slot in out.iter_mut() {
+        *slot = kruskal_value(&model.lambda, &model.factors, coord);
+        // increment the free-mode odometer
+        for m in (0..order).rev() {
+            if m == mode {
+                continue;
+            }
+            coord[m] += 1;
+            if (coord[m] as usize) < model.factors[m].rows() {
+                break;
+            }
+            coord[m] = 0;
+        }
+    }
+    Ok(())
+}
+
+/// Score every index along `mode` against `fixed` (coordinates for the
+/// other modes, ascending mode order) and append the `k` best
+/// `(index, score)` pairs to `out`, scores descending, ties broken
+/// toward the lower index. `k` is clamped to the mode's dimension.
+///
+/// Each score is the full dense-reconstruction value at the assembled
+/// coordinate, so rankings are bit-consistent with [`entry_values`].
+///
+/// # Errors
+/// Rejects out-of-range `mode` and malformed or out-of-range `fixed`.
+pub fn top_k(
+    model: &KruskalModel,
+    mode: usize,
+    k: usize,
+    fixed: &[u32],
+    arena: &mut QueryArena,
+    out: &mut Vec<(u32, f64)>,
+) -> Result<(), QueryError> {
+    let order = model.order();
+    if mode >= order {
+        return Err(QueryError::ModeOutOfRange { mode, order });
+    }
+    if fixed.len() + 1 != order {
+        return Err(QueryError::OrderMismatch {
+            got: fixed.len(),
+            order,
+        });
+    }
+    let dim = model.factors[mode].rows();
+    let (coord, scores, ranked) = arena.score_bufs(order, dim);
+    {
+        let mut fx = fixed.iter();
+        for (m, c) in coord.iter_mut().enumerate() {
+            if m != mode {
+                *c = *fx.next().expect("fixed length checked above");
+            }
+        }
+    }
+    for (m, &c) in coord.iter().enumerate() {
+        if m != mode && c as usize >= model.factors[m].rows() {
+            return Err(QueryError::CoordOutOfRange {
+                mode: m,
+                index: c,
+                dim: model.factors[m].rows(),
+            });
+        }
+    }
+    for (i, score) in scores.iter_mut().enumerate() {
+        coord[mode] = i as u32;
+        *score = kruskal_value(&model.lambda, &model.factors, coord);
+    }
+    for (i, r) in ranked.iter_mut().enumerate() {
+        *r = i as u32;
+    }
+    // total_cmp gives a deterministic order even for NaN scores
+    // (degenerate models); index ascends within equal scores.
+    ranked.sort_unstable_by(|&a, &b| {
+        scores[b as usize]
+            .total_cmp(&scores[a as usize])
+            .then(a.cmp(&b))
+    });
+    let take = k.min(dim);
+    out.reserve(take);
+    for &i in &ranked[..take] {
+        out.push((i, scores[i as usize]));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splatt_dense::Matrix;
+
+    fn model() -> KruskalModel {
+        KruskalModel {
+            lambda: vec![2.0, 0.5],
+            factors: vec![
+                Matrix::random(4, 2, 10),
+                Matrix::random(3, 2, 11),
+                Matrix::random(5, 2, 12),
+            ],
+        }
+    }
+
+    #[test]
+    fn entries_match_the_scalar_oracle_bit_for_bit() {
+        let m = model();
+        let coords: Vec<u32> = vec![0, 0, 0, 3, 2, 4, 1, 1, 2];
+        let mut out = vec![0.0; 3];
+        entry_values(&m, &coords, &mut out).unwrap();
+        for (chunk, &got) in coords.chunks_exact(3).zip(&out) {
+            let want = kruskal_value(&m.lambda, &m.factors, chunk);
+            assert_eq!(got.to_bits(), want.to_bits());
+        }
+    }
+
+    #[test]
+    fn entry_rejects_bad_coords() {
+        let m = model();
+        let mut out = vec![0.0; 1];
+        assert!(matches!(
+            entry_values(&m, &[0, 0], &mut out),
+            Err(QueryError::OrderMismatch { .. })
+        ));
+        assert!(matches!(
+            entry_values(&m, &[0, 3, 0], &mut out),
+            Err(QueryError::CoordOutOfRange { mode: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn slice_walks_row_major_over_free_modes() {
+        let m = model();
+        let mut arena = QueryArena::new();
+        for mode in 0..3 {
+            let len = slice_len(&m, mode).unwrap();
+            let mut out = vec![0.0; len];
+            slice_values(&m, mode, 1, &mut arena, &mut out).unwrap();
+            // spot-check via explicit coordinates
+            let dims = [4usize, 3, 5];
+            let free: Vec<usize> = (0..3).filter(|&x| x != mode).collect();
+            let mut j = 0usize;
+            let mut c0 = 0usize;
+            while c0 < dims[free[0]] {
+                for c1 in 0..dims[free[1]] {
+                    let mut coord = [0u32; 3];
+                    coord[mode] = 1;
+                    coord[free[0]] = c0 as u32;
+                    coord[free[1]] = c1 as u32;
+                    let want = kruskal_value(&m.lambda, &m.factors, &coord);
+                    assert_eq!(out[j].to_bits(), want.to_bits(), "mode {mode} j {j}");
+                    j += 1;
+                }
+                c0 += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn slice_rejects_out_of_range() {
+        let m = model();
+        let mut arena = QueryArena::new();
+        let mut out = vec![0.0; 15];
+        assert!(matches!(
+            slice_values(&m, 3, 0, &mut arena, &mut out),
+            Err(QueryError::ModeOutOfRange { .. })
+        ));
+        assert!(matches!(
+            slice_values(&m, 0, 9, &mut arena, &mut out),
+            Err(QueryError::CoordOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn top_k_ranks_descending_with_index_ties() {
+        // Factor rows 0 and 2 identical -> tied scores -> index order.
+        let m = KruskalModel {
+            lambda: vec![1.0],
+            factors: vec![
+                Matrix::from_vec(4, 1, vec![0.5, 0.9, 0.5, 0.1]),
+                Matrix::from_vec(2, 1, vec![1.0, 0.0]),
+            ],
+        };
+        let mut arena = QueryArena::new();
+        let mut out = Vec::new();
+        top_k(&m, 0, 4, &[0], &mut arena, &mut out).unwrap();
+        let idx: Vec<u32> = out.iter().map(|&(i, _)| i).collect();
+        assert_eq!(idx, vec![1, 0, 2, 3]);
+        assert_eq!(out[1].1.to_bits(), out[2].1.to_bits());
+    }
+
+    #[test]
+    fn top_k_clamps_and_validates() {
+        let m = model();
+        let mut arena = QueryArena::new();
+        let mut out = Vec::new();
+        top_k(&m, 1, 100, &[0, 0], &mut arena, &mut out).unwrap();
+        assert_eq!(out.len(), 3);
+        out.clear();
+        assert!(matches!(
+            top_k(&m, 1, 2, &[0], &mut arena, &mut out),
+            Err(QueryError::OrderMismatch { .. })
+        ));
+        assert!(matches!(
+            top_k(&m, 1, 2, &[9, 0], &mut arena, &mut out),
+            Err(QueryError::CoordOutOfRange { mode: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn rank_zero_model_scores_zero_everywhere() {
+        let m = KruskalModel {
+            lambda: vec![],
+            factors: vec![Matrix::zeros(3, 0), Matrix::zeros(2, 0)],
+        };
+        let mut out = vec![1.0; 2];
+        entry_values(&m, &[0, 0, 2, 1], &mut out).unwrap();
+        assert_eq!(out, vec![0.0, 0.0]);
+        let mut arena = QueryArena::new();
+        let mut ranked = Vec::new();
+        top_k(&m, 0, 2, &[1], &mut arena, &mut ranked).unwrap();
+        assert_eq!(ranked, vec![(0, 0.0), (1, 0.0)]);
+    }
+
+    #[test]
+    fn arena_growth_is_warmup_only() {
+        let m = model();
+        let mut arena = QueryArena::new();
+        let mut out = Vec::new();
+        top_k(&m, 0, 2, &[0, 0], &mut arena, &mut out).unwrap();
+        let mut slice = vec![0.0; slice_len(&m, 2).unwrap()];
+        slice_values(&m, 2, 0, &mut arena, &mut slice).unwrap();
+        let (allocs, bytes) = (arena.growth_allocs(), arena.growth_bytes());
+        assert!(allocs > 0 && bytes > 0);
+        for _ in 0..10 {
+            out.clear();
+            top_k(&m, 0, 2, &[1, 1], &mut arena, &mut out).unwrap();
+            slice_values(&m, 2, 3, &mut arena, &mut slice).unwrap();
+            let mut vals = [0.0];
+            entry_values(&m, &[1, 1, 1], &mut vals).unwrap();
+        }
+        assert_eq!(arena.growth_allocs(), allocs, "steady state grew the arena");
+        assert_eq!(arena.growth_bytes(), bytes);
+    }
+}

@@ -17,18 +17,24 @@
 //!   reports tasks which stay busy without beating for longer than a
 //!   stall bound, and can optionally trip the cancel token.
 //!
-//! [`RunGuard`] bundles all four behind two entry points: a cheap,
+//! A fifth primitive serves the request path rather than batch runs:
+//! [`AdmissionGate`] caps a server's in-flight depth and sheds the
+//! excess with a typed [`Overloaded`] rejection.
+//!
+//! [`RunGuard`] bundles the first four behind two entry points: a cheap,
 //! infallible [`RunGuard::poll`] for kernel workers (beat + one load)
 //! and a full [`RunGuard::check`] for the driver, which evaluates the
 //! deadline and budget and converts the first violation into a sticky
 //! [`TripReason`].
 
+mod admission;
 mod budget;
 mod cancel;
 mod deadline;
 mod guard;
 mod watchdog;
 
+pub use admission::{AdmissionGate, AdmissionPermit, Overloaded};
 pub use budget::MemoryBudget;
 pub use cancel::CancelToken;
 pub use deadline::Deadline;

@@ -1,0 +1,101 @@
+//! Generic per-task slots for `coforall`-partitioned state.
+//!
+//! [`crate::ThreadScratch`] hard-codes per-task `f64` buffers for the
+//! MTTKRP reduction pattern; [`TaskLocal`] is the shape underneath it,
+//! generalized: one cache-padded, individually-locked slot per task, for
+//! workloads whose per-task state is richer than a flat float buffer —
+//! the serving layer keeps a grow-only query arena per task this way.
+//!
+//! Each task locks only its own `tid`-indexed slot, so acquisition is a
+//! single uncontended atomic, while the API stays safe to use inside
+//! [`crate::TaskTeam::coforall`].
+
+use splatt_rt::sync::{CachePadded, Mutex};
+
+/// `ntasks` independently-locked, cache-padded slots of `T`.
+pub struct TaskLocal<T> {
+    slots: Vec<CachePadded<Mutex<T>>>,
+}
+
+impl<T> TaskLocal<T> {
+    /// Build `ntasks` slots, each initialized by `init(tid)`.
+    pub fn new(ntasks: usize, mut init: impl FnMut(usize) -> T) -> Self {
+        TaskLocal {
+            slots: (0..ntasks)
+                .map(|tid| CachePadded::new(Mutex::new(init(tid))))
+                .collect(),
+        }
+    }
+
+    /// Number of slots.
+    pub fn ntasks(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` when built with zero tasks.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Run `f` with mutable access to task `tid`'s slot.
+    ///
+    /// # Panics
+    /// Panics if `tid` is out of range.
+    pub fn with_mut<R>(&self, tid: usize, f: impl FnOnce(&mut T) -> R) -> R {
+        let mut guard = self.slots[tid].lock();
+        f(&mut guard)
+    }
+
+    /// Visit every slot in turn (e.g. to aggregate per-task counters
+    /// after a parallel region).
+    pub fn for_each(&self, mut f: impl FnMut(usize, &mut T)) {
+        for (tid, slot) in self.slots.iter().enumerate() {
+            let mut guard = slot.lock();
+            f(tid, &mut guard);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TaskTeam;
+
+    #[test]
+    fn slots_are_initialized_per_tid() {
+        let local = TaskLocal::new(3, |tid| tid * 10);
+        assert_eq!(local.ntasks(), 3);
+        assert!(!local.is_empty());
+        for tid in 0..3 {
+            assert_eq!(local.with_mut(tid, |v| *v), tid * 10);
+        }
+    }
+
+    #[test]
+    fn concurrent_mutation_under_coforall() {
+        let ntasks = 4;
+        let team = TaskTeam::new(ntasks);
+        let local = TaskLocal::new(ntasks, |_| Vec::<usize>::new());
+        team.coforall(|tid| {
+            local.with_mut(tid, |v| {
+                for i in 0..100 {
+                    v.push(tid * 1000 + i);
+                }
+            });
+        });
+        let mut total = 0usize;
+        local.for_each(|tid, v| {
+            assert_eq!(v.len(), 100);
+            assert_eq!(v[0], tid * 1000);
+            total += v.len();
+        });
+        assert_eq!(total, 400);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_tid_panics() {
+        let local = TaskLocal::new(1, |_| 0u8);
+        local.with_mut(1, |_| {});
+    }
+}

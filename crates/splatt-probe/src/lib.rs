@@ -31,7 +31,9 @@ mod span;
 mod tasks;
 
 pub use locks::{LockCounters, LockStats};
-pub use report::{FaultRow, GuardRow, ProfileReport, RoutineRow, PROFILE_SCHEMA};
+pub use report::{
+    FaultRow, GuardRow, ProfileReport, QueryKindRow, RoutineRow, ServeRow, PROFILE_SCHEMA,
+};
 pub use span::SpanNode;
 pub use tasks::{TaskTimes, ThreadLoad, ThreadLoadRow};
 

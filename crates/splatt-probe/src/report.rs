@@ -13,8 +13,11 @@ use std::fmt::Write as _;
 /// Version tag embedded in every JSON profile. Bump only with a schema
 /// change; tests pin the current value. v2 added the `faults` array
 /// (injected-fault and recovery-action rows); v3 added the `guard`
-/// object (run-governance checks, trips, and watchdog activity).
-pub const PROFILE_SCHEMA: &str = "splatt-profile-v4";
+/// object (run-governance checks, trips, and watchdog activity); v4
+/// added `kernel_scratch_*` alloc counters; v5 added the `serve` object
+/// (per-query-kind latency histograms, batch-size distribution, cache
+/// hit rate, and shed counts from the serving subsystem).
+pub const PROFILE_SCHEMA: &str = "splatt-profile-v5";
 
 /// One row of the per-routine table (label from `splatt_par::Routine`).
 #[derive(Debug, Clone, PartialEq)]
@@ -59,6 +62,73 @@ pub struct GuardRow {
     pub trip: String,
 }
 
+/// Latency profile of one query kind served by the serving subsystem.
+///
+/// Buckets are log2 microseconds: `buckets[i]` counts requests whose
+/// latency fell in `[2^i, 2^(i+1))` µs, with sub-microsecond requests in
+/// bucket 0. Quantiles are precomputed by the producer from the same
+/// histogram so the row stays plain data.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryKindRow {
+    /// Query kind label (`entry`, `slice`, `topk`).
+    pub kind: String,
+    /// Requests answered successfully.
+    pub requests: u64,
+    /// Median latency in microseconds (histogram upper bound).
+    pub p50_micros: u64,
+    /// 99th-percentile latency in microseconds (histogram upper bound).
+    pub p99_micros: u64,
+    /// Worst observed latency in microseconds.
+    pub max_micros: u64,
+    /// Log2-microsecond latency histogram.
+    pub buckets: Vec<u64>,
+}
+
+/// Serving-subsystem activity during one profiled process — the v5
+/// schema addition. Like [`FaultRow`] and [`GuardRow`], kept as plain
+/// data so this crate stays independent of the serving crate.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServeRow {
+    /// Per-query-kind latency rows, one per kind that saw traffic.
+    pub kinds: Vec<QueryKindRow>,
+    /// Batches executed by the micro-batching scheduler.
+    pub batches: u64,
+    /// Requests that rode in those batches.
+    pub batched_requests: u64,
+    /// Largest batch coalesced.
+    pub max_batch: u64,
+    /// Log2 batch-size histogram: `batch_buckets[i]` counts batches of
+    /// size in `[2^i, 2^(i+1))`.
+    pub batch_buckets: Vec<u64>,
+    /// Result-cache hits.
+    pub cache_hits: u64,
+    /// Result-cache misses.
+    pub cache_misses: u64,
+    /// Entries evicted from the result cache.
+    pub cache_evictions: u64,
+    /// Requests shed by admission control (typed `Overloaded`).
+    pub sheds: u64,
+    /// Requests rejected because their deadline expired in queue.
+    pub deadline_rejections: u64,
+    /// Query-arena growth events since serving started (warm-up only in
+    /// a healthy steady state).
+    pub arena_growth_allocs: u64,
+    /// Bytes of query-arena growth.
+    pub arena_growth_bytes: u64,
+}
+
+impl ServeRow {
+    /// Cache hit rate in `[0, 1]`; 0 when the cache saw no lookups.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
 /// Everything measured during one profiled CP-ALS run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ProfileReport {
@@ -80,6 +150,8 @@ pub struct ProfileReport {
     pub faults: Vec<FaultRow>,
     /// Run-governance activity; `None` when the run was unguarded.
     pub guard: Option<GuardRow>,
+    /// Serving-subsystem activity; `None` outside a serving process.
+    pub serve: Option<ServeRow>,
 }
 
 impl Default for RoutineRow {
@@ -220,6 +292,58 @@ impl ProfileReport {
                 out.push('}');
             }
         }
+        out.push_str(",\n  \"serve\": ");
+        match &self.serve {
+            None => out.push_str("null"),
+            Some(s) => {
+                out.push_str("{\"kinds\": [");
+                for (i, k) in s.kinds.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str("\n    {\"kind\": ");
+                    json::write_escaped(&mut out, &k.kind);
+                    let _ = write!(
+                        out,
+                        ", \"requests\": {}, \"p50_micros\": {}, \"p99_micros\": {}, \
+                         \"max_micros\": {}, \"buckets\": [",
+                        k.requests, k.p50_micros, k.p99_micros, k.max_micros
+                    );
+                    for (j, b) in k.buckets.iter().enumerate() {
+                        if j > 0 {
+                            out.push_str(", ");
+                        }
+                        let _ = write!(out, "{b}");
+                    }
+                    out.push_str("]}");
+                }
+                let _ = write!(
+                    out,
+                    "\n  ], \"batches\": {}, \"batched_requests\": {}, \"max_batch\": {}, \
+                     \"batch_buckets\": [",
+                    s.batches, s.batched_requests, s.max_batch
+                );
+                for (j, b) in s.batch_buckets.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    let _ = write!(out, "{b}");
+                }
+                let _ = write!(
+                    out,
+                    "], \"cache_hits\": {}, \"cache_misses\": {}, \"cache_evictions\": {}, \
+                     \"cache_hit_rate\": ",
+                    s.cache_hits, s.cache_misses, s.cache_evictions
+                );
+                num(&mut out, s.cache_hit_rate());
+                let _ = write!(
+                    out,
+                    ", \"sheds\": {}, \"deadline_rejections\": {}, \
+                     \"arena_growth_allocs\": {}, \"arena_growth_bytes\": {}}}",
+                    s.sheds, s.deadline_rejections, s.arena_growth_allocs, s.arena_growth_bytes
+                );
+            }
+        }
         out.push_str(",\n  \"spans\": ");
         span_json(&mut out, &self.span);
         out.push_str("\n}\n");
@@ -320,6 +444,32 @@ impl ProfileReport {
                 }
             );
         }
+        if let Some(s) = &self.serve {
+            let _ = writeln!(
+                out,
+                "\n  serve: {} batches over {} requests (max batch {}), cache {:.1}% hit \
+                 ({} hits / {} misses, {} evictions), {} shed, {} deadline-expired, \
+                 {} arena growths ({} B)",
+                s.batches,
+                s.batched_requests,
+                s.max_batch,
+                100.0 * s.cache_hit_rate(),
+                s.cache_hits,
+                s.cache_misses,
+                s.cache_evictions,
+                s.sheds,
+                s.deadline_rejections,
+                s.arena_growth_allocs,
+                s.arena_growth_bytes
+            );
+            for k in &s.kinds {
+                let _ = writeln!(
+                    out,
+                    "  {:<6} {:>10} requests  p50 {:>8}us  p99 {:>8}us  max {:>8}us",
+                    k.kind, k.requests, k.p50_micros, k.p99_micros, k.max_micros
+                );
+            }
+        }
         out.push_str("\n  span tree\n");
         self.span.render_into(&mut out, 1);
         out
@@ -397,6 +547,37 @@ mod tests {
                 watchdog_samples: 100,
                 trip: "deadline exceeded (1.5s elapsed of 1.0s budget)".into(),
             }),
+            serve: Some(ServeRow {
+                kinds: vec![
+                    QueryKindRow {
+                        kind: "entry".into(),
+                        requests: 900,
+                        p50_micros: 4,
+                        p99_micros: 64,
+                        max_micros: 120,
+                        buckets: vec![10, 500, 380, 8, 2],
+                    },
+                    QueryKindRow {
+                        kind: "topk".into(),
+                        requests: 100,
+                        p50_micros: 32,
+                        p99_micros: 512,
+                        max_micros: 700,
+                        buckets: vec![0, 0, 0, 0, 0, 90, 6, 2, 1, 1],
+                    },
+                ],
+                batches: 250,
+                batched_requests: 1000,
+                max_batch: 16,
+                batch_buckets: vec![100, 80, 40, 20, 10],
+                cache_hits: 300,
+                cache_misses: 100,
+                cache_evictions: 5,
+                sheds: 12,
+                deadline_rejections: 3,
+                arena_growth_allocs: 6,
+                arena_growth_bytes: 4096,
+            }),
         }
     }
 
@@ -462,6 +643,58 @@ mod tests {
     }
 
     #[test]
+    fn serve_object_is_schema_stable() {
+        let report = sample();
+        let doc = json::parse(&report.to_json()).expect("valid JSON");
+        let serve = doc.get("serve").unwrap();
+        let kinds = serve.get("kinds").unwrap().as_array().unwrap();
+        assert_eq!(kinds.len(), 2);
+        assert_eq!(kinds[0].get("kind").unwrap().as_str(), Some("entry"));
+        assert_eq!(kinds[0].get("requests").unwrap().as_u64(), Some(900));
+        assert_eq!(kinds[0].get("p50_micros").unwrap().as_u64(), Some(4));
+        assert_eq!(kinds[1].get("p99_micros").unwrap().as_u64(), Some(512));
+        let buckets = kinds[0].get("buckets").unwrap().as_array().unwrap();
+        assert_eq!(buckets.len(), 5);
+        assert_eq!(buckets[1].as_u64(), Some(500));
+        assert_eq!(serve.get("batches").unwrap().as_u64(), Some(250));
+        assert_eq!(serve.get("max_batch").unwrap().as_u64(), Some(16));
+        assert_eq!(
+            serve
+                .get("batch_buckets")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .len(),
+            5
+        );
+        assert_eq!(serve.get("cache_hits").unwrap().as_u64(), Some(300));
+        assert_eq!(serve.get("cache_evictions").unwrap().as_u64(), Some(5));
+        let rate = serve.get("cache_hit_rate").unwrap().as_f64().unwrap();
+        assert!((rate - 0.75).abs() < 1e-12);
+        assert_eq!(serve.get("sheds").unwrap().as_u64(), Some(12));
+        assert_eq!(serve.get("deadline_rejections").unwrap().as_u64(), Some(3));
+        assert_eq!(
+            serve.get("arena_growth_bytes").unwrap().as_u64(),
+            Some(4096)
+        );
+    }
+
+    #[test]
+    fn non_serving_report_serializes_null_serve() {
+        let mut report = sample();
+        report.serve = None;
+        let json = report.to_json();
+        assert!(json.contains("\"serve\": null"), "json: {json}");
+        json::parse(&json).expect("valid JSON");
+        assert!(!report.render().contains("serve:"));
+    }
+
+    #[test]
+    fn cache_hit_rate_handles_empty_cache() {
+        assert_eq!(ServeRow::default().cache_hit_rate(), 0.0);
+    }
+
+    #[test]
     fn unguarded_report_serializes_null_guard() {
         let mut report = sample();
         report.guard = None;
@@ -492,6 +725,9 @@ mod tests {
         assert!(text.contains("straggler"));
         assert!(text.contains("guard: 40 checks, 1 trips"));
         assert!(text.contains("tripped: deadline"));
+        assert!(text.contains("serve: 250 batches"));
+        assert!(text.contains("cache 75.0% hit"));
+        assert!(text.contains("12 shed"));
         assert!(text.contains("span tree"));
     }
 

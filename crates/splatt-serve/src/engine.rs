@@ -1,0 +1,893 @@
+//! The serving engine: admission control in front of a micro-batching
+//! scheduler over a `splatt-par` task team.
+//!
+//! Request flow:
+//!
+//! 1. [`ServeEngine::query`] admits the request through the
+//!    [`AdmissionGate`] (at capacity → typed
+//!    [`ServeError::Overloaded`], immediately).
+//! 2. Slice and top-k requests consult the LRU result cache; a hit
+//!    returns without touching the scheduler.
+//! 3. Misses are queued. A dedicated batcher thread drains the queue,
+//!    coalesces requests by `(model version, query kind)`, and fans each
+//!    batch out over the task team with static block partitioning —
+//!    every task reconstructs with its own grow-only [`QueryArena`], so
+//!    the steady-state hot path is allocation-free after warm-up.
+//! 4. The caller blocks on a response slot with a deadline: expired
+//!    requests come back as typed [`ServeError::DeadlineExpired`]
+//!    (whether they expired in queue or while the caller waited), and a
+//!    caller-supplied abort poll (the TCP front end's disconnect
+//!    detector) turns an abandoned wait into cooperative cancellation —
+//!    a request never hangs.
+//!
+//! Latency per kind, batch sizes, cache traffic, sheds, and arena growth
+//! all land in [`ServeStats`], surfaced as the probe schema v5 `serve`
+//! object via [`ServeEngine::profile_report`].
+
+use crate::cache::{CacheKey, CacheValue, ResultCache};
+use crate::registry::{ModelRegistry, ServableModel};
+use crate::stats::{QueryKind, ServeStats};
+use splatt_core::query::{self, QueryArena};
+use splatt_guard::{AdmissionGate, CancelToken, Overloaded};
+use splatt_par::{partition, TaskLocal, TaskTeam};
+use splatt_probe::ProfileReport;
+use splatt_rt::sync::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker tasks executing batched queries.
+    pub ntasks: usize,
+    /// Admission-gate depth: requests in flight beyond this are shed.
+    pub max_depth: usize,
+    /// Largest batch the scheduler coalesces per (model, kind) group.
+    pub max_batch: usize,
+    /// LRU result-cache capacity (entries); 0 disables caching.
+    pub cache_capacity: usize,
+    /// Deadline applied to requests that do not carry their own.
+    pub default_deadline: Duration,
+    /// Reject slices (and entry batches) larger than this many values.
+    pub max_response_values: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            ntasks: 4,
+            max_depth: 256,
+            max_batch: 64,
+            cache_capacity: 256,
+            default_deadline: Duration::from_secs(5),
+            max_response_values: 1 << 22,
+        }
+    }
+}
+
+/// One query against a named model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Query {
+    /// Reconstruct the modeled value at each coordinate tuple
+    /// (flat, `order` entries per tuple).
+    Entry { coords: Vec<u32> },
+    /// Reconstruct the dense slice fixing `mode` at `index`.
+    Slice { mode: u8, index: u32 },
+    /// Score every index along `mode` against `fixed` and return the
+    /// `k` best.
+    TopK { mode: u8, k: u32, fixed: Vec<u32> },
+}
+
+impl Query {
+    /// The kind bucket this query records under.
+    pub fn kind(&self) -> QueryKind {
+        match self {
+            Query::Entry { .. } => QueryKind::Entry,
+            Query::Slice { .. } => QueryKind::Slice,
+            Query::TopK { .. } => QueryKind::TopK,
+        }
+    }
+}
+
+/// A successful query answer. Slice and top-k payloads are `Arc`-shared
+/// with the result cache.
+#[derive(Debug, Clone)]
+pub enum QueryResult {
+    Entries(Vec<f64>),
+    Slice(Arc<Vec<f64>>),
+    TopK(Arc<Vec<(u32, f64)>>),
+}
+
+/// Why a request was not answered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// Shed by admission control; retry after backing off.
+    Overloaded(Overloaded),
+    /// The request's deadline expired before an answer was produced.
+    DeadlineExpired,
+    /// No such model name/version in the registry.
+    ModelNotFound { name: String, version: u64 },
+    /// The query does not fit the model (bad mode, coordinate, shape).
+    BadQuery(String),
+    /// The engine is shutting down.
+    ShuttingDown,
+    /// The caller abandoned the request (e.g. client disconnect).
+    Cancelled,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded(o) => write!(f, "{o}"),
+            ServeError::DeadlineExpired => write!(f, "deadline expired"),
+            ServeError::ModelNotFound { name, version } => {
+                if *version == 0 {
+                    write!(f, "model '{name}' not found")
+                } else {
+                    write!(f, "model '{name}' version {version} not found")
+                }
+            }
+            ServeError::BadQuery(msg) => write!(f, "bad query: {msg}"),
+            ServeError::ShuttingDown => write!(f, "server shutting down"),
+            ServeError::Cancelled => write!(f, "request cancelled"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+enum SlotState {
+    Waiting,
+    Done(Result<QueryResult, ServeError>),
+    /// The waiter gave up (deadline/cancel); late fills are dropped.
+    Abandoned,
+    /// The waiter took the result out.
+    Consumed,
+}
+
+/// One-shot rendezvous between a waiting caller and the batcher.
+struct ResponseSlot {
+    state: Mutex<SlotState>,
+    ready: Condvar,
+}
+
+impl ResponseSlot {
+    fn new() -> Arc<Self> {
+        Arc::new(ResponseSlot {
+            state: Mutex::new(SlotState::Waiting),
+            ready: Condvar::new(),
+        })
+    }
+
+    fn prefilled(result: Result<QueryResult, ServeError>) -> Arc<Self> {
+        Arc::new(ResponseSlot {
+            state: Mutex::new(SlotState::Done(result)),
+            ready: Condvar::new(),
+        })
+    }
+
+    /// Deliver a result; returns false if the waiter already abandoned.
+    fn fill(&self, result: Result<QueryResult, ServeError>) -> bool {
+        let mut state = self.state.lock();
+        if matches!(*state, SlotState::Waiting) {
+            *state = SlotState::Done(result);
+            self.ready.notify_all();
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// A submitted request the caller can block on via [`ServeEngine::wait`].
+pub struct Ticket {
+    slot: Arc<ResponseSlot>,
+    kind: QueryKind,
+    submitted: Instant,
+    deadline: Instant,
+    cancel: CancelToken,
+}
+
+struct Pending {
+    model: Arc<ServableModel>,
+    query: Query,
+    slot: Arc<ResponseSlot>,
+    deadline: Instant,
+    cancel: CancelToken,
+}
+
+struct EngineQueue {
+    pending: VecDeque<Pending>,
+    closed: bool,
+}
+
+/// The serving engine; see the module docs. Create with
+/// [`ServeEngine::start`] and stop with [`ServeEngine::shutdown`] —
+/// the batcher thread keeps the engine alive until then.
+pub struct ServeEngine {
+    config: ServeConfig,
+    registry: ModelRegistry,
+    cache: ResultCache,
+    gate: AdmissionGate,
+    stats: ServeStats,
+    queue: Mutex<EngineQueue>,
+    wake: Condvar,
+    shutdown: CancelToken,
+    batcher: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl ServeEngine {
+    /// Build the engine and start its batcher thread.
+    pub fn start(config: ServeConfig) -> Arc<ServeEngine> {
+        let engine = Arc::new(ServeEngine {
+            registry: ModelRegistry::new(),
+            cache: ResultCache::new(config.cache_capacity),
+            gate: AdmissionGate::new(config.max_depth),
+            stats: ServeStats::new(),
+            queue: Mutex::new(EngineQueue {
+                pending: VecDeque::new(),
+                closed: false,
+            }),
+            wake: Condvar::new(),
+            shutdown: CancelToken::new(),
+            batcher: Mutex::new(None),
+            config,
+        });
+        let worker = Arc::clone(&engine);
+        let handle = std::thread::Builder::new()
+            .name("splatt-serve-batcher".into())
+            .spawn(move || run_batcher(&worker))
+            .expect("spawn batcher thread");
+        *engine.batcher.lock() = Some(handle);
+        engine
+    }
+
+    /// The model registry (publish/evict/list).
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.registry
+    }
+
+    /// The admission gate (depth and shed counters).
+    pub fn gate(&self) -> &AdmissionGate {
+        &self.gate
+    }
+
+    /// Serving telemetry.
+    pub fn stats(&self) -> &ServeStats {
+        &self.stats
+    }
+
+    /// The result cache.
+    pub fn cache(&self) -> &ResultCache {
+        &self.cache
+    }
+
+    /// The engine-level cancel token; tripping it starts shutdown
+    /// (pair with [`ServeEngine::shutdown`] to also join the batcher).
+    pub fn shutdown_token(&self) -> &CancelToken {
+        &self.shutdown
+    }
+
+    /// Engine configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Publish a model; convenience over `registry().publish`.
+    pub fn publish(&self, name: &str, model: splatt_core::KruskalModel) -> u64 {
+        self.registry.publish(name, model)
+    }
+
+    /// Evict model versions and drop their cached results.
+    pub fn evict(&self, name: &str, version: u64) -> usize {
+        let removed = self.registry.evict(name, version);
+        if removed > 0 {
+            self.cache.invalidate_model(name, version);
+        }
+        removed
+    }
+
+    /// Admit, submit, and block for the answer. `poll_abort` is checked
+    /// while waiting (return true to abandon — the TCP front end passes
+    /// its disconnect detector); pass `|| false` when the caller cannot
+    /// go away.
+    ///
+    /// # Errors
+    /// Every failure is a typed [`ServeError`]; this never blocks past
+    /// the request deadline.
+    pub fn query(
+        &self,
+        name: &str,
+        version: u64,
+        query: Query,
+        deadline: Option<Duration>,
+        cancel: &CancelToken,
+        poll_abort: impl FnMut() -> bool,
+    ) -> Result<QueryResult, ServeError> {
+        let _permit = self.gate.try_admit().map_err(ServeError::Overloaded)?;
+        let ticket = self.submit(name, version, query, deadline, cancel)?;
+        self.wait(ticket, poll_abort)
+    }
+
+    /// Queue a request (or answer it from cache) and return a ticket to
+    /// wait on. Callers that want shedding must admit through
+    /// [`ServeEngine::gate`] first and hold the permit until the wait
+    /// returns; [`ServeEngine::query`] does both.
+    ///
+    /// # Errors
+    /// Fails fast with [`ServeError::ShuttingDown`],
+    /// [`ServeError::ModelNotFound`], or [`ServeError::BadQuery`].
+    pub fn submit(
+        &self,
+        name: &str,
+        version: u64,
+        query: Query,
+        deadline: Option<Duration>,
+        cancel: &CancelToken,
+    ) -> Result<Ticket, ServeError> {
+        if self.shutdown.is_cancelled() {
+            return Err(ServeError::ShuttingDown);
+        }
+        let model = self
+            .registry
+            .get(name, version)
+            .ok_or_else(|| ServeError::ModelNotFound {
+                name: name.to_string(),
+                version,
+            })?;
+        self.validate(&model, &query)?;
+        let submitted = Instant::now();
+        let deadline = submitted + deadline.unwrap_or(self.config.default_deadline);
+        let kind = query.kind();
+
+        if let Some(hit) = self.cache_lookup(&model, &query) {
+            return Ok(Ticket {
+                slot: ResponseSlot::prefilled(Ok(hit)),
+                kind,
+                submitted,
+                deadline,
+                cancel: cancel.child(),
+            });
+        }
+
+        let slot = ResponseSlot::new();
+        let pending = Pending {
+            model,
+            query,
+            slot: Arc::clone(&slot),
+            deadline,
+            cancel: cancel.child(),
+        };
+        {
+            let mut q = self.queue.lock();
+            if q.closed {
+                return Err(ServeError::ShuttingDown);
+            }
+            q.pending.push_back(pending);
+        }
+        self.wake.notify_all();
+        Ok(Ticket {
+            slot,
+            kind,
+            submitted,
+            deadline,
+            cancel: cancel.child(),
+        })
+    }
+
+    /// Block until the ticket resolves, its deadline expires, its cancel
+    /// token trips, or `poll_abort` returns true.
+    pub fn wait(
+        &self,
+        ticket: Ticket,
+        mut poll_abort: impl FnMut() -> bool,
+    ) -> Result<QueryResult, ServeError> {
+        let mut state = ticket.slot.state.lock();
+        loop {
+            match std::mem::replace(&mut *state, SlotState::Consumed) {
+                SlotState::Done(result) => {
+                    if result.is_ok() {
+                        // Latency is recorded by the receiving side so the
+                        // per-kind request count matches answers delivered.
+                        self.stats.record_latency(
+                            ticket.kind,
+                            ticket.submitted.elapsed().as_micros() as u64,
+                        );
+                    }
+                    return result;
+                }
+                SlotState::Waiting => {
+                    *state = SlotState::Waiting;
+                    if ticket.cancel.is_cancelled() || poll_abort() {
+                        *state = SlotState::Abandoned;
+                        return Err(ServeError::Cancelled);
+                    }
+                    let now = Instant::now();
+                    if now >= ticket.deadline {
+                        *state = SlotState::Abandoned;
+                        self.stats.record_deadline_rejection();
+                        return Err(ServeError::DeadlineExpired);
+                    }
+                    let nap = (ticket.deadline - now).min(Duration::from_millis(25));
+                    ticket.slot.ready.wait_timeout(&mut state, nap);
+                }
+                other => {
+                    // Single-waiter protocol: only this method consumes.
+                    *state = other;
+                    return Err(ServeError::Cancelled);
+                }
+            }
+        }
+    }
+
+    /// Begin shutdown and join the batcher: queued requests are failed
+    /// with [`ServeError::ShuttingDown`], no new submissions are
+    /// accepted. Idempotent.
+    pub fn shutdown(&self) {
+        self.shutdown.cancel();
+        {
+            let mut q = self.queue.lock();
+            q.closed = true;
+        }
+        self.wake.notify_all();
+        let handle = self.batcher.lock().take();
+        if let Some(handle) = handle {
+            let _ = handle.join();
+        }
+    }
+
+    /// A probe report with the schema v5 `serve` object populated.
+    pub fn profile_report(&self) -> ProfileReport {
+        ProfileReport {
+            ntasks: self.config.ntasks,
+            serve: Some(self.stats.to_row(
+                self.cache.hits(),
+                self.cache.misses(),
+                self.cache.evictions(),
+                self.gate.sheds(),
+            )),
+            ..Default::default()
+        }
+    }
+
+    fn validate(&self, model: &ServableModel, query: &Query) -> Result<(), ServeError> {
+        let order = model.model.order();
+        let bad = |msg: String| Err(ServeError::BadQuery(msg));
+        match query {
+            Query::Entry { coords } => {
+                if order == 0 || coords.len() % order != 0 {
+                    return bad(format!(
+                        "{} coordinates do not tile an order-{order} model",
+                        coords.len()
+                    ));
+                }
+                if coords.len() / order.max(1) > self.config.max_response_values {
+                    return bad("entry batch too large".into());
+                }
+            }
+            Query::Slice { mode, .. } => {
+                if *mode as usize >= order {
+                    return bad(format!("mode {mode} out of range for order {order}"));
+                }
+                let len = query::slice_len(&model.model, *mode as usize)
+                    .map_err(|e| ServeError::BadQuery(e.to_string()))?;
+                if len > self.config.max_response_values {
+                    return bad(format!(
+                        "slice has {len} values (limit {})",
+                        self.config.max_response_values
+                    ));
+                }
+            }
+            Query::TopK { mode, k, fixed } => {
+                if *mode as usize >= order {
+                    return bad(format!("mode {mode} out of range for order {order}"));
+                }
+                if fixed.len() + 1 != order {
+                    return bad(format!(
+                        "{} fixed coordinates for an order-{order} top-k",
+                        fixed.len()
+                    ));
+                }
+                if *k as usize > self.config.max_response_values {
+                    return bad("k too large".into());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn cache_key(model: &ServableModel, query: &Query) -> Option<CacheKey> {
+        match query {
+            Query::Entry { .. } => None,
+            Query::Slice { mode, index } => Some(CacheKey::Slice {
+                model: model.name.clone(),
+                version: model.version,
+                mode: *mode,
+                index: *index,
+            }),
+            Query::TopK { mode, k, fixed } => Some(CacheKey::TopK {
+                model: model.name.clone(),
+                version: model.version,
+                mode: *mode,
+                k: *k,
+                fixed: fixed.clone(),
+            }),
+        }
+    }
+
+    fn cache_lookup(&self, model: &ServableModel, query: &Query) -> Option<QueryResult> {
+        let key = Self::cache_key(model, query)?;
+        match self.cache.get(&key)? {
+            CacheValue::Slice(v) => Some(QueryResult::Slice(v)),
+            CacheValue::TopK(v) => Some(QueryResult::TopK(v)),
+        }
+    }
+}
+
+/// Execute one query against its model with a task-local arena.
+fn run_one(item: &Pending, arena: &mut QueryArena) -> Result<QueryResult, ServeError> {
+    let model = &item.model.model;
+    let to_bad = |e: query::QueryError| ServeError::BadQuery(e.to_string());
+    match &item.query {
+        Query::Entry { coords } => {
+            let order = model.order();
+            let mut out = vec![0.0; coords.len() / order.max(1)];
+            query::entry_values(model, coords, &mut out).map_err(to_bad)?;
+            Ok(QueryResult::Entries(out))
+        }
+        Query::Slice { mode, index } => {
+            let len = query::slice_len(model, *mode as usize).map_err(to_bad)?;
+            let mut out = vec![0.0; len];
+            query::slice_values(model, *mode as usize, *index, arena, &mut out).map_err(to_bad)?;
+            Ok(QueryResult::Slice(Arc::new(out)))
+        }
+        Query::TopK { mode, k, fixed } => {
+            let mut out = Vec::new();
+            query::top_k(model, *mode as usize, *k as usize, fixed, arena, &mut out)
+                .map_err(to_bad)?;
+            Ok(QueryResult::TopK(Arc::new(out)))
+        }
+    }
+}
+
+fn run_batcher(engine: &Arc<ServeEngine>) {
+    let ntasks = engine.config.ntasks.max(1);
+    let team = TaskTeam::new(ntasks);
+    let arenas: TaskLocal<QueryArena> = TaskLocal::new(ntasks, |_| QueryArena::new());
+    loop {
+        let drained: Vec<Pending> = {
+            let mut q = engine.queue.lock();
+            while q.pending.is_empty() && !q.closed {
+                engine.wake.wait(&mut q);
+            }
+            if q.pending.is_empty() && q.closed {
+                break;
+            }
+            let closed = q.closed;
+            let items: Vec<Pending> = q.pending.drain(..).collect();
+            if closed {
+                drop(q);
+                for item in items {
+                    item.slot.fill(Err(ServeError::ShuttingDown));
+                }
+                break;
+            }
+            items
+        };
+
+        // Coalesce by (model version identity, query kind).
+        let mut groups: HashMap<(usize, &'static str), Vec<Pending>> = HashMap::new();
+        for item in drained {
+            let key = (Arc::as_ptr(&item.model) as usize, item.query.kind().label());
+            groups.entry(key).or_default().push(item);
+        }
+        for (_, items) in groups {
+            for chunk in items.chunks(engine.config.max_batch.max(1)) {
+                execute_batch(engine, &team, &arenas, chunk);
+            }
+        }
+    }
+}
+
+fn execute_batch(
+    engine: &ServeEngine,
+    team: &TaskTeam,
+    arenas: &TaskLocal<QueryArena>,
+    items: &[Pending],
+) {
+    // Pre-pass: fail requests that died in queue without spending
+    // compute on them.
+    let mut live: Vec<&Pending> = Vec::with_capacity(items.len());
+    let now = Instant::now();
+    for item in items {
+        if item.cancel.is_cancelled() || engine.shutdown.is_cancelled() {
+            item.slot.fill(Err(ServeError::Cancelled));
+        } else if now >= item.deadline {
+            if item.slot.fill(Err(ServeError::DeadlineExpired)) {
+                engine.stats.record_deadline_rejection();
+            }
+        } else {
+            live.push(item);
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+    engine.stats.record_batch(live.len() as u64);
+
+    let ntasks = team.ntasks();
+    let live = &live;
+    team.coforall(|tid| {
+        for i in partition::block(live.len(), ntasks, tid) {
+            let item = live[i];
+            let result = arenas.with_mut(tid, |arena| run_one(item, arena));
+            if let (Ok(ok), Some(key)) = (&result, ServeEngine::cache_key(&item.model, &item.query))
+            {
+                let value = match ok {
+                    QueryResult::Slice(v) => Some(CacheValue::Slice(Arc::clone(v))),
+                    QueryResult::TopK(v) => Some(CacheValue::TopK(Arc::clone(v))),
+                    QueryResult::Entries(_) => None,
+                };
+                if let Some(value) = value {
+                    engine.cache.insert(key, value);
+                }
+            }
+            item.slot.fill(result);
+        }
+    });
+
+    // Publish the aggregate arena growth after every batch: flat after
+    // warm-up is the allocation-free certification signal.
+    let (mut allocs, mut bytes) = (0u64, 0u64);
+    arenas.for_each(|_, a| {
+        allocs += a.growth_allocs();
+        bytes += a.growth_bytes();
+    });
+    engine.stats.set_arena_growth(allocs, bytes);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splatt_core::reference::kruskal_value;
+    use splatt_core::KruskalModel;
+    use splatt_dense::Matrix;
+
+    fn model() -> KruskalModel {
+        KruskalModel {
+            lambda: vec![2.0, 0.5],
+            factors: vec![
+                Matrix::random(6, 2, 40),
+                Matrix::random(4, 2, 41),
+                Matrix::random(5, 2, 42),
+            ],
+        }
+    }
+
+    fn engine() -> Arc<ServeEngine> {
+        let eng = ServeEngine::start(ServeConfig {
+            ntasks: 2,
+            ..Default::default()
+        });
+        eng.publish("m", model());
+        eng
+    }
+
+    #[test]
+    fn entry_queries_match_the_oracle() {
+        let eng = engine();
+        let root = CancelToken::new();
+        let m = model();
+        let result = eng
+            .query(
+                "m",
+                0,
+                Query::Entry {
+                    coords: vec![0, 0, 0, 5, 3, 4],
+                },
+                None,
+                &root,
+                || false,
+            )
+            .unwrap();
+        match result {
+            QueryResult::Entries(vals) => {
+                assert_eq!(vals.len(), 2);
+                assert_eq!(
+                    vals[0].to_bits(),
+                    kruskal_value(&m.lambda, &m.factors, &[0, 0, 0]).to_bits()
+                );
+                assert_eq!(
+                    vals[1].to_bits(),
+                    kruskal_value(&m.lambda, &m.factors, &[5, 3, 4]).to_bits()
+                );
+            }
+            other => panic!("unexpected result {other:?}"),
+        }
+        eng.shutdown();
+    }
+
+    #[test]
+    fn slice_results_are_cached() {
+        let eng = engine();
+        let root = CancelToken::new();
+        let q = Query::Slice { mode: 1, index: 2 };
+        let a = eng.query("m", 0, q.clone(), None, &root, || false).unwrap();
+        let hits_before = eng.cache().hits();
+        let b = eng.query("m", 0, q, None, &root, || false).unwrap();
+        assert_eq!(eng.cache().hits(), hits_before + 1);
+        match (a, b) {
+            (QueryResult::Slice(x), QueryResult::Slice(y)) => {
+                assert!(Arc::ptr_eq(&x, &y), "hit should share the buffer");
+                assert_eq!(x.len(), 6 * 5);
+            }
+            other => panic!("unexpected results {other:?}"),
+        }
+        eng.shutdown();
+    }
+
+    #[test]
+    fn typed_errors_for_missing_models_and_bad_queries() {
+        let eng = engine();
+        let root = CancelToken::new();
+        assert!(matches!(
+            eng.query(
+                "ghost",
+                0,
+                Query::Slice { mode: 0, index: 0 },
+                None,
+                &root,
+                || false
+            ),
+            Err(ServeError::ModelNotFound { .. })
+        ));
+        assert!(matches!(
+            eng.query(
+                "m",
+                0,
+                Query::Slice { mode: 7, index: 0 },
+                None,
+                &root,
+                || { false }
+            ),
+            Err(ServeError::BadQuery(_))
+        ));
+        assert!(matches!(
+            eng.query(
+                "m",
+                0,
+                Query::TopK {
+                    mode: 0,
+                    k: 3,
+                    fixed: vec![0],
+                },
+                None,
+                &root,
+                || false
+            ),
+            Err(ServeError::BadQuery(_))
+        ));
+        // Out-of-range coordinate is caught by the kernel and typed.
+        assert!(matches!(
+            eng.query(
+                "m",
+                0,
+                Query::Entry {
+                    coords: vec![0, 9, 0],
+                },
+                None,
+                &root,
+                || false
+            ),
+            Err(ServeError::BadQuery(_))
+        ));
+        eng.shutdown();
+    }
+
+    #[test]
+    fn zero_deadline_expires_as_typed_error() {
+        let eng = engine();
+        let root = CancelToken::new();
+        let err = eng
+            .query(
+                "m",
+                0,
+                Query::Slice { mode: 0, index: 0 },
+                Some(Duration::ZERO),
+                &root,
+                || false,
+            )
+            .unwrap_err();
+        assert_eq!(err, ServeError::DeadlineExpired);
+        assert!(eng.stats().deadline_rejections() >= 1);
+        eng.shutdown();
+    }
+
+    #[test]
+    fn cancelled_token_abandons_the_wait() {
+        let eng = engine();
+        let root = CancelToken::new();
+        root.cancel();
+        let err = eng
+            .query(
+                "m",
+                0,
+                Query::Slice { mode: 0, index: 1 },
+                None,
+                &root,
+                || false,
+            )
+            .unwrap_err();
+        assert_eq!(err, ServeError::Cancelled);
+        eng.shutdown();
+    }
+
+    #[test]
+    fn shutdown_rejects_new_work_and_is_idempotent() {
+        let eng = engine();
+        eng.shutdown();
+        eng.shutdown();
+        let root = CancelToken::new();
+        assert_eq!(
+            eng.query(
+                "m",
+                0,
+                Query::Slice { mode: 0, index: 0 },
+                None,
+                &root,
+                || false
+            )
+            .unwrap_err(),
+            ServeError::ShuttingDown
+        );
+    }
+
+    #[test]
+    fn evict_drops_cache_and_resolution() {
+        let eng = engine();
+        let root = CancelToken::new();
+        let q = Query::TopK {
+            mode: 0,
+            k: 3,
+            fixed: vec![1, 1],
+        };
+        eng.query("m", 0, q.clone(), None, &root, || false).unwrap();
+        assert_eq!(eng.cache().len(), 1);
+        assert_eq!(eng.evict("m", 0), 1);
+        assert_eq!(eng.cache().len(), 0);
+        assert!(matches!(
+            eng.query("m", 0, q, None, &root, || false),
+            Err(ServeError::ModelNotFound { .. })
+        ));
+        eng.shutdown();
+    }
+
+    #[test]
+    fn profile_report_carries_serve_row() {
+        let eng = engine();
+        let root = CancelToken::new();
+        for i in 0..4 {
+            eng.query(
+                "m",
+                0,
+                Query::Entry {
+                    coords: vec![i, 0, 0],
+                },
+                None,
+                &root,
+                || false,
+            )
+            .unwrap();
+        }
+        let report = eng.profile_report();
+        let serve = report.serve.clone().expect("serve row");
+        assert_eq!(serve.kinds.len(), 1);
+        assert_eq!(serve.kinds[0].kind, "entry");
+        assert_eq!(serve.kinds[0].requests, 4);
+        assert!(serve.batches >= 1);
+        let json = report.to_json();
+        assert!(json.contains("\"serve\": {"), "json: {json}");
+        eng.shutdown();
+    }
+}

@@ -1,0 +1,42 @@
+//! Factor-model serving for splatt-rs: the downstream half of the
+//! tensor-decomposition story.
+//!
+//! The paper's pipeline ends where a model begins to be *used*: CP-ALS
+//! produces a Kruskal model, and applications (recommendation,
+//! pattern lookup, anomaly scoring) query it point-wise, slice-wise, or
+//! top-k-wise. This crate turns a decomposed model into a queryable
+//! service using only `std` plus the workspace's own substrate crates:
+//!
+//! * [`ModelRegistry`] — immutable, versioned model storage with
+//!   load/evict; models arrive via `splatt-core`'s bit-exact model
+//!   files (or checkpoints).
+//! * [`ServeEngine`] — admission control ([`splatt_guard::AdmissionGate`]),
+//!   an LRU result cache ([`ResultCache`]), and a micro-batching
+//!   scheduler that coalesces queued requests per (model, query kind)
+//!   and fans batches out over a `splatt-par` task team with per-task
+//!   grow-only arenas — allocation-free on the steady-state hot path.
+//! * [`serve`] / [`Client`] — a length-prefixed binary protocol over
+//!   `std::net::TcpListener`, blocking thread-per-connection, with
+//!   per-request deadlines, typed overload shedding, and
+//!   cancel-on-disconnect.
+//! * Probe integration — every counter surfaces in the schema v5
+//!   `serve` object via [`ServeEngine::profile_report`].
+//!
+//! Answers are **bit-identical** to dense reconstruction from the same
+//! model: the query kernels and the wire format both preserve IEEE-754
+//! bit patterns end to end.
+
+mod cache;
+mod client;
+mod engine;
+pub mod protocol;
+mod registry;
+mod server;
+mod stats;
+
+pub use cache::{CacheKey, CacheValue, ResultCache};
+pub use client::Client;
+pub use engine::{Query, QueryResult, ServeConfig, ServeEngine, ServeError, Ticket};
+pub use registry::{ModelInfo, ModelRegistry, ServableModel};
+pub use server::{serve, ServerHandle};
+pub use stats::{Log2Histogram, QueryKind, ServeStats};

@@ -1,0 +1,616 @@
+//! The length-prefixed binary wire protocol.
+//!
+//! Every message — request or response — is one frame: a `u32`
+//! little-endian payload length followed by the payload. Integers are
+//! little-endian; floats travel as IEEE-754 bit patterns
+//! (`f64::to_bits`), so values cross the wire bit-exactly.
+//!
+//! Request payload:
+//!
+//! ```text
+//! u8  op          1=entry 2=slice 3=topk 4=stats 5=list 6=shutdown
+//! u32 deadline_ms 0 = server default
+//! u16 name_len    + name bytes (UTF-8; empty for stats/list/shutdown)
+//! u64 version     0 = latest
+//! ...op-specific body (see RequestBody)
+//! ```
+//!
+//! Response payload: `u8` status (0 = ok, else a [`WireError`] code)
+//! followed by either an error message (`u16` length + UTF-8) or the
+//! op-specific result body.
+
+use crate::registry::ModelInfo;
+use std::io::{Error, ErrorKind, Read, Write};
+
+/// Refuse frames beyond this size (64 MiB) — a corrupt or malicious
+/// length prefix must not trigger a giant allocation.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Wire error codes; the typed mirror of [`crate::ServeError`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum WireError {
+    Overloaded = 1,
+    DeadlineExpired = 2,
+    ModelNotFound = 3,
+    BadRequest = 4,
+    ShuttingDown = 5,
+    Internal = 6,
+}
+
+impl WireError {
+    fn from_code(code: u8) -> Option<WireError> {
+        Some(match code {
+            1 => WireError::Overloaded,
+            2 => WireError::DeadlineExpired,
+            3 => WireError::ModelNotFound,
+            4 => WireError::BadRequest,
+            5 => WireError::ShuttingDown,
+            6 => WireError::Internal,
+            _ => return None,
+        })
+    }
+}
+
+/// Op-specific request body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestBody {
+    /// `u8` order, `u32` tuple count, then `count * order` `u32` coords.
+    Entry {
+        order: u8,
+        coords: Vec<u32>,
+    },
+    /// `u8` mode, `u32` index.
+    Slice {
+        mode: u8,
+        index: u32,
+    },
+    /// `u8` mode, `u32` k, `u8` fixed count, then `u32` fixed coords.
+    TopK {
+        mode: u8,
+        k: u32,
+        fixed: Vec<u32>,
+    },
+    Stats,
+    List,
+    Shutdown,
+}
+
+/// One decoded request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Per-request deadline in milliseconds; 0 = server default.
+    pub deadline_ms: u32,
+    /// Model name (empty for stats/list/shutdown).
+    pub model: String,
+    /// Model version; 0 = latest.
+    pub version: u64,
+    pub body: RequestBody,
+}
+
+/// One decoded response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    Entries(Vec<f64>),
+    Slice(Vec<f64>),
+    TopK(Vec<(u32, f64)>),
+    /// Probe schema v5 profile JSON.
+    Stats(String),
+    Models(Vec<ModelInfo>),
+    /// Acknowledges a shutdown request.
+    Ack,
+    Error(WireError, String),
+}
+
+fn bad(msg: impl Into<String>) -> Error {
+    Error::new(ErrorKind::InvalidData, msg.into())
+}
+
+/// Write one frame.
+///
+/// # Errors
+/// Fails on oversized payloads and propagates I/O errors.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(bad(format!(
+            "frame of {} bytes exceeds limit",
+            payload.len()
+        )));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one frame.
+///
+/// # Errors
+/// Fails on oversized length prefixes and propagates I/O errors
+/// (`UnexpectedEof` on a clean close before the prefix).
+pub fn read_frame(r: &mut impl Read) -> std::io::Result<Vec<u8>> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME {
+        return Err(bad(format!("frame of {len} bytes exceeds limit")));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+/// Read one frame while polling `should_stop`, for sockets with a short
+/// read timeout. Returns `Ok(None)` when stopped cleanly *between*
+/// frames; once a frame is underway a stop fails the read instead, so a
+/// half-received frame never desyncs the stream.
+///
+/// Partial reads are accumulated by hand because `read_exact` may
+/// consume bytes before failing with `WouldBlock`/`TimedOut`.
+///
+/// # Errors
+/// Propagates I/O errors; EOF mid-frame is `UnexpectedEof`.
+pub fn read_frame_polled(
+    r: &mut impl Read,
+    should_stop: &dyn Fn() -> bool,
+) -> std::io::Result<Option<Vec<u8>>> {
+    let mut prefix = [0u8; 4];
+    let mut got = 0usize;
+    while got < 4 {
+        if should_stop() && got == 0 {
+            return Ok(None);
+        }
+        match r.read(&mut prefix[got..]) {
+            Ok(0) => {
+                return if got == 0 && should_stop() {
+                    Ok(None)
+                } else {
+                    Err(Error::new(ErrorKind::UnexpectedEof, "eof in frame prefix"))
+                };
+            }
+            Ok(n) => got += n,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if should_stop() && got > 0 {
+                    return Err(Error::new(ErrorKind::TimedOut, "stopped mid-frame"));
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len > MAX_FRAME {
+        return Err(bad(format!("frame of {len} bytes exceeds limit")));
+    }
+    let mut payload = vec![0u8; len];
+    let mut got = 0usize;
+    while got < len {
+        match r.read(&mut payload[got..]) {
+            Ok(0) => return Err(Error::new(ErrorKind::UnexpectedEof, "eof in frame body")),
+            Ok(n) => got += n,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if should_stop() {
+                    return Err(Error::new(ErrorKind::TimedOut, "stopped mid-frame"));
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Some(payload))
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> std::io::Result<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(bad("truncated payload"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> std::io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> std::io::Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> std::io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> std::io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> std::io::Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn string(&mut self, len: usize) -> std::io::Result<String> {
+        String::from_utf8(self.take(len)?.to_vec()).map_err(|_| bad("invalid UTF-8"))
+    }
+
+    fn u32s(&mut self, count: usize) -> std::io::Result<Vec<u32>> {
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            out.push(self.u32()?);
+        }
+        Ok(out)
+    }
+
+    fn done(&self) -> std::io::Result<()> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(bad("trailing bytes in payload"))
+        }
+    }
+}
+
+const OP_ENTRY: u8 = 1;
+const OP_SLICE: u8 = 2;
+const OP_TOPK: u8 = 3;
+const OP_STATS: u8 = 4;
+const OP_LIST: u8 = 5;
+const OP_SHUTDOWN: u8 = 6;
+
+fn op_of(body: &RequestBody) -> u8 {
+    match body {
+        RequestBody::Entry { .. } => OP_ENTRY,
+        RequestBody::Slice { .. } => OP_SLICE,
+        RequestBody::TopK { .. } => OP_TOPK,
+        RequestBody::Stats => OP_STATS,
+        RequestBody::List => OP_LIST,
+        RequestBody::Shutdown => OP_SHUTDOWN,
+    }
+}
+
+/// Serialize a request payload (no frame prefix).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    out.push(op_of(&req.body));
+    out.extend_from_slice(&req.deadline_ms.to_le_bytes());
+    out.extend_from_slice(&(req.model.len() as u16).to_le_bytes());
+    out.extend_from_slice(req.model.as_bytes());
+    out.extend_from_slice(&req.version.to_le_bytes());
+    match &req.body {
+        RequestBody::Entry { order, coords } => {
+            out.push(*order);
+            let count = if *order == 0 {
+                0
+            } else {
+                coords.len() / *order as usize
+            };
+            out.extend_from_slice(&(count as u32).to_le_bytes());
+            for c in coords {
+                out.extend_from_slice(&c.to_le_bytes());
+            }
+        }
+        RequestBody::Slice { mode, index } => {
+            out.push(*mode);
+            out.extend_from_slice(&index.to_le_bytes());
+        }
+        RequestBody::TopK { mode, k, fixed } => {
+            out.push(*mode);
+            out.extend_from_slice(&k.to_le_bytes());
+            out.push(fixed.len() as u8);
+            for c in fixed {
+                out.extend_from_slice(&c.to_le_bytes());
+            }
+        }
+        RequestBody::Stats | RequestBody::List | RequestBody::Shutdown => {}
+    }
+    out
+}
+
+/// Parse a request payload.
+///
+/// # Errors
+/// Returns `InvalidData` on malformed bytes.
+pub fn decode_request(payload: &[u8]) -> std::io::Result<Request> {
+    let mut c = Cursor::new(payload);
+    let op = c.u8()?;
+    let deadline_ms = c.u32()?;
+    let name_len = c.u16()? as usize;
+    let model = c.string(name_len)?;
+    let version = c.u64()?;
+    let body = match op {
+        OP_ENTRY => {
+            let order = c.u8()?;
+            let count = c.u32()? as usize;
+            let total = count
+                .checked_mul(order as usize)
+                .ok_or_else(|| bad("coordinate count overflow"))?;
+            RequestBody::Entry {
+                order,
+                coords: c.u32s(total)?,
+            }
+        }
+        OP_SLICE => RequestBody::Slice {
+            mode: c.u8()?,
+            index: c.u32()?,
+        },
+        OP_TOPK => {
+            let mode = c.u8()?;
+            let k = c.u32()?;
+            let nfixed = c.u8()? as usize;
+            RequestBody::TopK {
+                mode,
+                k,
+                fixed: c.u32s(nfixed)?,
+            }
+        }
+        OP_STATS => RequestBody::Stats,
+        OP_LIST => RequestBody::List,
+        OP_SHUTDOWN => RequestBody::Shutdown,
+        other => return Err(bad(format!("unknown op {other}"))),
+    };
+    c.done()?;
+    Ok(Request {
+        deadline_ms,
+        model,
+        version,
+        body,
+    })
+}
+
+/// Serialize a response payload (no frame prefix).
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    match resp {
+        Response::Error(code, msg) => {
+            out.push(*code as u8);
+            let msg = &msg.as_bytes()[..msg.len().min(u16::MAX as usize)];
+            out.extend_from_slice(&(msg.len() as u16).to_le_bytes());
+            out.extend_from_slice(msg);
+            return out;
+        }
+        _ => out.push(0),
+    }
+    // A second op byte disambiguates ok-payloads so responses are
+    // self-describing (the client checks it against the request).
+    match resp {
+        Response::Entries(vals) => {
+            out.push(OP_ENTRY);
+            out.extend_from_slice(&(vals.len() as u32).to_le_bytes());
+            for v in vals {
+                out.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+        }
+        Response::Slice(vals) => {
+            out.push(OP_SLICE);
+            out.extend_from_slice(&(vals.len() as u32).to_le_bytes());
+            for v in vals {
+                out.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+        }
+        Response::TopK(pairs) => {
+            out.push(OP_TOPK);
+            out.extend_from_slice(&(pairs.len() as u32).to_le_bytes());
+            for (i, v) in pairs {
+                out.extend_from_slice(&i.to_le_bytes());
+                out.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+        }
+        Response::Stats(json) => {
+            out.push(OP_STATS);
+            out.extend_from_slice(&(json.len() as u32).to_le_bytes());
+            out.extend_from_slice(json.as_bytes());
+        }
+        Response::Models(models) => {
+            out.push(OP_LIST);
+            out.extend_from_slice(&(models.len() as u32).to_le_bytes());
+            for m in models {
+                out.extend_from_slice(&(m.name.len() as u16).to_le_bytes());
+                out.extend_from_slice(m.name.as_bytes());
+                out.extend_from_slice(&m.version.to_le_bytes());
+                out.extend_from_slice(&m.order.to_le_bytes());
+                out.extend_from_slice(&m.rank.to_le_bytes());
+            }
+        }
+        Response::Ack => out.push(OP_SHUTDOWN),
+        Response::Error(..) => unreachable!("handled above"),
+    }
+    out
+}
+
+/// Parse a response payload.
+///
+/// # Errors
+/// Returns `InvalidData` on malformed bytes or unknown status codes.
+pub fn decode_response(payload: &[u8]) -> std::io::Result<Response> {
+    let mut c = Cursor::new(payload);
+    let status = c.u8()?;
+    if status != 0 {
+        let code =
+            WireError::from_code(status).ok_or_else(|| bad(format!("unknown status {status}")))?;
+        let len = c.u16()? as usize;
+        let msg = c.string(len)?;
+        c.done()?;
+        return Ok(Response::Error(code, msg));
+    }
+    let op = c.u8()?;
+    let resp = match op {
+        OP_ENTRY | OP_SLICE => {
+            let count = c.u32()? as usize;
+            let mut vals = Vec::with_capacity(count.min(MAX_FRAME / 8));
+            for _ in 0..count {
+                vals.push(c.f64()?);
+            }
+            if op == OP_ENTRY {
+                Response::Entries(vals)
+            } else {
+                Response::Slice(vals)
+            }
+        }
+        OP_TOPK => {
+            let count = c.u32()? as usize;
+            let mut pairs = Vec::with_capacity(count.min(MAX_FRAME / 12));
+            for _ in 0..count {
+                let i = c.u32()?;
+                let v = c.f64()?;
+                pairs.push((i, v));
+            }
+            Response::TopK(pairs)
+        }
+        OP_STATS => {
+            let len = c.u32()? as usize;
+            Response::Stats(c.string(len)?)
+        }
+        OP_LIST => {
+            let count = c.u32()? as usize;
+            let mut models = Vec::with_capacity(count.min(MAX_FRAME / 32));
+            for _ in 0..count {
+                let name_len = c.u16()? as usize;
+                let name = c.string(name_len)?;
+                models.push(ModelInfo {
+                    name,
+                    version: c.u64()?,
+                    order: c.u64()?,
+                    rank: c.u64()?,
+                });
+            }
+            Response::Models(models)
+        }
+        OP_SHUTDOWN => Response::Ack,
+        other => return Err(bad(format!("unknown response op {other}"))),
+    };
+    c.done()?;
+    Ok(resp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let bytes = encode_request(&req);
+        assert_eq!(decode_request(&bytes).unwrap(), req);
+    }
+
+    fn roundtrip_response(resp: Response) {
+        let bytes = encode_response(&resp);
+        assert_eq!(decode_response(&bytes).unwrap(), resp);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_request(Request {
+            deadline_ms: 250,
+            model: "movies".into(),
+            version: 3,
+            body: RequestBody::Entry {
+                order: 3,
+                coords: vec![1, 2, 3, 4, 5, 6],
+            },
+        });
+        roundtrip_request(Request {
+            deadline_ms: 0,
+            model: "m".into(),
+            version: 0,
+            body: RequestBody::Slice { mode: 1, index: 42 },
+        });
+        roundtrip_request(Request {
+            deadline_ms: 10,
+            model: "m".into(),
+            version: 0,
+            body: RequestBody::TopK {
+                mode: 2,
+                k: 10,
+                fixed: vec![7, 9],
+            },
+        });
+        for body in [RequestBody::Stats, RequestBody::List, RequestBody::Shutdown] {
+            roundtrip_request(Request {
+                deadline_ms: 0,
+                model: String::new(),
+                version: 0,
+                body,
+            });
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip_bit_exactly() {
+        roundtrip_response(Response::Entries(vec![1.5, -0.0]));
+        roundtrip_response(Response::Slice(vec![f64::MIN_POSITIVE, f64::INFINITY]));
+        roundtrip_response(Response::TopK(vec![(3, 0.25), (0, -1.5)]));
+        roundtrip_response(Response::Stats("{\"schema\": \"x\"}".into()));
+        roundtrip_response(Response::Models(vec![ModelInfo {
+            name: "m".into(),
+            version: 2,
+            order: 3,
+            rank: 16,
+        }]));
+        roundtrip_response(Response::Ack);
+        roundtrip_response(Response::Error(WireError::Overloaded, "busy".into()));
+        roundtrip_response(Response::Error(WireError::DeadlineExpired, String::new()));
+    }
+
+    #[test]
+    fn nan_crosses_the_wire_bit_exactly() {
+        let weird = f64::from_bits(0x7ff8_0000_dead_beef);
+        let bytes = encode_response(&Response::Entries(vec![weird]));
+        match decode_response(&bytes).unwrap() {
+            Response::Entries(vals) => assert_eq!(vals[0].to_bits(), weird.to_bits()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frames_roundtrip_over_a_buffer() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(read_frame(&mut r).unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap(), b"");
+        assert!(read_frame(&mut r).is_err(), "eof");
+    }
+
+    #[test]
+    fn oversized_frames_are_refused() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        assert!(read_frame(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn malformed_payloads_are_typed_errors() {
+        assert!(decode_request(&[]).is_err());
+        assert!(decode_request(&[99, 0, 0, 0, 0, 0, 0]).is_err());
+        assert!(decode_response(&[7]).is_err());
+        // trailing garbage
+        let mut bytes = encode_request(&Request {
+            deadline_ms: 0,
+            model: "m".into(),
+            version: 0,
+            body: RequestBody::List,
+        });
+        bytes.push(0xFF);
+        assert!(decode_request(&bytes).is_err());
+        // truncated coords
+        let good = encode_request(&Request {
+            deadline_ms: 0,
+            model: "m".into(),
+            version: 0,
+            body: RequestBody::Entry {
+                order: 3,
+                coords: vec![1, 2, 3],
+            },
+        });
+        assert!(decode_request(&good[..good.len() - 2]).is_err());
+    }
+}

@@ -1,0 +1,193 @@
+//! The blocking, thread-per-connection TCP front end.
+//!
+//! One accept thread polls a non-blocking listener (checking the stop
+//! token every few milliseconds); each connection gets its own thread
+//! running a read-frame → decode → execute → write-frame loop. While a
+//! query waits on the engine, the connection thread polls the socket
+//! with a non-blocking `peek` — a client that disconnects mid-wait
+//! cancels its request instead of leaving it to finish for nobody.
+//!
+//! Shutdown is cooperative and clean: cancelling the engine's shutdown
+//! token (via [`ServerHandle::shutdown`], the wire `Shutdown` op, or a
+//! signal handler the embedder wires up) stops the accept loop, drains
+//! the connection threads (their frame reads poll the token on a short
+//! read timeout), and joins the batcher.
+
+use crate::engine::{Query, QueryResult, ServeEngine, ServeError};
+use crate::protocol::{
+    decode_request, encode_response, read_frame_polled, write_frame, Request, RequestBody,
+    Response, WireError,
+};
+use splatt_guard::CancelToken;
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A running server: the bound address plus the accept-thread handle.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    engine: Arc<ServeEngine>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The engine behind this server.
+    pub fn engine(&self) -> &Arc<ServeEngine> {
+        &self.engine
+    }
+
+    /// Request shutdown without blocking: trips the engine token, which
+    /// the accept loop and every connection thread poll.
+    pub fn request_shutdown(&self) {
+        self.engine.shutdown_token().cancel();
+    }
+
+    /// Block until the server stops (token cancelled — by
+    /// [`ServerHandle::shutdown`], the wire `Shutdown` op, or the
+    /// embedder), then drain threads and join the engine's batcher.
+    pub fn join(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        self.engine.shutdown();
+    }
+
+    /// Stop the server and block until everything is drained.
+    pub fn shutdown(self) {
+        self.request_shutdown();
+        self.join();
+    }
+}
+
+/// Bind `addr` (e.g. `127.0.0.1:0`) and start serving `engine`.
+///
+/// # Errors
+/// Propagates bind failures.
+pub fn serve(engine: Arc<ServeEngine>, addr: &str) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let accept_engine = Arc::clone(&engine);
+    let accept_stop = engine.shutdown_token().child();
+    let accept_thread = std::thread::Builder::new()
+        .name("splatt-serve-accept".into())
+        .spawn(move || accept_loop(&listener, &accept_engine, &accept_stop))?;
+    Ok(ServerHandle {
+        addr: local,
+        engine,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+fn accept_loop(listener: &TcpListener, engine: &Arc<ServeEngine>, stop: &CancelToken) {
+    let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !stop.is_cancelled() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let engine = Arc::clone(engine);
+                let conn_stop = stop.child();
+                conns.retain(|t| !t.is_finished());
+                if let Ok(handle) = std::thread::Builder::new()
+                    .name("splatt-serve-conn".into())
+                    .spawn(move || handle_conn(&engine, &conn_stop, stream))
+                {
+                    conns.push(handle);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+    for t in conns {
+        let _ = t.join();
+    }
+}
+
+/// Non-blocking liveness probe: true once the peer has gone away.
+fn disconnected(stream: &TcpStream) -> bool {
+    let mut probe = [0u8; 1];
+    match stream.peek(&mut probe) {
+        Ok(0) => true,
+        Ok(_) => false,
+        Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => false,
+        Err(_) => true,
+    }
+}
+
+fn handle_conn(engine: &Arc<ServeEngine>, stop: &CancelToken, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    // Short read timeout so frame reads poll the stop token instead of
+    // blocking through a shutdown.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    loop {
+        let payload = match read_frame_polled(&mut stream, &|| stop.is_cancelled()) {
+            Ok(Some(p)) => p,
+            Ok(None) => break, // stopped between frames
+            Err(_) => break,   // disconnect, EOF, or garbage framing
+        };
+        let response = match decode_request(&payload) {
+            Ok(req) => handle_request(engine, stop, &stream, req),
+            Err(e) => Response::Error(WireError::BadRequest, e.to_string()),
+        };
+        let shutdown_ack = matches!(response, Response::Ack);
+        if write_frame(&mut stream, &encode_response(&response)).is_err() {
+            break;
+        }
+        if shutdown_ack {
+            engine.shutdown_token().cancel();
+            break;
+        }
+    }
+}
+
+fn handle_request(
+    engine: &Arc<ServeEngine>,
+    stop: &CancelToken,
+    stream: &TcpStream,
+    req: Request,
+) -> Response {
+    let query = match req.body {
+        RequestBody::Stats => return Response::Stats(engine.profile_report().to_json()),
+        RequestBody::List => return Response::Models(engine.registry().list()),
+        RequestBody::Shutdown => return Response::Ack,
+        RequestBody::Entry { order: _, coords } => Query::Entry { coords },
+        RequestBody::Slice { mode, index } => Query::Slice { mode, index },
+        RequestBody::TopK { mode, k, fixed } => Query::TopK { mode, k, fixed },
+    };
+    let deadline = if req.deadline_ms > 0 {
+        Some(Duration::from_millis(u64::from(req.deadline_ms)))
+    } else {
+        None
+    };
+    // Poll the socket non-blockingly during the wait so a vanished
+    // client cancels its request instead of tying up the scheduler.
+    let _ = stream.set_nonblocking(true);
+    let result = engine.query(&req.model, req.version, query, deadline, stop, || {
+        disconnected(stream)
+    });
+    let _ = stream.set_nonblocking(false);
+    match result {
+        Ok(QueryResult::Entries(vals)) => Response::Entries(vals),
+        Ok(QueryResult::Slice(vals)) => Response::Slice(vals.to_vec()),
+        Ok(QueryResult::TopK(pairs)) => Response::TopK(pairs.to_vec()),
+        Err(err) => {
+            let code = match &err {
+                ServeError::Overloaded(_) => WireError::Overloaded,
+                ServeError::DeadlineExpired => WireError::DeadlineExpired,
+                ServeError::ModelNotFound { .. } => WireError::ModelNotFound,
+                ServeError::BadQuery(_) => WireError::BadRequest,
+                ServeError::ShuttingDown => WireError::ShuttingDown,
+                ServeError::Cancelled => WireError::Internal,
+            };
+            Response::Error(code, err.to_string())
+        }
+    }
+}

@@ -14,6 +14,8 @@ use splatt::core::{
     CompletionOptions, SgdOptions,
 };
 use splatt::par::Routine;
+use splatt::serve::protocol::Response;
+use splatt::serve::{serve, Client, ServeConfig, ServeEngine};
 use splatt::tensor::{io, synth, TensorStats};
 use splatt::{
     corcondia, try_cp_als, try_cp_als_governed, Constraint, CpalsError, CpalsOptions, CsfAlloc,
@@ -39,6 +41,14 @@ fn usage() -> ExitCode {
          [--tol T] [--reg MU] [--tasks N] [--seed S]\n              \
          [--test FILE.tns] [--out PREFIX] [--model FILE]\n  \
          splatt predict <model.kruskal> <coords.tns>\n  \
+         splatt export-model <checkpoint|model|.kruskal> --out FILE\n  \
+         splatt serve --model NAME=FILE[,NAME=FILE...] [--addr HOST:PORT]\n              \
+         [--tasks N] [--depth N] [--batch N] [--cache N] [--deadline-ms MS]\n  \
+         splatt query <addr> entry --model NAME --coords i,j,k[;i,j,k...]\n              \
+         [--version V] [--deadline-ms MS]   (coords are zero-based)\n  \
+         splatt query <addr> slice --model NAME --mode M --index I\n  \
+         splatt query <addr> topk  --model NAME --mode M --k K [--fixed i,j]\n  \
+         splatt query <addr> stats|list|shutdown\n  \
          splatt stats <tensor.tns>\n  \
          splatt check <tensor.tns>\n  \
          splatt generate <yelp|rate-beer|beer-advocate|nell-2|netflix|random>\n              \
@@ -72,6 +82,15 @@ impl Flags {
             .rev()
             .find(|(k, _)| k == key)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// Every occurrence of a repeatable flag, in order.
+    fn get_all(&self, key: &str) -> Vec<&str> {
+        self.0
+            .iter()
+            .filter(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+            .collect()
     }
 
     fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
@@ -453,6 +472,171 @@ fn cmd_complete(path: &str, flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// Convert a checkpoint, bit-exact model file, or text `.kruskal` model
+/// into the canonical bit-exact model format used by `splatt serve`.
+fn cmd_export_model(input: &str, flags: &Flags) -> Result<(), String> {
+    let out_path = flags.get("out").ok_or("export-model requires --out FILE")?;
+    let model = splatt::core::load_model_path(std::path::Path::new(input))
+        .map_err(|e| format!("{input}: {e}"))?;
+    let f = std::fs::File::create(out_path).map_err(|e| format!("{out_path}: {e}"))?;
+    splatt::core::save_model(&model, f).map_err(|e| format!("{out_path}: {e}"))?;
+    println!(
+        "wrote {out_path} (rank {}, {} modes, dims {:?})",
+        model.rank(),
+        model.order(),
+        model.factors.iter().map(Matrix::rows).collect::<Vec<_>>()
+    );
+    Ok(())
+}
+
+/// Parse every `--model NAME=FILE[,NAME=FILE...]` occurrence.
+fn parse_model_specs(flags: &Flags) -> Result<Vec<(String, String)>, String> {
+    let mut specs = Vec::new();
+    for occurrence in flags.get_all("model") {
+        for spec in occurrence.split(',') {
+            let (name, path) = spec
+                .split_once('=')
+                .ok_or_else(|| format!("--model '{spec}' is not NAME=FILE"))?;
+            if name.is_empty() || path.is_empty() {
+                return Err(format!("--model '{spec}' is not NAME=FILE"));
+            }
+            specs.push((name.to_string(), path.to_string()));
+        }
+    }
+    if specs.is_empty() {
+        return Err("serve requires at least one --model NAME=FILE".into());
+    }
+    Ok(specs)
+}
+
+fn cmd_serve(flags: &Flags) -> Result<(), String> {
+    let specs = parse_model_specs(flags)?;
+    let addr = flags.get("addr").unwrap_or("127.0.0.1:0");
+    let config = ServeConfig {
+        ntasks: flags.parse_or("tasks", ServeConfig::default().ntasks)?,
+        max_depth: flags.parse_or("depth", ServeConfig::default().max_depth)?,
+        max_batch: flags.parse_or("batch", ServeConfig::default().max_batch)?,
+        cache_capacity: flags.parse_or("cache", ServeConfig::default().cache_capacity)?,
+        default_deadline: Duration::from_millis(flags.parse_or(
+            "deadline-ms",
+            ServeConfig::default().default_deadline.as_millis() as u64,
+        )?),
+        ..Default::default()
+    };
+    let engine = ServeEngine::start(config);
+    for (name, path) in &specs {
+        let model = splatt::core::load_model_path(std::path::Path::new(path))
+            .map_err(|e| format!("{path}: {e}"))?;
+        let version = engine.publish(name, model);
+        println!("published {name} v{version} from {path}");
+    }
+    let handle = serve(engine, addr).map_err(|e| format!("{addr}: {e}"))?;
+    // Tests parse the bound address from a pipe: flush past block buffering.
+    println!("serving {} model(s) on {}", specs.len(), handle.addr());
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+    handle.join();
+    println!("server stopped");
+    Ok(())
+}
+
+fn parse_coord_list(spec: &str, what: &str) -> Result<Vec<u32>, String> {
+    spec.split(',')
+        .map(|c| {
+            c.trim()
+                .parse()
+                .map_err(|_| format!("bad {what} '{spec}': '{c}' is not a u32"))
+        })
+        .collect()
+}
+
+fn cmd_query(addr: &str, op: &str, flags: &Flags) -> Result<(), String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+    let model = flags.get("model").unwrap_or("");
+    let version: u64 = flags.parse_or("version", 0)?;
+    let deadline_ms: u32 = flags.parse_or("deadline-ms", 0)?;
+    let needs_model = matches!(op, "entry" | "slice" | "topk");
+    if needs_model && model.is_empty() {
+        return Err(format!("query {op} requires --model NAME"));
+    }
+    let response = match op {
+        "entry" => {
+            let spec = flags.get("coords").ok_or("entry requires --coords")?;
+            let tuples: Vec<Vec<u32>> = spec
+                .split(';')
+                .map(|t| parse_coord_list(t, "--coords"))
+                .collect::<Result<_, _>>()?;
+            let order = tuples.first().map_or(0, Vec::len);
+            if order == 0 || order > usize::from(u8::MAX) {
+                return Err(format!("bad --coords '{spec}'"));
+            }
+            if let Some(bad) = tuples.iter().find(|t| t.len() != order) {
+                return Err(format!(
+                    "--coords tuples disagree on order ({order} vs {})",
+                    bad.len()
+                ));
+            }
+            let coords: Vec<u32> = tuples.into_iter().flatten().collect();
+            client.entries(model, version, deadline_ms, order as u8, coords)
+        }
+        "slice" => {
+            let mode: u8 = flags.parse_or("mode", 0)?;
+            let index: u32 = flags.parse_or("index", 0)?;
+            client.slice(model, version, deadline_ms, mode, index)
+        }
+        "topk" => {
+            let mode: u8 = flags.parse_or("mode", 0)?;
+            let k: u32 = flags.parse_or("k", 10)?;
+            let fixed = match flags.get("fixed") {
+                Some(spec) => parse_coord_list(spec, "--fixed")?,
+                None => Vec::new(),
+            };
+            client.top_k(model, version, deadline_ms, mode, k, fixed)
+        }
+        "stats" => client.stats(),
+        "list" => client.list(),
+        "shutdown" => client.shutdown(),
+        other => return Err(format!("unknown query op '{other}'")),
+    }
+    .map_err(|e| format!("{addr}: {e}"))?;
+    print_response(&response)
+}
+
+fn print_response(response: &Response) -> Result<(), String> {
+    match response {
+        Response::Entries(vals) | Response::Slice(vals) => {
+            let mut out = std::io::BufWriter::new(std::io::stdout().lock());
+            for v in vals {
+                writeln!(out, "{v:.17e}").map_err(|e| e.to_string())?;
+            }
+            out.flush().map_err(|e| e.to_string())
+        }
+        Response::TopK(pairs) => {
+            for (index, score) in pairs {
+                println!("{index} {score:.17e}");
+            }
+            Ok(())
+        }
+        Response::Stats(json) => {
+            println!("{json}");
+            Ok(())
+        }
+        Response::Models(models) => {
+            for m in models {
+                println!(
+                    "{} v{}: order {}, rank {}",
+                    m.name, m.version, m.order, m.rank
+                );
+            }
+            Ok(())
+        }
+        Response::Ack => {
+            println!("server acknowledged shutdown");
+            Ok(())
+        }
+        Response::Error(code, msg) => Err(format!("server error ({code:?}): {msg}")),
+    }
+}
+
 fn cmd_stats(path: &str) -> Result<(), String> {
     let tensor = load(path)?;
     println!("{path}:");
@@ -521,6 +705,14 @@ fn main() -> ExitCode {
         }
         ("predict", Some((model_path, rest2))) => match rest2.first() {
             Some(coords) => cmd_predict(model_path, coords),
+            None => return usage(),
+        },
+        ("export-model", Some((input, flag_args))) => {
+            Flags::parse(flag_args).and_then(|f| cmd_export_model(input, &f))
+        }
+        ("serve", _) => Flags::parse(rest).and_then(|f| cmd_serve(&f)),
+        ("query", Some((addr, rest2))) => match rest2.split_first() {
+            Some((op, flag_args)) => Flags::parse(flag_args).and_then(|f| cmd_query(addr, op, &f)),
             None => return usage(),
         },
         ("stats", Some((path, _))) => cmd_stats(path),

@@ -19,6 +19,7 @@
 //! | [`probe`] | lock/thread/allocation profiling, `ProfileReport` |
 //! | [`faults`] | seeded fault injection (`FaultPlan`), recovery policies |
 //! | [`mod@guard`] | run governance: cancellation, deadlines, budgets, watchdog |
+//! | [`mod@serve`] | model registry, batched query engine, TCP serving front end |
 //! | [`rt`] | sync primitives, seeded RNG, parallel helpers, qc harness |
 //!
 //! The most common entry points are also re-exported at the top level.
@@ -86,6 +87,11 @@ pub mod guard {
     pub use splatt_guard::*;
 }
 
+/// Factor-model serving: registry, batched query engine, TCP front end.
+pub mod serve {
+    pub use splatt_serve::*;
+}
+
 pub use splatt_core::{
     corcondia, cp_als, tensor_complete, tensor_complete_ccd, tensor_complete_sgd, try_cp_als,
     try_cp_als_governed, try_cp_als_guarded, CcdOptions, Checkpoint, CheckpointError,
@@ -100,4 +106,5 @@ pub use splatt_guard::{
 };
 pub use splatt_locks::LockStrategy;
 pub use splatt_par::TeamError;
+pub use splatt_serve::{ServeConfig, ServeEngine, ServeError};
 pub use splatt_tensor::{SortVariant, SparseTensor};

@@ -367,6 +367,178 @@ fn cpd_dedup_flag_controls_duplicate_handling() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Generate a small tensor, decompose it, and export the model in the
+/// canonical bit-exact format; returns (dir, model path).
+fn exported_model(name: &str) -> (PathBuf, PathBuf) {
+    let dir = workdir(name);
+    let tns = dir.join("t.tns");
+    let kruskal = dir.join("m.kruskal");
+    let model = dir.join("m.model");
+    assert!(splatt()
+        .args(["generate", "random", "--dims", "9x8x7", "--nnz", "250", "--seed", "17"])
+        .args(["--out", tns.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    assert!(splatt()
+        .args(["cpd", tns.to_str().unwrap(), "--rank", "3", "--iters", "5"])
+        .args(["--model", kruskal.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    let out = splatt()
+        .args(["export-model", kruskal.to_str().unwrap()])
+        .args(["--out", model.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("rank 3"),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    (dir, model)
+}
+
+#[test]
+fn export_model_roundtrip_is_bit_exact() {
+    let (dir, model_path) = exported_model("export");
+    // Re-exporting the canonical format is byte-identical (fixed point).
+    let again = dir.join("again.model");
+    assert!(splatt()
+        .args(["export-model", model_path.to_str().unwrap()])
+        .args(["--out", again.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    assert_eq!(
+        std::fs::read(&model_path).unwrap(),
+        std::fs::read(&again).unwrap(),
+        "canonical model format must be a fixed point of export"
+    );
+    // And the loaded factors match the text model bit for bit.
+    let canonical = splatt::core::load_model_path(&model_path).unwrap();
+    let text =
+        splatt::KruskalModel::read(std::fs::File::open(dir.join("m.kruskal")).unwrap()).unwrap();
+    assert_eq!(canonical.lambda.len(), text.lambda.len());
+    for (a, b) in canonical.lambda.iter().zip(&text.lambda) {
+        assert_eq!(a.to_bits(), b.to_bits(), "lambda bits differ");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Spawn `splatt serve` and block until it prints its bound address.
+fn spawn_server(model: &std::path::Path) -> (std::process::Child, String) {
+    use std::io::BufRead;
+    let mut child = splatt()
+        .args(["serve", "--model"])
+        .arg(format!("demo={}", model.display()))
+        .args(["--addr", "127.0.0.1:0", "--tasks", "2"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    let stdout = child.stdout.take().unwrap();
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let addr = loop {
+        let line = lines.next().expect("server exited before binding").unwrap();
+        if let Some(rest) = line.split(" on ").nth(1) {
+            if line.starts_with("serving") {
+                break rest.trim().to_string();
+            }
+        }
+    };
+    // Keep draining stdout so the child never blocks on a full pipe.
+    std::thread::spawn(move || for _ in lines.map_while(Result::ok) {});
+    (child, addr)
+}
+
+#[test]
+fn serve_and_query_cli_round_trip_matches_oracle() {
+    let (dir, model_path) = exported_model("servecli");
+    let model = splatt::core::load_model_path(&model_path).unwrap();
+    let (mut child, addr) = spawn_server(&model_path);
+
+    // Entry queries print one bit-exact value per line ({:.17e}
+    // round-trips f64 exactly).
+    let out = splatt()
+        .args(["query", &addr, "entry", "--model", "demo"])
+        .args(["--coords", "0,0,0;8,7,6;3,2,1"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let got: Vec<f64> = String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .map(|l| l.trim().parse().unwrap())
+        .collect();
+    let want = [
+        model.value_at(&[0, 0, 0]),
+        model.value_at(&[8, 7, 6]),
+        model.value_at(&[3, 2, 1]),
+    ];
+    assert_eq!(got.len(), want.len());
+    for (g, w) in got.iter().zip(&want) {
+        assert_eq!(g.to_bits(), w.to_bits(), "served {g} vs oracle {w}");
+    }
+
+    // list names the model; a bad model name is a nonzero exit.
+    let out = splatt().args(["query", &addr, "list"]).output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("demo v1"));
+    let out = splatt()
+        .args(["query", &addr, "slice", "--model", "nope"])
+        .args(["--mode", "0", "--index", "0"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("ModelNotFound"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Wire shutdown stops the whole server process.
+    assert!(splatt()
+        .args(["query", &addr, "shutdown"])
+        .status()
+        .unwrap()
+        .success());
+    let status = child.wait().unwrap();
+    assert!(status.success(), "server must exit cleanly after shutdown");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[cfg(unix)]
+#[test]
+fn serve_exits_promptly_on_sigterm() {
+    let (dir, model_path) = exported_model("sigterm");
+    let (mut child, _addr) = spawn_server(&model_path);
+    assert!(std::process::Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .unwrap()
+        .success());
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        if child.try_wait().unwrap().is_some() {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "server ignored SIGTERM"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn bad_usage_exits_nonzero() {
     assert!(!splatt().output().unwrap().status.success());

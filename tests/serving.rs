@@ -1,0 +1,490 @@
+//! End-to-end tests of the serving subsystem: qc property tests pinning
+//! the batched engine to a dense-reconstruction oracle (bit-identical),
+//! tie-handling and degenerate-model cases, the TCP loopback path with
+//! typed errors, and steady-state allocation certification through the
+//! probe schema-v5 `serve` counters.
+
+use splatt::rt::qc::{self, Gen};
+use splatt::serve::protocol::{Response, WireError};
+use splatt::serve::{serve, Client, Query, QueryResult, ServeConfig, ServeEngine, Ticket};
+use splatt::{CancelToken, KruskalModel, Matrix};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A random small model of the given order (dims 1..=6, rank 1..=4).
+fn gen_model(g: &mut Gen, order: usize) -> KruskalModel {
+    let rank = g.usize_in(1..5);
+    let factors: Vec<Matrix> = (0..order)
+        .map(|m| Matrix::random(g.usize_in(1..7), rank, g.u64().wrapping_add(m as u64)))
+        .collect();
+    KruskalModel {
+        lambda: g.f64_vec(rank, -2.0, 2.0),
+        factors,
+    }
+}
+
+/// Dense-oracle slice fixing `mode` at `index`: free modes in increasing
+/// mode order, last free mode fastest (row-major) — every value computed
+/// through `KruskalModel::value_at`, the same association order the
+/// kernels use, so comparisons can demand bit identity.
+fn oracle_slice(model: &KruskalModel, mode: usize, index: u32) -> Vec<f64> {
+    let order = model.order();
+    let free: Vec<usize> = (0..order).filter(|&m| m != mode).collect();
+    let dims: Vec<usize> = free.iter().map(|&m| model.factors[m].rows()).collect();
+    let total: usize = dims.iter().product();
+    let mut coord = vec![0u32; order];
+    coord[mode] = index;
+    let mut odo = vec![0usize; free.len()];
+    let mut out = Vec::with_capacity(total);
+    for _ in 0..total {
+        for (j, &m) in free.iter().enumerate() {
+            coord[m] = odo[j] as u32;
+        }
+        out.push(model.value_at(&coord));
+        for j in (0..odo.len()).rev() {
+            odo[j] += 1;
+            if odo[j] < dims[j] {
+                break;
+            }
+            odo[j] = 0;
+        }
+    }
+    out
+}
+
+/// Dense-oracle top-k: score every index along `mode`, descending score,
+/// ascending index on ties.
+fn oracle_topk(model: &KruskalModel, mode: usize, k: usize, fixed: &[u32]) -> Vec<(u32, f64)> {
+    let order = model.order();
+    let dim = model.factors[mode].rows();
+    let mut coord = vec![0u32; order];
+    let mut fx = fixed.iter();
+    for (m, c) in coord.iter_mut().enumerate() {
+        if m != mode {
+            *c = *fx.next().unwrap();
+        }
+    }
+    let mut scored: Vec<(u32, f64)> = (0..dim)
+        .map(|i| {
+            coord[mode] = i as u32;
+            (i as u32, model.value_at(&coord))
+        })
+        .collect();
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    scored.truncate(k.min(dim));
+    scored
+}
+
+fn assert_bits_eq(got: &[f64], want: &[f64], what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: length mismatch");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(
+            g.to_bits(),
+            w.to_bits(),
+            "{what}: value {i} differs ({g} vs {w})"
+        );
+    }
+}
+
+/// A random coordinate inside the model, as u32s.
+fn gen_coord(g: &mut Gen, model: &KruskalModel) -> Vec<u32> {
+    model
+        .factors
+        .iter()
+        .map(|f| g.usize_in(0..f.rows()) as u32)
+        .collect()
+}
+
+#[test]
+fn batched_queries_match_dense_oracle_orders_3_to_5() {
+    qc::check("serve batch matches dense oracle", 20, |g| {
+        let order = g.usize_in(3..6);
+        let model = gen_model(g, order);
+        let engine = ServeEngine::start(ServeConfig {
+            ntasks: g.usize_in(1..4),
+            max_batch: g.usize_in(1..9),
+            cache_capacity: if g.bool() { 16 } else { 0 },
+            ..Default::default()
+        });
+        engine.publish("m", model.clone());
+        let root = CancelToken::new();
+
+        // Queue a burst of mixed queries before waiting on any of them,
+        // so the batcher genuinely coalesces (same model, same kind).
+        enum Expect {
+            Entries(Vec<f64>),
+            Slice(Vec<f64>),
+            TopK(Vec<(u32, f64)>),
+        }
+        let mut inflight: Vec<(Ticket, Expect)> = Vec::new();
+        for _ in 0..g.usize_in(4..24) {
+            let (query, expect) = match g.usize_in(0..3) {
+                0 => {
+                    let tuples = g.usize_in(1..4);
+                    let coords: Vec<u32> = (0..tuples).flat_map(|_| gen_coord(g, &model)).collect();
+                    let want: Vec<f64> = coords
+                        .chunks_exact(order)
+                        .map(|c| model.value_at(c))
+                        .collect();
+                    (Query::Entry { coords }, Expect::Entries(want))
+                }
+                1 => {
+                    let mode = g.usize_in(0..order);
+                    let index = g.usize_in(0..model.factors[mode].rows()) as u32;
+                    let want = oracle_slice(&model, mode, index);
+                    (
+                        Query::Slice {
+                            mode: mode as u8,
+                            index,
+                        },
+                        Expect::Slice(want),
+                    )
+                }
+                _ => {
+                    let mode = g.usize_in(0..order);
+                    let k = g.usize_in(1..8);
+                    let mut fixed = gen_coord(g, &model);
+                    fixed.remove(mode);
+                    let want = oracle_topk(&model, mode, k, &fixed);
+                    (
+                        Query::TopK {
+                            mode: mode as u8,
+                            k: k as u32,
+                            fixed,
+                        },
+                        Expect::TopK(want),
+                    )
+                }
+            };
+            let ticket = engine
+                .submit("m", 0, query, None, &root)
+                .expect("submit should succeed");
+            inflight.push((ticket, expect));
+        }
+        for (ticket, expect) in inflight {
+            let got = engine.wait(ticket, || false).expect("query should succeed");
+            match (got, expect) {
+                (QueryResult::Entries(got), Expect::Entries(want)) => {
+                    assert_bits_eq(&got, &want, "entry");
+                }
+                (QueryResult::Slice(got), Expect::Slice(want)) => {
+                    assert_bits_eq(&got, &want, "slice");
+                }
+                (QueryResult::TopK(got), Expect::TopK(want)) => {
+                    assert_eq!(got.len(), want.len(), "top-k length");
+                    for (g_pair, w_pair) in got.iter().zip(&want) {
+                        assert_eq!(g_pair.0, w_pair.0, "top-k index");
+                        assert_eq!(g_pair.1.to_bits(), w_pair.1.to_bits(), "top-k score");
+                    }
+                }
+                _ => panic!("result kind does not match query kind"),
+            }
+        }
+        engine.shutdown();
+    });
+}
+
+#[test]
+fn top_k_breaks_ties_by_ascending_index() {
+    // Rank-1 model whose mode-0 column is constant: every index along
+    // mode 0 scores identically, so top-k must come back 0,1,2,...
+    let model = KruskalModel {
+        lambda: vec![2.0],
+        factors: vec![
+            Matrix::from_vec(5, 1, vec![0.5; 5]),
+            Matrix::from_vec(3, 1, vec![1.0, 2.0, 3.0]),
+        ],
+    };
+    let engine = ServeEngine::start(ServeConfig::default());
+    engine.publish("ties", model);
+    let root = CancelToken::new();
+    let got = engine
+        .query(
+            "ties",
+            0,
+            Query::TopK {
+                mode: 0,
+                k: 4,
+                fixed: vec![1],
+            },
+            None,
+            &root,
+            || false,
+        )
+        .expect("top-k should succeed");
+    match got {
+        QueryResult::TopK(pairs) => {
+            let indices: Vec<u32> = pairs.iter().map(|p| p.0).collect();
+            assert_eq!(indices, vec![0, 1, 2, 3], "ties must resolve ascending");
+        }
+        other => panic!("expected top-k, got {other:?}"),
+    }
+    engine.shutdown();
+}
+
+#[test]
+fn empty_and_singleton_models_serve_without_panicking() {
+    // Rank-0 "empty" model: every reconstruction is an empty sum = 0.0.
+    let empty = KruskalModel {
+        lambda: vec![],
+        factors: vec![
+            Matrix::zeros(3, 0),
+            Matrix::zeros(2, 0),
+            Matrix::zeros(4, 0),
+        ],
+    };
+    // All-singleton dims at rank 1.
+    let singleton = KruskalModel {
+        lambda: vec![3.0],
+        factors: vec![
+            Matrix::from_vec(1, 1, vec![0.5]),
+            Matrix::from_vec(1, 1, vec![4.0]),
+        ],
+    };
+    let engine = ServeEngine::start(ServeConfig::default());
+    engine.publish("empty", empty.clone());
+    engine.publish("one", singleton.clone());
+    let root = CancelToken::new();
+
+    match engine
+        .query(
+            "empty",
+            0,
+            Query::Slice { mode: 1, index: 0 },
+            None,
+            &root,
+            || false,
+        )
+        .expect("empty-model slice should succeed")
+    {
+        QueryResult::Slice(vals) => {
+            assert_eq!(vals.len(), 12, "3x4 free block");
+            // An empty rank sum is std's empty f64 sum — compare bits to
+            // the same oracle, not to a hardcoded +0.0.
+            let want = oracle_slice(&empty, 1, 0);
+            assert_bits_eq(&vals, &want, "empty slice");
+        }
+        other => panic!("expected slice, got {other:?}"),
+    }
+
+    match engine
+        .query(
+            "one",
+            0,
+            Query::TopK {
+                mode: 0,
+                k: 10,
+                fixed: vec![0],
+            },
+            None,
+            &root,
+            || false,
+        )
+        .expect("singleton top-k should succeed")
+    {
+        QueryResult::TopK(pairs) => {
+            assert_eq!(pairs.len(), 1, "k clamps to the dimension");
+            assert_eq!(pairs[0].0, 0);
+            assert_eq!(pairs[0].1.to_bits(), singleton.value_at(&[0, 0]).to_bits());
+        }
+        other => panic!("expected top-k, got {other:?}"),
+    }
+
+    match engine
+        .query(
+            "empty",
+            0,
+            Query::Entry {
+                coords: vec![0, 0, 0, 2, 1, 3],
+            },
+            None,
+            &root,
+            || false,
+        )
+        .expect("empty-model entries should succeed")
+    {
+        QueryResult::Entries(vals) => assert_eq!(vals, vec![0.0, 0.0]),
+        other => panic!("expected entries, got {other:?}"),
+    }
+    engine.shutdown();
+}
+
+fn demo_engine() -> Arc<ServeEngine> {
+    let engine = ServeEngine::start(ServeConfig {
+        ntasks: 2,
+        cache_capacity: 32,
+        ..Default::default()
+    });
+    let model = KruskalModel {
+        lambda: vec![1.5, -0.25, 0.75],
+        factors: vec![
+            Matrix::random(6, 3, 11),
+            Matrix::random(5, 3, 12),
+            Matrix::random(4, 3, 13),
+        ],
+    };
+    engine.publish("demo", model);
+    engine
+}
+
+#[test]
+fn tcp_loopback_answers_match_oracle_and_errors_are_typed() {
+    let engine = demo_engine();
+    let model = engine.registry().get("demo", 0).unwrap().model.clone();
+    let handle = serve(engine, "127.0.0.1:0").expect("bind loopback");
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+
+    // Entries are bit-identical to the dense oracle across the wire.
+    let coords = vec![0, 0, 0, 5, 4, 3, 2, 1, 0];
+    match client.entries("demo", 0, 0, 3, coords.clone()).unwrap() {
+        Response::Entries(vals) => {
+            let want: Vec<f64> = coords.chunks_exact(3).map(|c| model.value_at(c)).collect();
+            assert_bits_eq(&vals, &want, "wire entries");
+        }
+        other => panic!("expected entries, got {other:?}"),
+    }
+
+    // Slices too.
+    match client.slice("demo", 0, 0, 1, 2).unwrap() {
+        Response::Slice(vals) => assert_bits_eq(&vals, &oracle_slice(&model, 1, 2), "wire slice"),
+        other => panic!("expected slice, got {other:?}"),
+    }
+
+    // Top-k with ties handled like the oracle.
+    match client.top_k("demo", 0, 0, 2, 3, vec![1, 1]).unwrap() {
+        Response::TopK(pairs) => {
+            let want = oracle_topk(&model, 2, 3, &[1, 1]);
+            assert_eq!(pairs, want);
+        }
+        other => panic!("expected top-k, got {other:?}"),
+    }
+
+    // Unknown model -> typed ModelNotFound, connection stays usable.
+    match client.slice("nope", 0, 0, 0, 0).unwrap() {
+        Response::Error(WireError::ModelNotFound, _) => {}
+        other => panic!("expected ModelNotFound, got {other:?}"),
+    }
+
+    // Bad mode -> typed BadRequest.
+    match client.slice("demo", 0, 0, 9, 0).unwrap() {
+        Response::Error(WireError::BadRequest, _) => {}
+        other => panic!("expected BadRequest, got {other:?}"),
+    }
+
+    // List and stats still answer on the same connection.
+    match client.list().unwrap() {
+        Response::Models(models) => {
+            assert_eq!(models.len(), 1);
+            assert_eq!(models[0].name, "demo");
+            assert_eq!(models[0].order, 3);
+            assert_eq!(models[0].rank, 3);
+        }
+        other => panic!("expected model list, got {other:?}"),
+    }
+    match client.stats().unwrap() {
+        Response::Stats(json) => {
+            assert!(json.contains("\"schema\": \"splatt-profile-v5\""), "{json}");
+            assert!(json.contains("\"serve\": {"), "{json}");
+        }
+        other => panic!("expected stats, got {other:?}"),
+    }
+
+    // Wire shutdown: acked, then the server drains and joins cleanly.
+    match client.shutdown().unwrap() {
+        Response::Ack => {}
+        other => panic!("expected ack, got {other:?}"),
+    }
+    handle.join();
+}
+
+#[test]
+fn deadline_expired_requests_are_typed_not_hung() {
+    let engine = demo_engine();
+    let handle = serve(Arc::clone(&engine), "127.0.0.1:0").expect("bind loopback");
+    let mut client = Client::connect(handle.addr().to_string()).expect("connect");
+    // A 1 ms deadline on a cold engine loses the race against the
+    // batcher often enough; either outcome must be a typed answer.
+    let started = std::time::Instant::now();
+    let resp = client.slice("demo", 0, 1, 0, 1).unwrap();
+    assert!(
+        matches!(
+            resp,
+            Response::Slice(_) | Response::Error(WireError::DeadlineExpired, _)
+        ),
+        "got {resp:?}"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "deadline-bounded request must not hang"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn steady_state_queries_are_allocation_free_after_warmup() {
+    let engine = ServeEngine::start(ServeConfig {
+        ntasks: 2,
+        cache_capacity: 0, // force every query through the kernels
+        ..Default::default()
+    });
+    let model = KruskalModel {
+        lambda: vec![1.0, 2.0],
+        factors: vec![
+            Matrix::random(8, 2, 21),
+            Matrix::random(7, 2, 22),
+            Matrix::random(6, 2, 23),
+        ],
+    };
+    engine.publish("m", model);
+    let root = CancelToken::new();
+    let run_mix = |rounds: usize| {
+        for i in 0..rounds {
+            let mode = (i % 3) as u8;
+            engine
+                .query(
+                    "m",
+                    0,
+                    Query::Slice {
+                        mode,
+                        index: (i % 6) as u32,
+                    },
+                    None,
+                    &root,
+                    || false,
+                )
+                .expect("slice");
+            engine
+                .query(
+                    "m",
+                    0,
+                    Query::TopK {
+                        mode,
+                        k: 4,
+                        fixed: vec![0; 2],
+                    },
+                    None,
+                    &root,
+                    || false,
+                )
+                .expect("top-k");
+        }
+    };
+    run_mix(12); // warm-up: arenas grow to their high-water marks
+    let warm = engine
+        .profile_report()
+        .serve
+        .expect("serve row")
+        .arena_growth_allocs;
+    run_mix(25); // steady state: the same shapes again
+    let after = engine
+        .profile_report()
+        .serve
+        .expect("serve row")
+        .arena_growth_allocs;
+    assert_eq!(
+        warm, after,
+        "query arenas must not grow after warm-up (probe v5 certification)"
+    );
+    engine.shutdown();
+}
