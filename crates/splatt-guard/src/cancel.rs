@@ -60,17 +60,31 @@ impl CancelToken {
 
     /// A child token: cancelled when `self` is cancelled, but
     /// cancellable on its own without affecting `self`.
+    ///
+    /// Dead children are pruned amortized, so a long-lived parent that
+    /// spawns one child per request (a serve connection, a governed
+    /// loop) tracks O(live children), not O(children ever created).
     pub fn child(&self) -> CancelToken {
         let child = CancelToken::new();
         if self.is_cancelled() {
             child.cancel();
         } else {
-            self.inner
-                .children
-                .lock()
-                .push(Arc::downgrade(&child.inner));
+            let mut children = self.inner.children.lock();
+            // Sweep dropped Weaks before the Vec would grow: each sweep
+            // is O(len) but runs at most once per len pushes, keeping
+            // the list within 2x the live count.
+            if children.len() == children.capacity() {
+                children.retain(|w| w.strong_count() > 0);
+            }
+            children.push(Arc::downgrade(&child.inner));
         }
         child
+    }
+
+    /// Children currently tracked for cancel propagation (live plus any
+    /// dropped-but-unswept); exposed for leak diagnostics.
+    pub fn tracked_children(&self) -> usize {
+        self.inner.children.lock().len()
     }
 
     /// Request cancellation of this token and every descendant.
@@ -125,6 +139,26 @@ mod tests {
         let root = CancelToken::new();
         root.cancel();
         assert!(root.child().is_cancelled());
+    }
+
+    #[test]
+    fn dead_children_are_pruned_not_accumulated() {
+        let root = CancelToken::new();
+        for _ in 0..10_000 {
+            let _short_lived = root.child();
+        }
+        assert!(
+            root.tracked_children() <= 64,
+            "tracked {} children after 10k short-lived requests",
+            root.tracked_children()
+        );
+        // Live children must survive the sweeps and still cancel.
+        let keep: Vec<CancelToken> = (0..100).map(|_| root.child()).collect();
+        for _ in 0..10_000 {
+            let _short_lived = root.child();
+        }
+        root.cancel();
+        assert!(keep.iter().all(CancelToken::is_cancelled));
     }
 
     #[test]

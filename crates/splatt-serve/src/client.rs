@@ -36,10 +36,12 @@ impl Client {
     /// Issue one request and block for its response.
     ///
     /// # Errors
-    /// Propagates transport and framing errors; server-side failures
-    /// come back as `Ok(Response::Error(..))`.
+    /// Propagates transport and framing errors — including an `Entry`
+    /// body whose coordinates do not tile its order, which is rejected
+    /// before anything is written; server-side failures come back as
+    /// `Ok(Response::Error(..))`.
     pub fn call(&mut self, req: &Request) -> std::io::Result<Response> {
-        write_frame(&mut self.stream, &encode_request(req))?;
+        write_frame(&mut self.stream, &encode_request(req)?)?;
         decode_response(&read_frame(&mut self.stream)?)
     }
 

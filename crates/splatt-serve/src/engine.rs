@@ -352,12 +352,16 @@ impl ServeEngine {
         }
 
         let slot = ResponseSlot::new();
+        // One child per request: the Pending and the Ticket share it
+        // (clones share the flag), halving what the connection token
+        // has to track.
+        let cancel = cancel.child();
         let pending = Pending {
             model,
             query,
             slot: Arc::clone(&slot),
             deadline,
-            cancel: cancel.child(),
+            cancel: cancel.clone(),
         };
         {
             let mut q = self.queue.lock();
@@ -372,7 +376,7 @@ impl ServeEngine {
             kind,
             submitted,
             deadline,
-            cancel: cancel.child(),
+            cancel,
         })
     }
 
@@ -630,7 +634,18 @@ fn execute_batch(
                     QueryResult::Entries(_) => None,
                 };
                 if let Some(value) = value {
-                    engine.cache.insert(key, value);
+                    // Re-check the registry: an evict() that ran while we
+                    // computed already invalidated this model's entries,
+                    // and inserting now would resurrect one. The sliver
+                    // between this check and the insert is benign —
+                    // versions are never reused, so a raced entry is
+                    // unreachable and ages out via LRU.
+                    if engine
+                        .registry
+                        .contains(&item.model.name, item.model.version)
+                    {
+                        engine.cache.insert(key, value);
+                    }
                 }
             }
             item.slot.fill(result);

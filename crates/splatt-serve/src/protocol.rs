@@ -243,6 +243,12 @@ impl<'a> Cursor<'a> {
     }
 
     fn u32s(&mut self, count: usize) -> std::io::Result<Vec<u32>> {
+        // `count` comes off the wire: refuse anything the remaining
+        // bytes cannot hold BEFORE sizing the allocation, so a tiny
+        // crafted frame cannot demand a multi-GiB reserve.
+        if count > (self.buf.len() - self.pos) / 4 {
+            return Err(bad("truncated payload"));
+        }
         let mut out = Vec::with_capacity(count);
         for _ in 0..count {
             out.push(self.u32()?);
@@ -278,7 +284,12 @@ fn op_of(body: &RequestBody) -> u8 {
 }
 
 /// Serialize a request payload (no frame prefix).
-pub fn encode_request(req: &Request) -> Vec<u8> {
+///
+/// # Errors
+/// Rejects an `Entry` body whose coordinates do not tile `order`
+/// (including `order == 0` with coordinates present) — encoding it
+/// would emit a frame every decoder refuses as trailing bytes.
+pub fn encode_request(req: &Request) -> std::io::Result<Vec<u8>> {
     let mut out = Vec::with_capacity(32);
     out.push(op_of(&req.body));
     out.extend_from_slice(&req.deadline_ms.to_le_bytes());
@@ -287,12 +298,15 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
     out.extend_from_slice(&req.version.to_le_bytes());
     match &req.body {
         RequestBody::Entry { order, coords } => {
-            out.push(*order);
-            let count = if *order == 0 {
-                0
-            } else {
-                coords.len() / *order as usize
+            let count = match (*order, coords.len()) {
+                (0, 0) => 0,
+                (0, n) => return Err(bad(format!("{n} coordinates with order 0"))),
+                (o, n) if n % o as usize != 0 => {
+                    return Err(bad(format!("{n} coordinates do not tile order {o}")));
+                }
+                (o, n) => n / o as usize,
             };
+            out.push(*order);
             out.extend_from_slice(&(count as u32).to_le_bytes());
             for c in coords {
                 out.extend_from_slice(&c.to_le_bytes());
@@ -312,7 +326,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         }
         RequestBody::Stats | RequestBody::List | RequestBody::Shutdown => {}
     }
-    out
+    Ok(out)
 }
 
 /// Parse a request payload.
@@ -496,7 +510,7 @@ mod tests {
     use super::*;
 
     fn roundtrip_request(req: Request) {
-        let bytes = encode_request(&req);
+        let bytes = encode_request(&req).unwrap();
         assert_eq!(decode_request(&bytes).unwrap(), req);
     }
 
@@ -598,7 +612,8 @@ mod tests {
             model: "m".into(),
             version: 0,
             body: RequestBody::List,
-        });
+        })
+        .unwrap();
         bytes.push(0xFF);
         assert!(decode_request(&bytes).is_err());
         // truncated coords
@@ -610,7 +625,49 @@ mod tests {
                 order: 3,
                 coords: vec![1, 2, 3],
             },
-        });
+        })
+        .unwrap();
         assert!(decode_request(&good[..good.len() - 2]).is_err());
+    }
+
+    #[test]
+    fn ragged_entry_coords_are_refused_at_encode_time() {
+        let ragged = |order, coords| Request {
+            deadline_ms: 0,
+            model: "m".into(),
+            version: 0,
+            body: RequestBody::Entry { order, coords },
+        };
+        assert!(encode_request(&ragged(3, vec![1, 2, 3, 4])).is_err());
+        assert!(encode_request(&ragged(0, vec![1])).is_err());
+        // The empty batch stays encodable for both orders.
+        assert!(encode_request(&ragged(0, vec![])).is_ok());
+        assert!(encode_request(&ragged(3, vec![])).is_ok());
+    }
+
+    #[test]
+    fn huge_coordinate_counts_are_refused_before_allocating() {
+        // A hand-crafted Entry frame claiming count = u32::MAX tuples:
+        // decode must reject it from the bytes present, not attempt a
+        // count*order-sized allocation.
+        let mut bytes = Vec::new();
+        bytes.push(1); // OP_ENTRY
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // deadline
+        bytes.extend_from_slice(&1u16.to_le_bytes()); // name_len
+        bytes.push(b'm');
+        bytes.extend_from_slice(&0u64.to_le_bytes()); // version
+        bytes.push(255); // order
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // count
+        assert!(decode_request(&bytes).is_err());
+        // Same shape on the TopK path.
+        let mut bytes = Vec::new();
+        bytes.push(3); // OP_TOPK
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&0u16.to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        bytes.push(0); // mode
+        bytes.extend_from_slice(&5u32.to_le_bytes()); // k
+        bytes.push(255); // nfixed, but no coords follow
+        assert!(decode_request(&bytes).is_err());
     }
 }

@@ -78,6 +78,15 @@ impl ModelRegistry {
         }
     }
 
+    /// True when the exact `name`@`version` is still published.
+    pub fn contains(&self, name: &str, version: u64) -> bool {
+        let inner = self.inner.lock();
+        inner
+            .models
+            .get(name)
+            .is_some_and(|(_, versions)| versions.iter().any(|m| m.version == version))
+    }
+
     /// Evict one version (or every version when `version == 0`) of
     /// `name`, returning how many were removed. In-flight queries that
     /// already resolved the model keep serving from their pin.
