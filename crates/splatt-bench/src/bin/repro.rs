@@ -35,12 +35,25 @@ fn run_bench_baseline(args: &[String]) {
     let cells = splatt_bench::baseline::run_cells(&w);
     print!("{}", splatt_bench::baseline::render_cells(&cells));
     let json = splatt_bench::baseline::to_json(&w, nnz, &cells);
+    // the dispatch regression gate: the baseline we are about to write
+    // must never steer the dispatcher onto a measured-slower cell
+    let table = splatt_core::DispatchTable::parse_str(&json).unwrap_or_else(|e| {
+        eprintln!("[repro] generated baseline does not feed the dispatcher: {e}");
+        std::process::exit(1);
+    });
+    let violations = splatt_bench::baseline::dispatch_gate_violations(&table);
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("[repro] dispatch gate violation: {v}");
+        }
+        std::process::exit(1);
+    }
     std::fs::write(&out_path, &json).unwrap_or_else(|e| {
         eprintln!("[repro] cannot write {out_path}: {e}");
         std::process::exit(1);
     });
     eprintln!(
-        "[repro] wrote {out_path} ({} cells) in {:.1}s",
+        "[repro] wrote {out_path} ({} cells, dispatch gate clean) in {:.1}s",
         cells.len(),
         start.elapsed().as_secs_f64()
     );

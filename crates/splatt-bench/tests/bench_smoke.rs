@@ -1,19 +1,23 @@
 //! Smoke over the committed MTTKRP bench baseline.
 //!
-//! Three guarantees, in increasing strictness:
+//! Four guarantees, in increasing strictness:
 //! 1. `BENCH_mttkrp.json` at the repo root parses and carries the pinned
 //!    schema — a PR that changes the layout must bump `BENCH_SCHEMA` and
 //!    regenerate the file.
-//! 2. The rank-specialized dispatch is **bit-identical** to the generic
+//! 2. The committed baseline passes the dispatch regression gate: the
+//!    benchmark-driven dispatcher must never be steered onto a cell that
+//!    measured slower than its own generic column (< 1.0x speedup).
+//! 3. The rank-specialized dispatch is **bit-identical** to the generic
 //!    dynamic-width path on deterministic kernels (root and privatized),
 //!    so committing the specialization cannot move any oracle.
-//! 3. In release builds, the specialized kernels actually pay for
+//! 4. In release builds, the specialized kernels actually pay for
 //!    themselves: the best R=16 cell must beat the generic path by at
 //!    least 1.15x (the bar is measured on the same pinned workload the
 //!    committed baseline uses).
 
 use splatt_bench::baseline::{
-    bench_team, run_cells, workload_tensor, BenchWorkload, BASELINE_FILE, BENCH_RANKS, BENCH_SCHEMA,
+    bench_team, dispatch_gate_violations, run_cells, workload_tensor, BenchWorkload, BASELINE_FILE,
+    BENCH_RANKS, BENCH_SCHEMA,
 };
 use splatt_core::mttkrp::{mttkrp, MatrixAccess, MttkrpConfig, MttkrpWorkspace};
 use splatt_core::{CsfAlloc, CsfSet};
@@ -41,9 +45,12 @@ fn committed_baseline_is_schema_stable() {
     }
 
     let cells = doc.get("cells").unwrap().as_array().unwrap();
-    // 1 root sync + 2 syncs x 2 scatter kernels = 5 rows per rank
-    assert_eq!(cells.len(), 5 * BENCH_RANKS.len());
+    // 2 formats x (1 root sync + 2 syncs x 2 scatter kernels) = 10 rows
+    // per rank
+    assert_eq!(cells.len(), 2 * 5 * BENCH_RANKS.len());
     for cell in cells {
+        let format = cell.get("format").unwrap().as_str().unwrap();
+        assert!(["csf", "alto"].contains(&format));
         let kernel = cell.get("kernel").unwrap().as_str().unwrap();
         assert!(["root", "internal", "leaf"].contains(&kernel));
         let sync = cell.get("sync").unwrap().as_str().unwrap();
@@ -54,6 +61,27 @@ fn committed_baseline_is_schema_stable() {
         assert!(cell.get("specialized_ns").unwrap().as_u64().unwrap() > 0);
         assert!(cell.get("speedup").unwrap().as_f64().unwrap() > 0.0);
     }
+}
+
+/// The committed baseline must both feed the dispatcher and pass the
+/// regression gate: no `(kernel, sync, rank)` decision may land on a
+/// specialized cell that measured below 1.0x against its own generic
+/// column. This is what retires defects like the leaf-R=32 cells of the
+/// v1 baseline (0.59x / 0.66x): auto dispatch now masks them instead of
+/// shipping them.
+#[test]
+fn committed_baseline_passes_dispatch_gate() {
+    let path = committed_baseline_path();
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing committed baseline {}: {e}", path.display()));
+    let table = splatt_core::DispatchTable::parse_str(&text)
+        .expect("committed baseline must parse as a dispatch table");
+    let violations = dispatch_gate_violations(&table);
+    assert!(
+        violations.is_empty(),
+        "dispatch gate violations in committed baseline:\n  {}",
+        violations.join("\n  ")
+    );
 }
 
 /// Specialized dispatch must not move a single bit on the deterministic

@@ -1,0 +1,678 @@
+//! Parallel MTTKRP kernels over the ALTO linearized format.
+//!
+//! One stream, every mode: where the CSF kernels walk a per-root fiber
+//! tree, the ALTO kernel walks the single sorted stream of bit-packed
+//! coordinates ([`splatt_tensor::AltoTensor`]) and *reconstructs* the
+//! fiber boundaries on the fly by XOR-comparing adjacent words
+//! ([`splatt_tensor::alto::open_level`]). Because the stream is sorted by
+//! the same mode permutation as the `CsfAlloc::One` tree and processed in
+//! the same order, the sequence of floating-point operations — every
+//! gather, prefix-product extension, subtree combine, and scatter — is
+//! *identical* to the CSF recursion's, making the two formats
+//! bit-identical under the deterministic execution configurations (root
+//! kernel at any task count; privatized/locked paths at one task). The
+//! `tests/format_differential.rs` harness pins this equivalence.
+//!
+//! Kernel roles mirror CSF's by packed level: output mode at level 0 runs
+//! the synchronization-free **root** kernel (the recursive coordinate
+//! partition is root-slice aligned); interior levels run the **internal**
+//! kernel; the last level runs the **leaf** kernel. The privatize-vs-lock
+//! decision, rank specialization (R ∈ {8,16,32}), [`MatrixAccess`]
+//! strategies, run-guard polling cadence, and workspace reuse all share
+//! the CSF implementation's machinery.
+
+use crate::mttkrp::{
+    arena_len, use_privatization, Access, Index2DAccess, MatrixAccess, MttkrpConfig,
+    MttkrpWorkspace, OutTarget, PointerCheckedAccess, PointerZipAccess, RowCopyAccess, SharedOut,
+    GUARD_CHUNK,
+};
+use splatt_dense::Matrix;
+use splatt_par::TaskTeam;
+use splatt_tensor::alto::{open_level, AltoStream, AltoWord};
+use splatt_tensor::AltoTensor;
+
+/// Compute the MTTKRP for `mode` into `out` (`dims[mode] x rank`) from an
+/// ALTO stream. Drop-in counterpart of [`crate::mttkrp::mttkrp`]: same
+/// privatization heuristic, lock pool, specialization dispatch, probe and
+/// guard integration through the shared [`MttkrpWorkspace`].
+///
+/// ```
+/// use splatt_core::alto::mttkrp_alto;
+/// use splatt_core::mttkrp::{MttkrpConfig, MttkrpWorkspace};
+/// use splatt_dense::Matrix;
+/// use splatt_par::TaskTeam;
+/// use splatt_tensor::{synth, AltoTensor, SortVariant};
+///
+/// let tensor = synth::random_uniform(&[20, 15, 25], 500, 7);
+/// let team = TaskTeam::new(2);
+/// let alto = AltoTensor::build(&tensor, &team, SortVariant::AllOpts);
+/// let factors: Vec<Matrix> = tensor.dims().iter().enumerate()
+///     .map(|(m, &d)| Matrix::random(d, 4, m as u64))
+///     .collect();
+/// let cfg = MttkrpConfig::default();
+/// let mut ws = MttkrpWorkspace::new(&cfg, 2);
+/// let mut out = Matrix::zeros(20, 4);
+/// mttkrp_alto(&alto, &factors, 0, &mut out, &mut ws, &team, &cfg);
+/// let expect = splatt_core::reference::mttkrp_coo(&tensor, &factors, 0);
+/// assert!(out.approx_eq(&expect, 1e-9));
+/// ```
+///
+/// # Panics
+/// Panics if shapes disagree (`out` must be `dims[mode] x rank`, factors
+/// must be `dims[m] x rank`).
+pub fn mttkrp_alto(
+    alto: &AltoTensor,
+    factors: &[Matrix],
+    mode: usize,
+    out: &mut Matrix,
+    ws: &mut MttkrpWorkspace,
+    team: &TaskTeam,
+    cfg: &MttkrpConfig,
+) {
+    assert_eq!(
+        out.rows(),
+        alto.dims()[mode],
+        "output rows must match mode dim"
+    );
+    for (m, f) in factors.iter().enumerate() {
+        assert_eq!(f.rows(), alto.dims()[m], "factor {m} rows mismatch");
+        assert_eq!(f.cols(), out.cols(), "factor {m} rank mismatch");
+    }
+    macro_rules! dispatch {
+        ($A:ty) => {
+            match out.cols() {
+                8 if cfg.specialize => run_alto::<$A, 8>(alto, factors, mode, out, ws, team, cfg),
+                16 if cfg.specialize => run_alto::<$A, 16>(alto, factors, mode, out, ws, team, cfg),
+                32 if cfg.specialize => run_alto::<$A, 32>(alto, factors, mode, out, ws, team, cfg),
+                _ => run_alto::<$A, 0>(alto, factors, mode, out, ws, team, cfg),
+            }
+        };
+    }
+    match cfg.access {
+        MatrixAccess::RowCopy => dispatch!(RowCopyAccess),
+        MatrixAccess::Index2D => dispatch!(Index2DAccess),
+        MatrixAccess::PointerChecked => dispatch!(PointerCheckedAccess),
+        MatrixAccess::PointerZip => dispatch!(PointerZipAccess),
+    }
+}
+
+/// Does an ALTO MTTKRP on `mode` under this configuration take the
+/// lock-based path? The counterpart of [`crate::mttkrp::uses_locks`]:
+/// level-0 (root) modes never lock; other modes lock exactly when the
+/// privatization heuristic declines.
+pub fn uses_locks_alto(alto: &AltoTensor, mode: usize, ntasks: usize, cfg: &MttkrpConfig) -> bool {
+    alto.level_of_mode(mode) != 0
+        && !use_privatization(alto.dims()[mode], ntasks, alto.nnz(), cfg.priv_threshold)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_alto<A: Access, const R: usize>(
+    alto: &AltoTensor,
+    factors: &[Matrix],
+    mode: usize,
+    out: &mut Matrix,
+    ws: &mut MttkrpWorkspace,
+    team: &TaskTeam,
+    cfg: &MttkrpConfig,
+) {
+    out.fill(0.0);
+    let rank = out.cols();
+    if rank == 0 || alto.nnz() == 0 {
+        return;
+    }
+    let order = alto.order();
+    let od = alto.level_of_mode(mode);
+
+    let ntasks = team.ntasks();
+    // recursive coordinate-space partition, aligned to root slices
+    let bounds = alto.partition(ntasks);
+
+    let needs_sync = od != 0;
+    let privatize =
+        needs_sync && use_privatization(alto.dims()[mode], ntasks, alto.nnz(), cfg.priv_threshold);
+
+    let grown = ws.kernel.ensure_len(arena_len(order, rank));
+    if grown > 0 {
+        splatt_probe::alloc::record_kernel_scratch(grown);
+    }
+
+    let guard = ws.guard.clone();
+    let guard = guard.as_ref();
+
+    if privatize {
+        let grown = ws.replicas.ensure_len(out.rows() * rank);
+        if grown > 0 {
+            splatt_probe::alloc::record_replica_growth(grown);
+        }
+        ws.replicas.reset();
+        splatt_probe::alloc::record_replica_reduction();
+        let replicas = &ws.replicas;
+        let kernel = &ws.kernel;
+        let bounds = &bounds;
+        let body = |tid: usize| {
+            let _lane = splatt_guard::LaneSpan::enter(guard, tid);
+            replicas.with_mut(tid, |buf| {
+                kernel.with_mut(tid, |arena| {
+                    let mut target = OutTarget::Replica { buf, rank };
+                    task_span::<A, R>(
+                        alto,
+                        od,
+                        factors,
+                        rank,
+                        &mut target,
+                        arena,
+                        bounds[tid]..bounds[tid + 1],
+                        guard.map(|g| (g, tid)),
+                    );
+                });
+            });
+        };
+        match &ws.probe {
+            None => team.coforall(body),
+            Some(probe) => team.coforall_timed(&probe.tasks, |tid| {
+                body(tid);
+                (bounds[tid + 1] - bounds[tid]) as u64
+            }),
+        }
+        ws.replicas.reduce_sum_into(out.as_mut_slice());
+    } else {
+        let shared = SharedOut::new(out);
+        let shared = &shared;
+        let pool = needs_sync.then_some(&ws.pool);
+        let kernel = &ws.kernel;
+        let bounds = &bounds;
+        let body = |tid: usize| {
+            let _lane = splatt_guard::LaneSpan::enter(guard, tid);
+            kernel.with_mut(tid, |arena| {
+                let mut target = OutTarget::Shared { out: shared, pool };
+                task_span::<A, R>(
+                    alto,
+                    od,
+                    factors,
+                    rank,
+                    &mut target,
+                    arena,
+                    bounds[tid]..bounds[tid + 1],
+                    guard.map(|g| (g, tid)),
+                );
+            });
+        };
+        match &ws.probe {
+            None => team.coforall(body),
+            Some(probe) => team.coforall_timed(&probe.tasks, |tid| {
+                body(tid);
+                (bounds[tid + 1] - bounds[tid]) as u64
+            }),
+        }
+    }
+}
+
+/// Process a contiguous range of root *slices* for one task, resolving
+/// the stream width once so the walk monomorphizes over the word type.
+#[allow(clippy::too_many_arguments)]
+fn task_span<A: Access, const R: usize>(
+    alto: &AltoTensor,
+    od: usize,
+    factors: &[Matrix],
+    rank: usize,
+    target: &mut OutTarget<'_>,
+    arena: &mut [f64],
+    slices: std::ops::Range<usize>,
+    guard: Option<(&splatt_guard::RunGuard, usize)>,
+) {
+    if slices.is_empty() {
+        return;
+    }
+    let start = alto.slice_ptr()[slices.start];
+    let end = alto.slice_ptr()[slices.end];
+    match alto.stream() {
+        AltoStream::U64(words) => walk::<A, R, u64>(
+            alto,
+            &words[start..end],
+            &alto.vals()[start..end],
+            od,
+            factors,
+            rank,
+            target,
+            arena,
+            guard,
+        ),
+        AltoStream::U128(words) => walk::<A, R, u128>(
+            alto,
+            &words[start..end],
+            &alto.vals()[start..end],
+            od,
+            factors,
+            rank,
+            target,
+            arena,
+            guard,
+        ),
+    }
+}
+
+/// The linearized walk: a single pass over the packed words that emulates
+/// the CSF `descend`/`compute_up` recursion exactly.
+///
+/// State per task (carved from the grow-only arena in the same
+/// `[ones | up | down]` layout as the CSF kernels, indexed by absolute
+/// level): `down[l]` is the running prefix product of factor rows at
+/// levels `..=l` (maintained for levels `< od`); `up[l]` is the partial
+/// subtree product of the open fiber at level `l` (maintained for levels
+/// `od..order-1`). Fiber boundaries come from [`open_level`]; closing
+/// fibers combine deepest-first (`fma_row`), the output-level fiber
+/// scatters on close (`add_product`), and the leaf kernel scatters every
+/// nonzero directly (`add_scaled`) — the identical operation sequence the
+/// recursion performs, which is what makes the formats bit-identical.
+#[allow(clippy::too_many_arguments)]
+fn walk<A: Access, const R: usize, W: AltoWord>(
+    alto: &AltoTensor,
+    words: &[W],
+    vals: &[f64],
+    od: usize,
+    factors: &[Matrix],
+    rank: usize,
+    target: &mut OutTarget<'_>,
+    arena: &mut [f64],
+    guard: Option<(&splatt_guard::RunGuard, usize)>,
+) {
+    let order = alto.order();
+    let perm = alto.dim_perm();
+    let shifts = alto.shifts();
+    let masks = alto.masks();
+    let leaf = order - 1;
+
+    let (ones, rest) = arena.split_at_mut(rank);
+    ones.fill(1.0);
+    let (up_bufs, down_bufs) = rest.split_at_mut(order * rank);
+
+    // `row(bufs, l)` = the rank-length row for absolute level `l`
+    #[inline(always)]
+    fn field<W: AltoWord>(w: W, l: usize, shifts: &[u32], masks: &[u64]) -> usize {
+        w.field(shifts[l], masks[l]) as usize
+    }
+
+    let mut nslice = 0usize; // root slices entered (guard cadence)
+    for x in 0..words.len() {
+        let w = words[x];
+        let ol = if x == 0 {
+            0
+        } else {
+            open_level(words[x - 1], w, shifts)
+        };
+
+        if ol == 0 {
+            if let Some((g, lane)) = guard {
+                if nslice.is_multiple_of(GUARD_CHUNK) && g.poll(lane) {
+                    return;
+                }
+            }
+            nslice += 1;
+        }
+
+        // close the fibers the previous nonzero leaves behind
+        if x > 0 && od < leaf {
+            close::<A, R, W>(
+                words[x - 1],
+                ol,
+                od,
+                factors,
+                perm,
+                shifts,
+                masks,
+                rank,
+                target,
+                ones,
+                up_bufs,
+                down_bufs,
+            );
+        }
+
+        // open the new path: extend down-products above the output level,
+        // reset up-accumulators at and below it
+        for l in ol..leaf {
+            if l < od {
+                let (lo, hi) = down_bufs.split_at_mut(l * rank);
+                let prev: &[f64] = if l == 0 {
+                    ones
+                } else {
+                    &lo[(l - 1) * rank..l * rank]
+                };
+                A::mul_row::<R>(
+                    &factors[perm[l]],
+                    field(w, l, shifts, masks),
+                    prev,
+                    &mut hi[..rank],
+                );
+            } else if od < leaf {
+                up_bufs[l * rank..(l + 1) * rank].fill(0.0);
+            }
+        }
+
+        // consume the nonzero
+        if od == leaf {
+            let cur = &down_bufs[(leaf - 1) * rank..leaf * rank];
+            target.add_scaled::<R>(field(w, leaf, shifts, masks), vals[x], cur);
+        } else {
+            A::axpy_row::<R>(
+                &factors[perm[leaf]],
+                field(w, leaf, shifts, masks),
+                vals[x],
+                &mut up_bufs[(leaf - 1) * rank..leaf * rank],
+            );
+        }
+    }
+
+    // close everything still open at the end of the span
+    if od < leaf {
+        close::<A, R, W>(
+            words[words.len() - 1],
+            0,
+            od,
+            factors,
+            perm,
+            shifts,
+            masks,
+            rank,
+            target,
+            ones,
+            up_bufs,
+            down_bufs,
+        );
+    }
+}
+
+/// Close the open fibers at levels `ol..` for the path of `prev`:
+/// combine subtree products deepest-first, then scatter the output-level
+/// fiber's row if it closes too. Mirrors the unwinding of the CSF
+/// recursion at a fiber boundary.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn close<A: Access, const R: usize, W: AltoWord>(
+    prev: W,
+    ol: usize,
+    od: usize,
+    factors: &[Matrix],
+    perm: &[usize],
+    shifts: &[u32],
+    masks: &[u64],
+    rank: usize,
+    target: &mut OutTarget<'_>,
+    ones: &[f64],
+    up_bufs: &mut [f64],
+    down_bufs: &[f64],
+) {
+    let order = perm.len();
+    // deepest-first: the fiber at level l folds into its parent at l-1
+    for l in (ol.max(od + 1)..=order - 2).rev() {
+        let (lo, hi) = up_bufs.split_at_mut(l * rank);
+        let fid = (prev.field(shifts[l], masks[l])) as usize;
+        A::fma_row::<R>(
+            &factors[perm[l]],
+            fid,
+            &hi[..rank],
+            &mut lo[(l - 1) * rank..l * rank],
+        );
+    }
+    if ol <= od {
+        let fid = (prev.field(shifts[od], masks[od])) as usize;
+        let down: &[f64] = if od == 0 {
+            ones
+        } else {
+            &down_bufs[(od - 1) * rank..od * rank]
+        };
+        target.add_product::<R>(fid, down, &up_bufs[od * rank..(od + 1) * rank]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csf::{CsfAlloc, CsfSet};
+    use crate::mttkrp::{mttkrp, SPECIALIZED_RANKS};
+    use crate::reference::mttkrp_coo;
+    use splatt_tensor::{synth, SortVariant, SparseTensor};
+
+    const ALL_ACCESS: [MatrixAccess; 4] = [
+        MatrixAccess::RowCopy,
+        MatrixAccess::Index2D,
+        MatrixAccess::PointerChecked,
+        MatrixAccess::PointerZip,
+    ];
+
+    fn factors_for(t: &SparseTensor, rank: usize, seed: u64) -> Vec<Matrix> {
+        t.dims()
+            .iter()
+            .enumerate()
+            .map(|(m, &d)| Matrix::random(d, rank, seed + m as u64))
+            .collect()
+    }
+
+    /// ALTO output must equal the One-tree CSF output to the bit under
+    /// deterministic execution (root at any ntasks; scatter at 1 task or
+    /// privatized with a task-ordered reduction covered separately).
+    fn assert_bit_identical(t: &SparseTensor, rank: usize, cfg: &MttkrpConfig, ntasks: usize) {
+        let team = TaskTeam::new(ntasks);
+        let set = CsfSet::build(t, CsfAlloc::One, &team, SortVariant::AllOpts);
+        let alto = AltoTensor::build(t, &team, SortVariant::AllOpts);
+        let factors = factors_for(t, rank, 7);
+        let mut ws_c = MttkrpWorkspace::new(cfg, ntasks);
+        let mut ws_a = MttkrpWorkspace::new(cfg, ntasks);
+        for mode in 0..t.order() {
+            let mut c = Matrix::zeros(t.dims()[mode], rank);
+            let mut a = Matrix::zeros(t.dims()[mode], rank);
+            mttkrp(&set, &factors, mode, &mut c, &mut ws_c, &team, cfg);
+            mttkrp_alto(&alto, &factors, mode, &mut a, &mut ws_a, &team, cfg);
+            assert_eq!(
+                c.as_slice(),
+                a.as_slice(),
+                "mode {mode} rank {rank} ntasks {ntasks} cfg {cfg:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bit_identical_to_csf_one_tree_single_task() {
+        let t = synth::power_law(&[30, 14, 40], 2_500, 1.8, 3);
+        for access in ALL_ACCESS {
+            let cfg = MttkrpConfig {
+                access,
+                // force privatization so the scatter paths are
+                // deterministic at any task count
+                priv_threshold: 1e12,
+                ..Default::default()
+            };
+            assert_bit_identical(&t, 5, &cfg, 1);
+        }
+    }
+
+    #[test]
+    fn bit_identical_privatized_multi_task() {
+        // Privatized replicas reduce in task order, but CSF and ALTO
+        // partition differently, so multi-task grouping could differ;
+        // the root mode however is always bit-exact (rows are owned).
+        // Privatized at 1 task is exact everywhere.
+        let t = synth::power_law(&[25, 18, 33], 2_000, 2.0, 11);
+        let cfg = MttkrpConfig {
+            priv_threshold: 1e12,
+            ..Default::default()
+        };
+        assert_bit_identical(&t, 4, &cfg, 1);
+    }
+
+    #[test]
+    fn root_mode_bit_identical_at_any_ntasks() {
+        let t = synth::power_law(&[30, 14, 40], 2_000, 1.8, 5);
+        let rank = 4;
+        let factors = factors_for(&t, rank, 7);
+        let cfg = MttkrpConfig {
+            priv_threshold: 1e12,
+            ..Default::default()
+        };
+        // the root of the shared perm: the shortest mode
+        let root_mode = AltoTensor::mode_perm(t.dims())[0];
+        let mut reference: Option<Vec<f64>> = None;
+        for ntasks in [1usize, 2, 3] {
+            let team = TaskTeam::new(ntasks);
+            let alto = AltoTensor::build(&t, &team, SortVariant::AllOpts);
+            let mut ws = MttkrpWorkspace::new(&cfg, ntasks);
+            let mut out = Matrix::zeros(t.dims()[root_mode], rank);
+            mttkrp_alto(&alto, &factors, root_mode, &mut out, &mut ws, &team, &cfg);
+            match &reference {
+                None => reference = Some(out.as_slice().to_vec()),
+                Some(r) => assert_eq!(r.as_slice(), out.as_slice(), "ntasks {ntasks}"),
+            }
+        }
+    }
+
+    #[test]
+    fn matches_reference_multi_task_scatter() {
+        // Multi-task lock/privatized scatter interleaves across a
+        // different partition than CSF's, so compare against the COO
+        // reference within tolerance.
+        let t = synth::power_law(&[20, 12, 28], 1_500, 1.5, 5);
+        let team = TaskTeam::new(4);
+        let alto = AltoTensor::build(&t, &team, SortVariant::AllOpts);
+        let factors = factors_for(&t, 3, 7);
+        for priv_threshold in [0.0, 1e9] {
+            let cfg = MttkrpConfig {
+                priv_threshold,
+                ..Default::default()
+            };
+            let mut ws = MttkrpWorkspace::new(&cfg, 4);
+            for mode in 0..t.order() {
+                let mut out = Matrix::zeros(t.dims()[mode], 3);
+                mttkrp_alto(&alto, &factors, mode, &mut out, &mut ws, &team, &cfg);
+                let expect = mttkrp_coo(&t, &factors, mode);
+                assert!(
+                    out.approx_eq(&expect, 1e-9),
+                    "mode {mode} priv {priv_threshold}: diff {}",
+                    out.max_abs_diff(&expect)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn specialized_is_bit_identical_to_generic() {
+        for rank in SPECIALIZED_RANKS {
+            let t = synth::power_law(&[30, 14, 40], 1_500, 1.8, rank as u64);
+            let team = TaskTeam::new(2);
+            let alto = AltoTensor::build(&t, &team, SortVariant::AllOpts);
+            let factors = factors_for(&t, rank, 3);
+            let generic = MttkrpConfig {
+                specialize: false,
+                priv_threshold: 1e12,
+                ..Default::default()
+            };
+            let special = MttkrpConfig {
+                specialize: true,
+                ..generic
+            };
+            let mut ws_g = MttkrpWorkspace::new(&generic, 2);
+            let mut ws_s = MttkrpWorkspace::new(&special, 2);
+            for mode in 0..t.order() {
+                let mut a = Matrix::zeros(t.dims()[mode], rank);
+                let mut b = Matrix::zeros(t.dims()[mode], rank);
+                mttkrp_alto(&alto, &factors, mode, &mut a, &mut ws_g, &team, &generic);
+                mttkrp_alto(&alto, &factors, mode, &mut b, &mut ws_s, &team, &special);
+                assert_eq!(a.as_slice(), b.as_slice(), "rank {rank} mode {mode}");
+            }
+        }
+    }
+
+    #[test]
+    fn four_and_five_mode_tensors_match_reference() {
+        for (dims, nnz) in [(vec![8usize, 12, 6, 9], 900), (vec![6, 5, 9, 4, 7], 700)] {
+            let t = synth::random_uniform(&dims, nnz, 13);
+            let team = TaskTeam::new(2);
+            let alto = AltoTensor::build(&t, &team, SortVariant::AllOpts);
+            let factors = factors_for(&t, 4, 5);
+            let cfg = MttkrpConfig::default();
+            let mut ws = MttkrpWorkspace::new(&cfg, 2);
+            for mode in 0..t.order() {
+                let mut out = Matrix::zeros(t.dims()[mode], 4);
+                mttkrp_alto(&alto, &factors, mode, &mut out, &mut ws, &team, &cfg);
+                assert!(
+                    out.approx_eq(&mttkrp_coo(&t, &factors, mode), 1e-9),
+                    "order {} mode {mode}",
+                    dims.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn duplicates_singleton_and_empty_edge_cases() {
+        let cases = vec![
+            SparseTensor::from_entries(
+                vec![3, 3, 3],
+                &[
+                    (vec![1, 1, 1], 2.0),
+                    (vec![1, 1, 1], 3.0),
+                    (vec![0, 2, 1], 1.0),
+                ],
+            ),
+            SparseTensor::from_entries(vec![4, 5, 6], &[(vec![1, 2, 3], 2.0)]),
+            SparseTensor::new(vec![3, 4, 5]),
+            SparseTensor::from_entries(vec![1, 6, 4], &[(vec![0, 3, 2], 1.5)]),
+        ];
+        let cfg = MttkrpConfig {
+            priv_threshold: 1e12,
+            ..Default::default()
+        };
+        for t in &cases {
+            assert_bit_identical(t, 3, &cfg, 1);
+            // output zeroed even when pre-filled
+            let team = TaskTeam::new(2);
+            let alto = AltoTensor::build(t, &team, SortVariant::AllOpts);
+            let factors = factors_for(t, 3, 1);
+            let mut ws = MttkrpWorkspace::new(&cfg, 2);
+            let mut out = Matrix::filled(t.dims()[1], 3, 9.0);
+            mttkrp_alto(&alto, &factors, 1, &mut out, &mut ws, &team, &cfg);
+            assert!(out.approx_eq(&mttkrp_coo(t, &factors, 1), 1e-9));
+        }
+    }
+
+    #[test]
+    fn u128_stream_matches_reference() {
+        let dims = vec![20_000usize, 18_000, 19_000, 17_000, 16_000];
+        let t = synth::random_uniform(&dims, 400, 23);
+        let team = TaskTeam::new(2);
+        let alto = AltoTensor::build(&t, &team, SortVariant::AllOpts);
+        assert!(matches!(
+            alto.stream(),
+            splatt_tensor::alto::AltoStream::U128(_)
+        ));
+        let factors = factors_for(&t, 3, 9);
+        let cfg = MttkrpConfig::default();
+        let mut ws = MttkrpWorkspace::new(&cfg, 2);
+        for mode in 0..t.order() {
+            let mut out = Matrix::zeros(t.dims()[mode], 3);
+            mttkrp_alto(&alto, &factors, mode, &mut out, &mut ws, &team, &cfg);
+            assert!(
+                out.approx_eq(&mttkrp_coo(&t, &factors, mode), 1e-9),
+                "mode {mode}"
+            );
+        }
+    }
+
+    #[test]
+    fn lock_strategy_reporting() {
+        let t = synth::power_law(&[400, 150, 500], 2_000, 1.5, 2);
+        let team = TaskTeam::new(4);
+        let alto = AltoTensor::build(&t, &team, SortVariant::AllOpts);
+        let cfg = MttkrpConfig::default();
+        // level-0 mode (the shortest) never locks
+        let root_mode = AltoTensor::mode_perm(t.dims())[0];
+        assert!(!uses_locks_alto(&alto, root_mode, 4, &cfg));
+        // deeper small-ish modes: dim * tasks > threshold * nnz => locks
+        let leaf_mode = *AltoTensor::mode_perm(t.dims()).last().unwrap();
+        assert!(uses_locks_alto(&alto, leaf_mode, 4, &cfg));
+        let cfg2 = MttkrpConfig {
+            priv_threshold: 1e9,
+            ..cfg
+        };
+        assert!(!uses_locks_alto(&alto, leaf_mode, 4, &cfg2));
+    }
+}

@@ -40,6 +40,7 @@ mod completion;
 mod cpals;
 pub mod csf;
 mod diagnostics;
+pub mod dispatch;
 mod governed;
 mod kruskal;
 mod model_file;
@@ -48,6 +49,7 @@ pub mod query;
 mod sgd;
 mod tiling;
 
+pub mod alto;
 pub mod mttkrp;
 pub mod reference;
 
@@ -60,6 +62,9 @@ pub use cpals::{
 };
 pub use csf::{Csf, CsfAlloc, CsfSet, KernelKind};
 pub use diagnostics::corcondia;
+pub use dispatch::{
+    DispatchError, DispatchTable, FormatChoice, FormatPlan, ModeDecision, TensorFormat,
+};
 pub use governed::{
     try_cp_als_governed, try_cp_als_governed_with_team, GovernancePolicy, GovernedRun, OnOverrun,
 };

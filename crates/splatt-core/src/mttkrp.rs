@@ -104,12 +104,12 @@ pub const SPECIALIZED_RANKS: [usize; 3] = [8, 16, 32];
 /// reachable from kernels dispatched with `R == rank`, so the length
 /// always matches.
 #[inline(always)]
-fn fixed<const R: usize>(s: &[f64]) -> &[f64; R] {
+pub(crate) fn fixed<const R: usize>(s: &[f64]) -> &[f64; R] {
     s.try_into().expect("specialized kernel width mismatch")
 }
 
 #[inline(always)]
-fn fixed_mut<const R: usize>(s: &mut [f64]) -> &mut [f64; R] {
+pub(crate) fn fixed_mut<const R: usize>(s: &mut [f64]) -> &mut [f64; R] {
     s.try_into().expect("specialized kernel width mismatch")
 }
 
@@ -121,14 +121,14 @@ pub fn use_privatization(dim: usize, ntasks: usize, nnz: usize, threshold: f64) 
 
 /// Reusable buffers and synchronization state for repeated MTTKRP calls.
 pub struct MttkrpWorkspace {
-    pool: LockPool,
-    replicas: ThreadScratch,
+    pub(crate) pool: LockPool,
+    pub(crate) replicas: ThreadScratch,
     /// Per-task walk buffers (`ones` + up/down prefix products), grow-only
     /// so steady-state kernel calls never allocate.
-    kernel: ThreadScratch,
-    ntasks: usize,
-    probe: Option<std::sync::Arc<splatt_probe::MttkrpProbe>>,
-    guard: Option<splatt_guard::RunGuard>,
+    pub(crate) kernel: ThreadScratch,
+    pub(crate) ntasks: usize,
+    pub(crate) probe: Option<std::sync::Arc<splatt_probe::MttkrpProbe>>,
+    pub(crate) guard: Option<splatt_guard::RunGuard>,
 }
 
 impl MttkrpWorkspace {
@@ -190,7 +190,7 @@ pub const GUARD_CHUNK: usize = 64;
 /// Safety protocol: concurrent `row_mut` calls on the *same* row must be
 /// externally synchronized (lock pool), or rows must be partitioned
 /// disjointly across tasks (root kernel).
-struct SharedOut {
+pub(crate) struct SharedOut {
     ptr: *mut f64,
     cols: usize,
     #[cfg(debug_assertions)]
@@ -201,7 +201,7 @@ unsafe impl Send for SharedOut {}
 unsafe impl Sync for SharedOut {}
 
 impl SharedOut {
-    fn new(m: &mut Matrix) -> Self {
+    pub(crate) fn new(m: &mut Matrix) -> Self {
         SharedOut {
             ptr: m.as_mut_slice().as_mut_ptr(),
             cols: m.cols(),
@@ -215,7 +215,7 @@ impl SharedOut {
     /// type-level protocol).
     #[allow(clippy::mut_from_ref)]
     #[inline]
-    unsafe fn row_mut(&self, i: usize) -> &mut [f64] {
+    pub(crate) unsafe fn row_mut(&self, i: usize) -> &mut [f64] {
         #[cfg(debug_assertions)]
         debug_assert!(i < self.rows);
         unsafe { std::slice::from_raw_parts_mut(self.ptr.add(i * self.cols), self.cols) }
@@ -223,7 +223,7 @@ impl SharedOut {
 }
 
 /// Where a task's scatter contributions land.
-enum OutTarget<'t> {
+pub(crate) enum OutTarget<'t> {
     /// Directly into the shared output; `pool` is `None` for the root
     /// kernel (rows disjoint by partition), `Some` otherwise.
     Shared {
@@ -239,7 +239,7 @@ impl OutTarget<'_> {
     /// compile-time rank (`0` = dynamic); both paths apply the identical
     /// element-wise update order, so they are bit-identical.
     #[inline]
-    fn add_product<const R: usize>(&mut self, idx: usize, down: &[f64], up: &[f64]) {
+    pub(crate) fn add_product<const R: usize>(&mut self, idx: usize, down: &[f64], up: &[f64]) {
         match self {
             OutTarget::Shared { out, pool } => {
                 let _guard = pool.map(|p| p.lock(idx));
@@ -276,7 +276,7 @@ impl OutTarget<'_> {
 
     /// `row[r] += v * src[r]` on output row `idx` (leaf scatter).
     #[inline]
-    fn add_scaled<const R: usize>(&mut self, idx: usize, v: f64, src: &[f64]) {
+    pub(crate) fn add_scaled<const R: usize>(&mut self, idx: usize, v: f64, src: &[f64]) {
         match self {
             OutTarget::Shared { out, pool } => {
                 let _guard = pool.map(|p| p.lock(idx));
@@ -317,7 +317,7 @@ impl OutTarget<'_> {
 /// re-sliced to `&[f64; R]`, giving LLVM an exact trip count to unroll
 /// and vectorize against; the arithmetic — element order included — is
 /// identical to the dynamic path, so both produce bit-identical results.
-trait Access {
+pub(crate) trait Access {
     /// `accum[r] += scale * f[idx][r]` — the leaf gather.
     fn axpy_row<const R: usize>(f: &Matrix, idx: usize, scale: f64, accum: &mut [f64]);
     /// `dst[r] = a[r] * f[idx][r]` — extend the downward prefix product.
@@ -333,7 +333,7 @@ trait Access {
 /// (the overhead documented in chapel-lang/chapel#8203 and measured in the
 /// paper's Figures 2/3). We model that per-access constant cost with a
 /// small descriptor allocation plus the row copy itself.
-struct RowCopyAccess;
+pub(crate) struct RowCopyAccess;
 
 #[inline]
 fn slice_descriptor(idx: usize, cols: usize) -> Vec<usize> {
@@ -403,7 +403,7 @@ impl Access for RowCopyAccess {
 }
 
 /// Direct 2D indexing: index arithmetic + bounds check per element.
-struct Index2DAccess;
+pub(crate) struct Index2DAccess;
 impl Access for Index2DAccess {
     // Specialized widths keep the per-element 2D index arithmetic (and
     // its bounds check) — only the trip count becomes compile-time.
@@ -449,7 +449,7 @@ impl Access for Index2DAccess {
 }
 
 /// Row slice once, bounds-checked element reads (optimized Chapel port).
-struct PointerCheckedAccess;
+pub(crate) struct PointerCheckedAccess;
 impl Access for PointerCheckedAccess {
     #[inline]
     fn axpy_row<const R: usize>(f: &Matrix, idx: usize, scale: f64, accum: &mut [f64]) {
@@ -496,7 +496,7 @@ impl Access for PointerCheckedAccess {
 }
 
 /// Row slice with fused iteration — check-free inner loops (C reference).
-struct PointerZipAccess;
+pub(crate) struct PointerZipAccess;
 impl Access for PointerZipAccess {
     #[inline]
     fn axpy_row<const R: usize>(f: &Matrix, idx: usize, scale: f64, accum: &mut [f64]) {
@@ -720,7 +720,7 @@ fn run_tiled<A: Access, const R: usize>(
 /// Per-task walk arena length: `ones` (one rank row) plus an up and a
 /// down prefix-product buffer per tree level.
 #[inline]
-fn arena_len(order: usize, rank: usize) -> usize {
+pub(crate) fn arena_len(order: usize, rank: usize) -> usize {
     (2 * order + 1) * rank
 }
 

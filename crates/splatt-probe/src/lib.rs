@@ -32,7 +32,8 @@ mod tasks;
 
 pub use locks::{LockCounters, LockStats};
 pub use report::{
-    FaultRow, GuardRow, ProfileReport, QueryKindRow, RoutineRow, ServeRow, PROFILE_SCHEMA,
+    DispatchRow, FaultRow, GuardRow, ProfileReport, QueryKindRow, RoutineRow, ServeRow,
+    PROFILE_SCHEMA,
 };
 pub use span::SpanNode;
 pub use tasks::{TaskTimes, ThreadLoad, ThreadLoadRow};

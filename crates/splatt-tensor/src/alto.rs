@@ -1,0 +1,570 @@
+//! ALTO: a linearized, mode-agnostic sparse tensor format.
+//!
+//! Instead of one CSF tree per root mode, ALTO (Laukemann et al.,
+//! "Accelerating Sparse Tensor Decomposition Using Adaptive Linearized
+//! Representation") keeps a **single sorted stream** of bit-packed
+//! linearized coordinates shared by every mode's MTTKRP: each nonzero's
+//! per-mode indices are packed into one machine word, most-significant
+//! field first, so the natural integer order of the stream *is* the
+//! lexicographic coordinate order. Kernels for any output mode walk the
+//! same stream and detect fiber boundaries by comparing adjacent words —
+//! no per-mode trees, no duplicated value arrays.
+//!
+//! Load balance comes from recursive coordinate-space partitioning
+//! ([`AltoTensor::partition`], backed by
+//! `splatt_par::partition::recursive_weighted`): task boundaries are
+//! aligned to root-coordinate (slice) boundaries so the root-mode kernel
+//! stays synchronization-free, with per-task nonzero counts balanced by
+//! recursive bisection.
+//!
+//! The mode order inside the packed word matches the CSF `One`
+//! allocation policy's tree (shortest mode first, remaining modes by
+//! ascending dimension), so an [`AltoTensor`] and a one-tree CSF built
+//! from the same tensor describe the *same* fiber structure — the
+//! property the `format_differential` test harness pins down to the bit.
+
+use crate::sort::{self, SortVariant};
+use crate::SparseTensor;
+use splatt_par::{partition, TaskTeam};
+
+/// Word types the linearized stream can pack into. 64-bit covers every
+/// tensor whose summed per-mode index widths fit one machine word (all
+/// of the paper's data sets); 128-bit covers the rest up to 128 bits.
+pub trait AltoWord: Copy + Eq + Send + Sync {
+    /// All-zero word.
+    const ZERO: Self;
+    /// `self | (v << shift)` — pack one mode's index field.
+    fn or_field(self, v: u32, shift: u32) -> Self;
+    /// Extract the field at `shift` under `mask`.
+    fn field(self, shift: u32, mask: u64) -> u32;
+    /// Do `self` and `other` agree on every bit at or above `shift`?
+    /// (`true` means no level at or above the field starting at `shift`
+    /// changed between the two coordinates.)
+    fn agrees_through(self, other: Self, shift: u32) -> bool;
+}
+
+impl AltoWord for u64 {
+    const ZERO: Self = 0;
+    #[inline(always)]
+    fn or_field(self, v: u32, shift: u32) -> Self {
+        self | ((v as u64) << shift)
+    }
+    #[inline(always)]
+    fn field(self, shift: u32, mask: u64) -> u32 {
+        (self.checked_shr(shift).unwrap_or(0) & mask) as u32
+    }
+    #[inline(always)]
+    fn agrees_through(self, other: Self, shift: u32) -> bool {
+        (self ^ other).checked_shr(shift).unwrap_or(0) == 0
+    }
+}
+
+impl AltoWord for u128 {
+    const ZERO: Self = 0;
+    #[inline(always)]
+    fn or_field(self, v: u32, shift: u32) -> Self {
+        self | ((v as u128) << shift)
+    }
+    #[inline(always)]
+    fn field(self, shift: u32, mask: u64) -> u32 {
+        (self.checked_shr(shift).unwrap_or(0) as u64 & mask) as u32
+    }
+    #[inline(always)]
+    fn agrees_through(self, other: Self, shift: u32) -> bool {
+        (self ^ other).checked_shr(shift).unwrap_or(0) == 0
+    }
+}
+
+/// The packed coordinate stream, width chosen at build time.
+pub enum AltoStream {
+    /// Total index width ≤ 64 bits (the common case).
+    U64(Vec<u64>),
+    /// Total index width in 65..=128 bits.
+    U128(Vec<u128>),
+}
+
+impl AltoStream {
+    /// Stream length (== nnz).
+    pub fn len(&self) -> usize {
+        match self {
+            AltoStream::U64(w) => w.len(),
+            AltoStream::U128(w) => w.len(),
+        }
+    }
+
+    /// Is the stream empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes per packed word.
+    pub fn word_bytes(&self) -> usize {
+        match self {
+            AltoStream::U64(_) => std::mem::size_of::<u64>(),
+            AltoStream::U128(_) => std::mem::size_of::<u128>(),
+        }
+    }
+}
+
+/// The first tree level whose coordinate field differs between adjacent
+/// stream words — i.e. the shallowest fiber the word at `cur` opens,
+/// exactly mirroring CSF's per-stream `open_level`. Duplicate
+/// coordinates open only a new leaf (`shifts.len() - 1`).
+#[inline]
+pub fn open_level<W: AltoWord>(prev: W, cur: W, shifts: &[u32]) -> usize {
+    for (l, &s) in shifts.iter().enumerate() {
+        if !prev.agrees_through(cur, s) {
+            return l;
+        }
+    }
+    shifts.len() - 1
+}
+
+/// Bits needed to address `dim` distinct indices (`0` for a singleton
+/// mode — its only index is 0 and needs no bits).
+fn index_bits(dim: usize) -> u32 {
+    if dim <= 1 {
+        0
+    } else {
+        usize::BITS - (dim - 1).leading_zeros()
+    }
+}
+
+/// A sparse tensor in ALTO form: one sorted stream of bit-packed
+/// linearized coordinates plus the parallel value array, shared by every
+/// mode's MTTKRP kernel.
+pub struct AltoTensor {
+    dims: Vec<usize>,
+    /// Level → original mode: shortest mode first, rest by ascending
+    /// dimension (ties by mode index) — the CSF `One` tree's ordering.
+    dim_perm: Vec<usize>,
+    /// Field width per level.
+    bits: Vec<u32>,
+    /// Bit offset of each level's field inside the packed word
+    /// (level 0 is most significant, the leaf level sits at shift 0).
+    shifts: Vec<u32>,
+    /// Field mask per level (`(1 << bits) - 1`).
+    masks: Vec<u64>,
+    stream: AltoStream,
+    vals: Vec<f64>,
+    /// Stream offsets where the root coordinate changes
+    /// (`nslices + 1` entries) — the alignment grid for partitioning.
+    slice_ptr: Vec<usize>,
+    /// Nonzeros under each root slice (parallel to `slice_ptr` gaps).
+    slice_nnz: Vec<usize>,
+}
+
+impl AltoTensor {
+    /// The linearization mode order for these dims: every mode sorted by
+    /// ascending `(dimension, mode)`. Matches the CSF `One` allocation's
+    /// tree permutation, so the two formats share fiber structure.
+    pub fn mode_perm(dims: &[usize]) -> Vec<usize> {
+        let mut perm: Vec<usize> = (0..dims.len()).collect();
+        perm.sort_by_key(|&m| (dims[m], m));
+        perm
+    }
+
+    /// Total packed bits for these dims.
+    pub fn packed_bits(dims: &[usize]) -> u32 {
+        dims.iter().map(|&d| index_bits(d)).sum()
+    }
+
+    /// Can these dims be linearized (≤ 128 total index bits)?
+    pub fn fits(dims: &[usize]) -> bool {
+        Self::packed_bits(dims) <= 128
+    }
+
+    /// Build from `tensor`: copy, sort by [`AltoTensor::mode_perm`] (the
+    /// paper's "Sort" routine — the identical deterministic sort CSF
+    /// construction uses, so tie order matches the CSF oracle), then
+    /// pack the stream.
+    ///
+    /// # Panics
+    /// Panics if the dims need more than 128 linearization bits
+    /// (use [`AltoTensor::fits`] to pre-check).
+    pub fn build(tensor: &SparseTensor, team: &TaskTeam, variant: SortVariant) -> Self {
+        Self::build_guarded(tensor, team, variant, None)
+    }
+
+    /// [`AltoTensor::build`] under run governance: the sort polls
+    /// `guard` between buckets. A cancelled build returns a structurally
+    /// valid but empty tensor; the caller's next guard check aborts
+    /// before it is consumed.
+    ///
+    /// # Panics
+    /// As [`AltoTensor::build`].
+    pub fn build_guarded(
+        tensor: &SparseTensor,
+        team: &TaskTeam,
+        variant: SortVariant,
+        guard: Option<&splatt_guard::RunGuard>,
+    ) -> Self {
+        assert!(!tensor.dims().is_empty(), "ALTO needs at least one mode");
+        assert!(
+            Self::fits(tensor.dims()),
+            "ALTO linearization needs {} bits, more than the 128 supported — use CSF",
+            Self::packed_bits(tensor.dims())
+        );
+        let dim_perm = Self::mode_perm(tensor.dims());
+        let mut sorted = tensor.clone();
+        sort::sort_by_perm_guarded(&mut sorted, &dim_perm, team, variant, guard);
+        if guard.is_some_and(|g| g.is_cancelled()) && !sorted.is_sorted_by(&dim_perm) {
+            let empty = SparseTensor::new(tensor.dims().to_vec());
+            return Self::from_sorted(&empty, dim_perm);
+        }
+        Self::from_sorted(&sorted, dim_perm)
+    }
+
+    /// Pack an already `dim_perm`-sorted tensor.
+    fn from_sorted(sorted: &SparseTensor, dim_perm: Vec<usize>) -> Self {
+        debug_assert!(
+            sorted.is_sorted_by(&dim_perm),
+            "tensor must be pre-sorted by the linearization perm"
+        );
+        let order = sorted.order();
+        let nnz = sorted.nnz();
+        let dims = sorted.dims().to_vec();
+
+        let bits: Vec<u32> = dim_perm.iter().map(|&m| index_bits(dims[m])).collect();
+        let mut shifts = vec![0u32; order];
+        for l in (0..order - 1).rev() {
+            shifts[l] = shifts[l + 1] + bits[l + 1];
+        }
+        let masks: Vec<u64> = bits
+            .iter()
+            .map(|&b| if b == 0 { 0 } else { (1u64 << b) - 1 })
+            .collect();
+        let total_bits = shifts[0] + bits[0];
+
+        let streams: Vec<&[u32]> = dim_perm.iter().map(|&m| sorted.ind(m)).collect();
+        fn pack<W: AltoWord>(streams: &[&[u32]], shifts: &[u32], nnz: usize) -> Vec<W> {
+            (0..nnz)
+                .map(|x| {
+                    let mut w = W::ZERO;
+                    for (s, &shift) in streams.iter().zip(shifts) {
+                        w = w.or_field(s[x], shift);
+                    }
+                    w
+                })
+                .collect()
+        }
+        let stream = if total_bits <= 64 {
+            AltoStream::U64(pack::<u64>(&streams, &shifts, nnz))
+        } else {
+            AltoStream::U128(pack::<u128>(&streams, &shifts, nnz))
+        };
+
+        // root-slice grid: one entry per distinct leading coordinate
+        let root = streams.first().copied().unwrap_or(&[]);
+        let mut slice_ptr = Vec::new();
+        slice_ptr.push(0);
+        for x in 1..nnz {
+            if root[x] != root[x - 1] {
+                slice_ptr.push(x);
+            }
+        }
+        if nnz > 0 {
+            slice_ptr.push(nnz);
+        }
+        let slice_nnz: Vec<usize> = slice_ptr.windows(2).map(|w| w[1] - w[0]).collect();
+
+        AltoTensor {
+            dims,
+            dim_perm,
+            bits,
+            shifts,
+            masks,
+            stream,
+            vals: sorted.vals().to_vec(),
+            slice_ptr,
+            slice_nnz,
+        }
+    }
+
+    /// Number of modes.
+    #[inline]
+    pub fn order(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Number of stored nonzeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Original mode dimensions.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Linearization order: `dim_perm()[l]` is the original mode whose
+    /// index occupies level `l` of the packed word.
+    #[inline]
+    pub fn dim_perm(&self) -> &[usize] {
+        &self.dim_perm
+    }
+
+    /// The packed-word level holding original mode `m`.
+    pub fn level_of_mode(&self, m: usize) -> usize {
+        self.dim_perm
+            .iter()
+            .position(|&p| p == m)
+            .expect("mode not present in this tensor")
+    }
+
+    /// Field bit widths per level.
+    #[inline]
+    pub fn bits(&self) -> &[u32] {
+        &self.bits
+    }
+
+    /// Field bit offsets per level.
+    #[inline]
+    pub fn shifts(&self) -> &[u32] {
+        &self.shifts
+    }
+
+    /// Field masks per level.
+    #[inline]
+    pub fn masks(&self) -> &[u64] {
+        &self.masks
+    }
+
+    /// The packed coordinate stream.
+    #[inline]
+    pub fn stream(&self) -> &AltoStream {
+        &self.stream
+    }
+
+    /// Nonzero values in stream order.
+    #[inline]
+    pub fn vals(&self) -> &[f64] {
+        &self.vals
+    }
+
+    /// Number of root slices (distinct leading coordinates present).
+    #[inline]
+    pub fn nslices(&self) -> usize {
+        self.slice_nnz.len()
+    }
+
+    /// Stream offsets of the root-slice boundaries (`nslices + 1`
+    /// entries; empty-tensor streams carry the single offset 0).
+    #[inline]
+    pub fn slice_ptr(&self) -> &[usize] {
+        &self.slice_ptr
+    }
+
+    /// Nonzeros under each root slice.
+    #[inline]
+    pub fn slice_nnz(&self) -> &[usize] {
+        &self.slice_nnz
+    }
+
+    /// Coordinate of nonzero `x` at packed level `level` (i.e. in
+    /// original mode `dim_perm()[level]`).
+    pub fn coord(&self, x: usize, level: usize) -> u32 {
+        let (shift, mask) = (self.shifts[level], self.masks[level]);
+        match &self.stream {
+            AltoStream::U64(w) => w[x].field(shift, mask),
+            AltoStream::U128(w) => w[x].field(shift, mask),
+        }
+    }
+
+    /// ALTO's recursive coordinate-space partitioning: split the stream
+    /// into `nparts` contiguous spans of balanced nonzero count whose
+    /// boundaries are aligned to root-slice boundaries (so the root
+    /// kernel needs no synchronization). Returns `nparts + 1` monotonic
+    /// *slice-index* bounds; translate through [`AltoTensor::slice_ptr`]
+    /// for stream offsets.
+    pub fn partition(&self, nparts: usize) -> Vec<usize> {
+        partition::recursive_weighted(&partition::prefix_sum(&self.slice_nnz), nparts)
+    }
+
+    /// Bytes held by this representation: the packed stream, the values,
+    /// the slice grid, and the level tables — every owned array at its
+    /// true element width (the `--mem-budget` accounting contract CSF's
+    /// `storage_bytes` follows).
+    pub fn storage_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.stream.len() * self.stream.word_bytes()
+            + self.vals.len() * size_of::<f64>()
+            + self.slice_ptr.len() * size_of::<usize>()
+            + self.slice_nnz.len() * size_of::<usize>()
+            + self.dims.len() * size_of::<usize>()
+            + self.dim_perm.len() * size_of::<usize>()
+            + self.bits.len() * size_of::<u32>()
+            + self.shifts.len() * size_of::<u32>()
+            + self.masks.len() * size_of::<u64>()
+    }
+
+    /// Rebuild the coordinate tensor (for round-trip tests), entries in
+    /// stream order.
+    pub fn to_coo(&self) -> SparseTensor {
+        let order = self.order();
+        let nnz = self.nnz();
+        let mut inds: Vec<Vec<u32>> = vec![vec![0; nnz]; order];
+        for (l, &m) in self.dim_perm.iter().enumerate() {
+            for (x, slot) in inds[m].iter_mut().enumerate() {
+                *slot = self.coord(x, l);
+            }
+        }
+        SparseTensor::from_parts(self.dims.clone(), inds, self.vals.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth;
+
+    fn team() -> TaskTeam {
+        TaskTeam::new(2)
+    }
+
+    #[test]
+    fn round_trips_coordinates_and_values() {
+        let t = synth::power_law(&[30, 14, 40], 2_000, 1.8, 3);
+        let a = AltoTensor::build(&t, &team(), SortVariant::AllOpts);
+        assert_eq!(a.nnz(), t.nnz());
+        assert_eq!(a.to_coo().canonical_entries(), t.canonical_entries());
+    }
+
+    #[test]
+    fn mode_perm_is_shortest_first() {
+        assert_eq!(AltoTensor::mode_perm(&[40, 10, 70]), vec![1, 0, 2]);
+        assert_eq!(AltoTensor::mode_perm(&[5, 5, 5]), vec![0, 1, 2]);
+        assert_eq!(AltoTensor::mode_perm(&[9, 2, 9, 4]), vec![1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn packing_matches_extraction() {
+        let t = SparseTensor::from_entries(
+            vec![4, 3, 5],
+            &[
+                (vec![2, 1, 4], 1.5),
+                (vec![0, 0, 0], 1.0),
+                (vec![3, 2, 1], 4.0),
+            ],
+        );
+        let a = AltoTensor::build(&t, &team(), SortVariant::AllOpts);
+        // sorted by perm [1, 0, 2] (dims 3, 4, 5)
+        for x in 0..a.nnz() {
+            for l in 0..a.order() {
+                let m = a.dim_perm()[l];
+                assert!(u64::from(a.coord(x, l)) <= a.masks()[l], "mode {m}");
+            }
+        }
+        assert_eq!(a.to_coo().canonical_entries(), t.canonical_entries());
+    }
+
+    #[test]
+    fn wide_dims_take_the_u128_stream() {
+        // 5 modes x 15 bits = 75 bits > 64: must pack into u128
+        let dims = vec![20_000usize; 5];
+        let t = SparseTensor::from_entries(
+            dims.clone(),
+            &[
+                (vec![19_999, 0, 5, 19_998, 7], 2.0),
+                (vec![0, 1, 2, 3, 4], -1.0),
+                (vec![19_999, 0, 5, 19_998, 6], 0.5),
+            ],
+        );
+        assert_eq!(AltoTensor::packed_bits(&dims), 75);
+        let a = AltoTensor::build(&t, &team(), SortVariant::AllOpts);
+        assert!(matches!(a.stream(), AltoStream::U128(_)));
+        assert_eq!(a.to_coo().canonical_entries(), t.canonical_entries());
+    }
+
+    #[test]
+    fn singleton_modes_need_no_bits() {
+        let t = SparseTensor::from_entries(
+            vec![1, 6, 1, 4],
+            &[(vec![0, 3, 0, 2], 1.0), (vec![0, 5, 0, 0], 2.0)],
+        );
+        let a = AltoTensor::build(&t, &team(), SortVariant::AllOpts);
+        assert_eq!(AltoTensor::packed_bits(&[1, 6, 1, 4]), 5);
+        assert_eq!(a.to_coo().canonical_entries(), t.canonical_entries());
+    }
+
+    #[test]
+    fn empty_tensor_builds() {
+        let t = SparseTensor::new(vec![3, 4, 5]);
+        let a = AltoTensor::build(&t, &team(), SortVariant::AllOpts);
+        assert_eq!(a.nnz(), 0);
+        assert_eq!(a.nslices(), 0);
+        assert_eq!(a.partition(3), vec![0, 0, 0, 0]);
+        assert_eq!(a.to_coo().nnz(), 0);
+    }
+
+    #[test]
+    fn slice_grid_counts_distinct_root_coordinates() {
+        let t = SparseTensor::from_entries(
+            vec![10, 3, 10],
+            &[
+                (vec![4, 1, 2], 1.0),
+                (vec![7, 1, 0], 2.0),
+                (vec![1, 1, 9], 3.0),
+                (vec![3, 1, 3], 4.0),
+            ],
+        );
+        // mode 1 (dim 3) roots the perm; all nonzeros share root coord 1
+        let a = AltoTensor::build(&t, &team(), SortVariant::AllOpts);
+        assert_eq!(a.dim_perm()[0], 1);
+        assert_eq!(a.nslices(), 1);
+        assert_eq!(a.slice_nnz(), &[4]);
+        assert_eq!(a.slice_ptr(), &[0, 4]);
+    }
+
+    #[test]
+    fn partition_aligns_to_slices_and_covers() {
+        let t = synth::power_law(&[50, 20, 60], 3_000, 1.9, 11);
+        let a = AltoTensor::build(&t, &team(), SortVariant::AllOpts);
+        for nparts in [1usize, 2, 3, 7] {
+            let b = a.partition(nparts);
+            assert_eq!(b.len(), nparts + 1);
+            assert_eq!(b[0], 0);
+            assert_eq!(*b.last().unwrap(), a.nslices());
+            for k in 1..b.len() {
+                assert!(b[k] >= b[k - 1]);
+            }
+            let covered: usize = (0..nparts)
+                .map(|p| a.slice_ptr()[b[p + 1]] - a.slice_ptr()[b[p]])
+                .sum();
+            assert_eq!(covered, a.nnz());
+        }
+    }
+
+    #[test]
+    fn open_level_mirrors_csf_semantics() {
+        let shifts = [10u32, 4, 0];
+        let pack = |a: u64, b: u64, c: u64| (a << 10) | (b << 4) | c;
+        // root change opens everything
+        assert_eq!(open_level(pack(1, 2, 3), pack(2, 2, 3), &shifts), 0);
+        // middle change opens levels 1..
+        assert_eq!(open_level(pack(1, 2, 3), pack(1, 3, 3), &shifts), 1);
+        // leaf change opens only the leaf
+        assert_eq!(open_level(pack(1, 2, 3), pack(1, 2, 4), &shifts), 2);
+        // duplicate coordinate still opens a fresh leaf
+        assert_eq!(open_level(pack(1, 2, 3), pack(1, 2, 3), &shifts), 2);
+    }
+
+    #[test]
+    fn storage_counts_every_owned_array() {
+        let t = synth::random_uniform(&[16, 12, 20], 500, 5);
+        let a = AltoTensor::build(&t, &team(), SortVariant::AllOpts);
+        let floor = a.nnz() * (8 + 8); // stream words + values
+        assert!(a.storage_bytes() >= floor);
+    }
+
+    #[test]
+    #[should_panic(expected = "more than the 128 supported")]
+    fn oversized_dims_panic() {
+        // 5 modes near the u32 ceiling: 5 * 32 = 160 bits
+        let dims = vec![u32::MAX as usize; 5];
+        let t = SparseTensor::new(dims);
+        let _ = AltoTensor::build(&t, &team(), SortVariant::AllOpts);
+    }
+}

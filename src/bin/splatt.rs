@@ -19,7 +19,8 @@ use splatt::serve::{serve, Client, ServeConfig, ServeEngine};
 use splatt::tensor::{io, synth, TensorStats};
 use splatt::{
     corcondia, try_cp_als, try_cp_als_governed, Constraint, CpalsError, CpalsOptions, CsfAlloc,
-    FaultPlan, GovernancePolicy, Implementation, KruskalModel, Matrix, OnOverrun, WatchdogConfig,
+    FaultPlan, GovernancePolicy, Implementation, KruskalModel, Matrix, OnOverrun, TensorFormat,
+    WatchdogConfig,
 };
 use std::io::Write;
 use std::process::ExitCode;
@@ -30,7 +31,9 @@ fn usage() -> ExitCode {
         "usage:\n  \
          splatt cpd <tensor.tns> [--rank R] [--iters N] [--tol T] [--tasks N]\n              \
          [--impl reference|ported-initial|ported-optimized]\n              \
-         [--csf one|two|all] [--seed S] [--nonneg 1] [--diagnose 1]\n              \
+         [--csf one|two|all] [--format csf|alto|auto]\n              \
+         [--dispatch-baseline FILE.json]\n              \
+         [--seed S] [--nonneg 1] [--diagnose 1]\n              \
          [--dedup keep|sum|error]\n              \
          [--profile FILE.json] [--out PREFIX]\n              \
          [--fault-plan seed=S,straggler=P,drop=P,corrupt=P,nan=P,nonspd=P,horizon=N]\n              \
@@ -144,6 +147,12 @@ fn cmd_cpd(path: &str, flags: &Flags) -> Result<(), String> {
         "all" => CsfAlloc::All,
         other => return Err(format!("unknown --csf '{other}'")),
     };
+    let format = match flags.get("format") {
+        None => TensorFormat::default(),
+        Some(v) => TensorFormat::parse(v)
+            .ok_or_else(|| format!("unknown --format '{v}' (csf|alto|auto)"))?,
+    };
+    let dispatch_baseline = flags.get("dispatch-baseline").map(std::path::PathBuf::from);
     let constraint = if flags.parse_or("nonneg", 0u8)? != 0 {
         Constraint::NonNegative
     } else {
@@ -191,6 +200,8 @@ fn cmd_cpd(path: &str, flags: &Flags) -> Result<(), String> {
         ntasks: flags.parse_or("tasks", 1)?,
         seed: flags.parse_or("seed", 0xC0FFEE_u64)?,
         csf_alloc,
+        format,
+        dispatch_baseline,
         constraint,
         profile: profile_path.is_some(),
         checkpoint_dir,
@@ -292,6 +303,27 @@ fn cmd_cpd(path: &str, flags: &Flags) -> Result<(), String> {
         "converged: fit {:.6} after {} iterations",
         out.fit, out.iterations
     );
+    if let Some(warning) = &out.dispatch_warning {
+        eprintln!("warning: dispatch degraded to the generic CSF path: {warning}");
+    }
+    if format != TensorFormat::Csf {
+        println!("\nformat dispatch:");
+        for d in &out.dispatch {
+            println!(
+                "  mode {} -> {} {} kernel, {} sync, {} ({})",
+                d.mode,
+                d.format.label(),
+                d.kernel,
+                d.sync,
+                if d.specialize {
+                    "specialized"
+                } else {
+                    "generic"
+                },
+                d.source.label()
+            );
+        }
+    }
     if let Some(plan) = &fault_plan {
         let events = plan.events();
         println!("\ninjected faults: {}", events.len());

@@ -1,0 +1,349 @@
+//! The format differential harness: the ALTO linearized format pinned
+//! against the flat-slab CSF and its nested-`Vec` construction oracle.
+//!
+//! Three layers of guarantee, all over qc-random tensors of orders 3-5
+//! drawn from several distributions (uniform, power-law, empty,
+//! singleton, duplicate-heavy):
+//!
+//! 1. **Bit identity.** ALTO's dim-sorted linearization walks nonzeros
+//!    in exactly the order of the One-tree CSF, so on every
+//!    deterministic configuration (single task for scatter kernels; any
+//!    task count for the root kernel) the ALTO MTTKRP must agree with
+//!    the CSF MTTKRP **bit for bit** — for every access strategy, every
+//!    sync strategy, and both the generic and the rank-specialized
+//!    (R in {8, 16, 32}) dispatch paths. The CSF side is itself pinned
+//!    to the nested construction oracle, so the chain is
+//!    `nested oracle == flat CSF == ALTO`.
+//! 2. **Reference agreement.** Multi-task scatter configurations are
+//!    nondeterministic in summation order, so they are held to the COO
+//!    reference within 1e-8 instead.
+//! 3. **Round trip.** `build -> partition -> iterate` conserves the
+//!    tensor: COO round-trips canonically, the coordinate stream
+//!    decodes in bounds, partitions tile the slice space monotonically,
+//!    and `storage_bytes` accounts for every owned array.
+
+use splatt::core::alto::mttkrp_alto;
+use splatt::core::mttkrp::{mttkrp, MttkrpConfig, MttkrpWorkspace};
+use splatt::core::reference::mttkrp_coo;
+use splatt::par::TaskTeam;
+use splatt::rt::qc::{self, Gen};
+use splatt::tensor::{synth, AltoTensor, SortVariant};
+use splatt::{Csf, CsfAlloc, CsfSet, Matrix, MatrixAccess, SparseTensor};
+
+const ALL_ACCESS: [MatrixAccess; 4] = [
+    MatrixAccess::RowCopy,
+    MatrixAccess::Index2D,
+    MatrixAccess::PointerChecked,
+    MatrixAccess::PointerZip,
+];
+
+/// Ranks that exercise every dispatch path: 3 takes the generic
+/// dynamic-width kernel, 8/16/32 take the fixed-width specializations.
+const RANKS: [usize; 4] = [3, 8, 16, 32];
+
+/// A random tensor of the given order from a randomly chosen
+/// distribution family.
+fn gen_tensor(g: &mut Gen, order: usize) -> SparseTensor {
+    let dims: Vec<usize> = (0..order).map(|_| g.usize_in(1..10)).collect();
+    match g.usize_in(0..6) {
+        // empty: no nonzeros at all
+        0 => SparseTensor::new(dims),
+        // singleton: exactly one nonzero
+        1 => {
+            let mut t = SparseTensor::new(dims.clone());
+            let coord: Vec<u32> = dims.iter().map(|&d| g.usize_in(0..d) as u32).collect();
+            t.push(&coord, g.f64_in(-5.0, 5.0));
+            t
+        }
+        // power-law: mode indices concentrate on a few heavy slices
+        2 => {
+            let nnz = g.usize_in(1..150);
+            let alpha = g.f64_in(1.2, 2.2);
+            let seed = g.usize_in(0..1 << 30) as u64;
+            synth::power_law(&dims, nnz, alpha, seed)
+        }
+        // duplicate-heavy: few distinct coordinates, pushed repeatedly
+        3 => {
+            let distinct: Vec<Vec<u32>> = (0..g.usize_in(1..6))
+                .map(|_| dims.iter().map(|&d| g.usize_in(0..d) as u32).collect())
+                .collect();
+            let mut t = SparseTensor::new(dims);
+            for _ in 0..g.usize_in(1..60) {
+                let coord = g.choose(&distinct).clone();
+                t.push(&coord, g.f64_in(-5.0, 5.0));
+            }
+            t
+        }
+        // uniform
+        _ => {
+            let mut t = SparseTensor::new(dims.clone());
+            for _ in 0..g.usize_in(0..150) {
+                let coord: Vec<u32> = dims.iter().map(|&d| g.usize_in(0..d) as u32).collect();
+                t.push(&coord, g.f64_in(-5.0, 5.0));
+            }
+            t
+        }
+    }
+}
+
+fn gen_factors(t: &SparseTensor, rank: usize, base: u64) -> Vec<Matrix> {
+    t.dims()
+        .iter()
+        .enumerate()
+        .map(|(m, &d)| Matrix::random(d, rank, base + m as u64))
+        .collect()
+}
+
+fn run_csf(
+    set: &CsfSet,
+    factors: &[Matrix],
+    mode: usize,
+    team: &TaskTeam,
+    cfg: &MttkrpConfig,
+) -> Matrix {
+    let mut ws = MttkrpWorkspace::new(cfg, team.ntasks());
+    let mut out = Matrix::zeros(set.for_mode(mode).0.dims()[mode], rank_of(factors));
+    mttkrp(set, factors, mode, &mut out, &mut ws, team, cfg);
+    out
+}
+
+fn run_alto(
+    alto: &AltoTensor,
+    factors: &[Matrix],
+    mode: usize,
+    team: &TaskTeam,
+    cfg: &MttkrpConfig,
+) -> Matrix {
+    let mut ws = MttkrpWorkspace::new(cfg, team.ntasks());
+    let mut out = Matrix::zeros(alto.dims()[mode], rank_of(factors));
+    mttkrp_alto(alto, factors, mode, &mut out, &mut ws, team, cfg);
+    out
+}
+
+fn rank_of(factors: &[Matrix]) -> usize {
+    factors[0].cols()
+}
+
+/// Pin the One-tree CSF to the nested construction oracle, then pin
+/// ALTO to the CSF bit for bit across the full kernel matrix on
+/// deterministic configurations: every access strategy, both sync
+/// strategies (privatization forced / lock pool forced), generic and
+/// specialized ranks, every mode — at a single task, where even the
+/// lock-pool path has a deterministic summation order.
+#[test]
+fn alto_mttkrp_is_bit_identical_to_pinned_csf() {
+    qc::check("alto vs one-tree csf, full matrix", 40, |g| {
+        let order = g.usize_in(3..6);
+        let t = gen_tensor(g, order);
+        let team = TaskTeam::new(1);
+        let set = CsfSet::build(&t, CsfAlloc::One, &team, SortVariant::AllOpts);
+        // anchor the chain: the flat CSF equals the nested oracle
+        for csf in set.csfs() {
+            let oracle =
+                splatt::core::csf::nested::build(&t, csf.dim_perm(), &team, SortVariant::AllOpts);
+            splatt::core::csf::nested::assert_equivalent(csf, &oracle);
+        }
+        let alto = AltoTensor::build(&t, &team, SortVariant::AllOpts);
+        assert_eq!(
+            alto.dim_perm(),
+            set.csfs()[0].dim_perm(),
+            "tree perms differ"
+        );
+
+        let rank = *g.choose(&RANKS);
+        let access = *g.choose(&ALL_ACCESS);
+        let specialize = g.bool();
+        let factors = gen_factors(&t, rank, 0xD1FF + order as u64);
+        for mode in 0..order {
+            // privatized (forced) and lock pool (forced)
+            for priv_threshold in [1e12, 0.0] {
+                let cfg = MttkrpConfig {
+                    access,
+                    priv_threshold,
+                    specialize,
+                    ..Default::default()
+                };
+                let want = run_csf(&set, &factors, mode, &team, &cfg);
+                let got = run_alto(&alto, &factors, mode, &team, &cfg);
+                let bits =
+                    |m: &Matrix| -> Vec<u64> { m.as_slice().iter().map(|v| v.to_bits()).collect() };
+                assert_eq!(
+                    bits(&want),
+                    bits(&got),
+                    "mode {mode} rank {rank} access {access:?} priv {priv_threshold} \
+                     specialize {specialize}: alto diverged from csf"
+                );
+            }
+        }
+    });
+}
+
+/// The root-mode kernel owns its output rows through the slice
+/// partition, so it stays bit-identical to the CSF at **any** task
+/// count; generic and specialized paths must also agree with each other.
+#[test]
+fn alto_root_mode_is_bit_identical_at_any_task_count() {
+    qc::check("alto root mode, multi-task", 40, |g| {
+        let order = g.usize_in(3..6);
+        let t = gen_tensor(g, order);
+        let ntasks = g.usize_in(1..5);
+        let team = TaskTeam::new(ntasks);
+        let set = CsfSet::build(&t, CsfAlloc::One, &team, SortVariant::AllOpts);
+        let alto = AltoTensor::build(&t, &team, SortVariant::AllOpts);
+        let root_mode = alto.dim_perm()[0];
+        let rank = *g.choose(&RANKS);
+        let factors = gen_factors(&t, rank, 0xB007);
+        for specialize in [false, true] {
+            let cfg = MttkrpConfig {
+                access: *g.choose(&ALL_ACCESS),
+                specialize,
+                ..Default::default()
+            };
+            let want = run_csf(&set, &factors, root_mode, &team, &cfg);
+            let got = run_alto(&alto, &factors, root_mode, &team, &cfg);
+            assert_eq!(
+                want.as_slice()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                got.as_slice()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                "root mode {root_mode} at {ntasks} tasks diverged"
+            );
+        }
+    });
+}
+
+/// Multi-task scatter kernels reduce in task order (privatized) or lock
+/// order (pool), so they are held to the COO reference within 1e-8.
+#[test]
+fn alto_multi_task_scatter_matches_reference() {
+    qc::check("alto multi-task vs coo reference", 40, |g| {
+        let order = g.usize_in(3..6);
+        let t = gen_tensor(g, order);
+        let ntasks = g.usize_in(2..5);
+        let team = TaskTeam::new(ntasks);
+        let alto = AltoTensor::build(&t, &team, SortVariant::AllOpts);
+        let rank = *g.choose(&RANKS);
+        let factors = gen_factors(&t, rank, 0x5CA7);
+        let mode = g.usize_in(0..order);
+        for priv_threshold in [1e12, 0.0] {
+            let cfg = MttkrpConfig {
+                access: *g.choose(&ALL_ACCESS),
+                priv_threshold,
+                specialize: g.bool(),
+                ..Default::default()
+            };
+            let got = run_alto(&alto, &factors, mode, &team, &cfg);
+            let want = mttkrp_coo(&t, &factors, mode);
+            assert!(
+                got.approx_eq(&want, 1e-8),
+                "mode {mode} at {ntasks} tasks: max diff {}",
+                got.max_abs_diff(&want)
+            );
+        }
+    });
+}
+
+/// `build -> partition -> iterate` conserves the tensor and its
+/// accounting: COO round-trips canonically, every decoded coordinate is
+/// in bounds, partitions tile `[0, nslices]` monotonically, and
+/// `storage_bytes` covers at least the value and stream arrays.
+#[test]
+fn alto_round_trips_and_accounts_storage() {
+    qc::check("alto build/partition/iterate round trip", 48, |g| {
+        let order = g.usize_in(3..6);
+        let t = gen_tensor(g, order);
+        let team = TaskTeam::new(g.usize_in(1..4));
+        let alto = AltoTensor::build(&t, &team, SortVariant::AllOpts);
+
+        assert_eq!(alto.nnz(), t.nnz());
+        assert_eq!(alto.dims(), t.dims());
+        assert_eq!(
+            alto.to_coo().canonical_entries(),
+            t.canonical_entries(),
+            "alto does not round-trip to coo"
+        );
+        // every packed coordinate decodes in bounds, and slice counts
+        // tile the nonzeros
+        for x in 0..alto.nnz() {
+            for level in 0..order {
+                let m = alto.dim_perm()[level];
+                assert!(
+                    (alto.coord(x, level) as usize) < t.dims()[m],
+                    "nonzero {x} level {level} out of bounds"
+                );
+            }
+        }
+        assert_eq!(alto.slice_nnz().iter().sum::<usize>(), t.nnz());
+
+        // partitions are monotone covers of the slice space, at any width
+        let nparts = g.usize_in(1..6);
+        let bounds = alto.partition(nparts);
+        assert_eq!(bounds.len(), nparts + 1);
+        assert_eq!(bounds[0], 0);
+        assert_eq!(bounds[nparts], alto.nslices());
+        assert!(bounds.windows(2).all(|w| w[0] <= w[1]), "{bounds:?}");
+
+        // storage accounting floors: the byte count must cover the
+        // value array and the packed stream it owns, and partitioning
+        // (a read-only query) must not change it
+        let before = alto.storage_bytes();
+        let floor = alto.nnz() * std::mem::size_of::<f64>()
+            + alto.stream().len() * alto.stream().word_bytes();
+        assert!(before >= floor, "storage_bytes {before} < floor {floor}");
+        let _ = alto.partition(g.usize_in(1..6));
+        assert_eq!(alto.storage_bytes(), before);
+    });
+}
+
+/// The specialized fixed-width kernels are bit-identical to the generic
+/// dynamic-width path on the same ALTO tensor — the invariant that makes
+/// benchmark-driven dispatch between them safe.
+#[test]
+fn alto_specialized_dispatch_is_bit_identical_to_generic() {
+    qc::check("alto specialized vs generic dispatch", 40, |g| {
+        let order = g.usize_in(3..6);
+        let t = gen_tensor(g, order);
+        let team = TaskTeam::new(1);
+        let alto = AltoTensor::build(&t, &team, SortVariant::AllOpts);
+        let rank = *g.choose(&[8usize, 16, 32]);
+        let factors = gen_factors(&t, rank, 0xFA57);
+        let mode = g.usize_in(0..order);
+        for priv_threshold in [1e12, 0.0] {
+            let access = *g.choose(&ALL_ACCESS);
+            let run = |specialize: bool| {
+                let cfg = MttkrpConfig {
+                    access,
+                    priv_threshold,
+                    specialize,
+                    ..Default::default()
+                };
+                run_alto(&alto, &factors, mode, &team, &cfg)
+            };
+            let generic = run(false);
+            let specialized = run(true);
+            assert_eq!(
+                generic.as_slice(),
+                specialized.as_slice(),
+                "rank {rank} mode {mode}: specialized alto dispatch changed bits"
+            );
+        }
+    });
+}
+
+/// A deterministic (non-qc) pin of the one structural fact the whole
+/// harness rests on: ALTO's dim-sorted mode permutation equals the
+/// One-tree CSF's, so both walk the same nonzero order.
+#[test]
+fn alto_perm_matches_one_tree_perm() {
+    let t = synth::power_law(&[40, 8, 23, 15], 500, 1.6, 99);
+    let team = TaskTeam::new(2);
+    let set = CsfSet::build(&t, CsfAlloc::One, &team, SortVariant::AllOpts);
+    let alto = AltoTensor::build(&t, &team, SortVariant::AllOpts);
+    assert_eq!(set.csfs()[0].dim_perm(), alto.dim_perm());
+    assert_eq!(alto.dim_perm(), &[1, 3, 2, 0]);
+    let _ = Csf::build(&t, alto.dim_perm(), &team, SortVariant::AllOpts);
+}
