@@ -312,6 +312,169 @@ pub fn top_k(
     Ok(())
 }
 
+/// Shard-restricted [`top_k`]: score only the mode-`mode` indices in
+/// `rows` (each scored exactly as `top_k` scores it, so partial answers
+/// are bit-identical to the full kernel on the covered rows) and append
+/// the `k` best `(global index, score)` pairs to `out`, scores
+/// descending, ties broken toward the lower global index. `k` is clamped
+/// to `rows.len()`.
+///
+/// A cluster router merges these per-shard partial heaps with the same
+/// comparator to reproduce the single-process oracle bit-for-bit.
+///
+/// # Errors
+/// Rejects out-of-range `mode`, malformed or out-of-range `fixed`, and
+/// out-of-range entries of `rows`.
+pub fn top_k_rows(
+    model: &KruskalModel,
+    mode: usize,
+    k: usize,
+    fixed: &[u32],
+    rows: &[u32],
+    arena: &mut QueryArena,
+    out: &mut Vec<(u32, f64)>,
+) -> Result<(), QueryError> {
+    let order = model.order();
+    if mode >= order {
+        return Err(QueryError::ModeOutOfRange { mode, order });
+    }
+    if fixed.len() + 1 != order {
+        return Err(QueryError::OrderMismatch {
+            got: fixed.len(),
+            order,
+        });
+    }
+    let dim = model.factors[mode].rows();
+    for &r in rows {
+        if r as usize >= dim {
+            return Err(QueryError::CoordOutOfRange {
+                mode,
+                index: r,
+                dim,
+            });
+        }
+    }
+    let (coord, scores, ranked) = arena.score_bufs(order, rows.len());
+    {
+        let mut fx = fixed.iter();
+        for (m, c) in coord.iter_mut().enumerate() {
+            if m != mode {
+                *c = *fx.next().expect("fixed length checked above");
+            }
+        }
+    }
+    for (m, &c) in coord.iter().enumerate() {
+        if m != mode && c as usize >= model.factors[m].rows() {
+            return Err(QueryError::CoordOutOfRange {
+                mode: m,
+                index: c,
+                dim: model.factors[m].rows(),
+            });
+        }
+    }
+    for (&r, score) in rows.iter().zip(scores.iter_mut()) {
+        coord[mode] = r;
+        *score = kruskal_value(&model.lambda, &model.factors, coord);
+    }
+    for (i, slot) in ranked.iter_mut().enumerate() {
+        *slot = i as u32;
+    }
+    // Same total order as `top_k`, with ties on the *global* index so a
+    // merge across shards reproduces the oracle ordering.
+    ranked.sort_unstable_by(|&a, &b| {
+        scores[b as usize]
+            .total_cmp(&scores[a as usize])
+            .then(rows[a as usize].cmp(&rows[b as usize]))
+    });
+    let take = k.min(rows.len());
+    out.reserve(take);
+    for &i in &ranked[..take] {
+        out.push((rows[i as usize], scores[i as usize]));
+    }
+    Ok(())
+}
+
+/// Shard-restricted [`slice_values`] for `mode != 0`: reconstruct only
+/// the sub-blocks of the slice whose mode-0 coordinate is in `rows`,
+/// concatenated in the given row order. In the full slice layout (free
+/// modes ascending, last fastest) mode 0 is the slowest free mode, so
+/// the block for mode-0 index `i` occupies
+/// `out_full[i * block .. (i + 1) * block]` where
+/// `block = slice_len / dim0`; each block here is bit-identical to the
+/// full kernel's, which is what lets a router stitch per-shard partials
+/// into the oracle answer.
+///
+/// # Errors
+/// Rejects `mode == 0` (the sharded mode cannot also be the fixed one),
+/// out-of-range `mode`/`index`, and out-of-range entries of `rows`.
+///
+/// # Panics
+/// Panics if `out.len() != rows.len() * block`.
+pub fn slice_values_rows(
+    model: &KruskalModel,
+    mode: usize,
+    index: u32,
+    rows: &[u32],
+    arena: &mut QueryArena,
+    out: &mut [f64],
+) -> Result<(), QueryError> {
+    let order = model.order();
+    if mode == 0 || mode >= order {
+        return Err(QueryError::ModeOutOfRange { mode, order });
+    }
+    let dim = model.factors[mode].rows();
+    if index as usize >= dim {
+        return Err(QueryError::CoordOutOfRange { mode, index, dim });
+    }
+    let dim0 = model.factors[0].rows();
+    for &r in rows {
+        if r as usize >= dim0 {
+            return Err(QueryError::CoordOutOfRange {
+                mode: 0,
+                index: r,
+                dim: dim0,
+            });
+        }
+    }
+    let block: usize = model
+        .factors
+        .iter()
+        .enumerate()
+        .filter(|(m, _)| *m != mode && *m != 0)
+        .map(|(_, f)| f.rows())
+        .product();
+    assert_eq!(
+        out.len(),
+        rows.len() * block,
+        "slice_values_rows: output length mismatch"
+    );
+    let coord = arena.coord_buf(order);
+    coord[mode] = index;
+    for (&row, chunk) in rows.iter().zip(out.chunks_exact_mut(block.max(1))) {
+        coord[0] = row;
+        for (m, c) in coord.iter_mut().enumerate() {
+            if m != mode && m != 0 {
+                *c = 0;
+            }
+        }
+        for slot in chunk.iter_mut() {
+            *slot = kruskal_value(&model.lambda, &model.factors, coord);
+            // Same odometer as the full kernel, minus the pinned mode 0.
+            for m in (1..order).rev() {
+                if m == mode {
+                    continue;
+                }
+                coord[m] += 1;
+                if (coord[m] as usize) < model.factors[m].rows() {
+                    break;
+                }
+                coord[m] = 0;
+            }
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -446,6 +609,96 @@ mod tests {
         let mut ranked = Vec::new();
         top_k(&m, 0, 2, &[1], &mut arena, &mut ranked).unwrap();
         assert_eq!(ranked, vec![(0, 0.0), (1, 0.0)]);
+    }
+
+    #[test]
+    fn top_k_rows_partials_merge_into_the_full_answer() {
+        let m = model();
+        let mut arena = QueryArena::new();
+        // Full answer over mode 0 (dim 4).
+        let mut full = Vec::new();
+        top_k(&m, 0, 4, &[1, 2], &mut arena, &mut full).unwrap();
+        // Two disjoint "shards" of rows, deliberately unsorted partitions.
+        let mut merged = Vec::new();
+        for rows in [[0u32, 2].as_slice(), [1u32, 3].as_slice()] {
+            top_k_rows(&m, 0, 4, &[1, 2], rows, &mut arena, &mut merged).unwrap();
+        }
+        merged.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        merged.truncate(4);
+        assert_eq!(full.len(), merged.len());
+        for (f, g) in full.iter().zip(&merged) {
+            assert_eq!(f.0, g.0);
+            assert_eq!(f.1.to_bits(), g.1.to_bits());
+        }
+        // Per-shard answers clamp k to the shard's row count.
+        let mut part = Vec::new();
+        top_k_rows(&m, 0, 10, &[0, 0], &[2], &mut arena, &mut part).unwrap();
+        assert_eq!(part.len(), 1);
+        assert_eq!(part[0].0, 2);
+    }
+
+    #[test]
+    fn top_k_rows_validates_rows_and_fixed() {
+        let m = model();
+        let mut arena = QueryArena::new();
+        let mut out = Vec::new();
+        assert!(matches!(
+            top_k_rows(&m, 0, 2, &[0, 0], &[9], &mut arena, &mut out),
+            Err(QueryError::CoordOutOfRange { mode: 0, .. })
+        ));
+        assert!(matches!(
+            top_k_rows(&m, 0, 2, &[0], &[1], &mut arena, &mut out),
+            Err(QueryError::OrderMismatch { .. })
+        ));
+        assert!(matches!(
+            top_k_rows(&m, 5, 2, &[0, 0], &[1], &mut arena, &mut out),
+            Err(QueryError::ModeOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn slice_rows_blocks_stitch_into_the_full_slice() {
+        let m = model(); // dims 4 x 3 x 5
+        let mut arena = QueryArena::new();
+        for mode in 1..3usize {
+            let len = slice_len(&m, mode).unwrap();
+            let mut full = vec![0.0; len];
+            slice_values(&m, mode, 1, &mut arena, &mut full).unwrap();
+            let dim0 = 4usize;
+            let block = len / dim0;
+            // Owned rows {0, 2} and {1, 3} stitched by global row index.
+            let mut stitched = vec![f64::NAN; len];
+            for rows in [[0u32, 2].as_slice(), [1u32, 3].as_slice()] {
+                let mut part = vec![0.0; rows.len() * block];
+                slice_values_rows(&m, mode, 1, rows, &mut arena, &mut part).unwrap();
+                for (j, &r) in rows.iter().enumerate() {
+                    let dst = r as usize * block;
+                    stitched[dst..dst + block].copy_from_slice(&part[j * block..(j + 1) * block]);
+                }
+            }
+            for (a, b) in full.iter().zip(&stitched) {
+                assert_eq!(a.to_bits(), b.to_bits(), "mode {mode}");
+            }
+        }
+    }
+
+    #[test]
+    fn slice_rows_rejects_mode_zero_and_bad_rows() {
+        let m = model();
+        let mut arena = QueryArena::new();
+        let mut out = vec![0.0; 5];
+        assert!(matches!(
+            slice_values_rows(&m, 0, 1, &[0], &mut arena, &mut out),
+            Err(QueryError::ModeOutOfRange { .. })
+        ));
+        assert!(matches!(
+            slice_values_rows(&m, 1, 9, &[0], &mut arena, &mut out),
+            Err(QueryError::CoordOutOfRange { mode: 1, .. })
+        ));
+        assert!(matches!(
+            slice_values_rows(&m, 1, 1, &[7], &mut arena, &mut out),
+            Err(QueryError::CoordOutOfRange { mode: 0, .. })
+        ));
     }
 
     #[test]

@@ -74,8 +74,22 @@ impl ProcessGrid {
     pub fn layer_group(&self, rank: usize, mode: usize) -> Vec<usize> {
         assert!(mode < self.order(), "mode out of range");
         let me = self.coords_of(rank);
+        self.ranks_with_coord(mode, me[mode])
+    }
+
+    /// Every rank whose grid coordinate along `mode` equals `coord`,
+    /// sorted ascending. This is [`ProcessGrid::layer_group`] addressed
+    /// by layer index instead of by a member rank — the form the serving
+    /// cluster uses to enumerate a shard's replica set on an
+    /// `[nshards, nreplicas]` grid.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range `mode` or `coord`.
+    pub fn ranks_with_coord(&self, mode: usize, coord: usize) -> Vec<usize> {
+        assert!(mode < self.order(), "mode out of range");
+        assert!(coord < self.dims[mode], "grid coordinate out of range");
         (0..self.nprocs())
-            .filter(|&r| self.coords_of(r)[mode] == me[mode])
+            .filter(|&r| self.coords_of(r)[mode] == coord)
             .collect()
     }
 }
@@ -136,6 +150,20 @@ mod tests {
                 assert!(grp.contains(&r));
                 assert!(grp.windows(2).all(|w| w[0] < w[1]));
             }
+        }
+    }
+
+    #[test]
+    fn ranks_with_coord_enumerates_a_replica_set() {
+        // A [3 shards, 2 replicas] serving grid: worker = shard * 2 + replica.
+        let g = ProcessGrid::new(vec![3, 2]);
+        assert_eq!(g.ranks_with_coord(0, 0), vec![0, 1]);
+        assert_eq!(g.ranks_with_coord(0, 2), vec![4, 5]);
+        assert_eq!(g.ranks_with_coord(1, 1), vec![1, 3, 5]);
+        // Consistent with the member-rank addressing.
+        for r in 0..6 {
+            let c = g.coords_of(r);
+            assert_eq!(g.layer_group(r, 0), g.ranks_with_coord(0, c[0]));
         }
     }
 

@@ -24,8 +24,10 @@
 //! facilities and the standard library, so it sits at the bottom of the
 //! workspace graph next to the RNG it mirrors.
 
+mod net;
 mod plan;
 mod recovery;
 
+pub use net::{KillEvent, NetFaultPlan};
 pub use plan::{FaultKind, FaultPlan, FaultPlanParseError, FaultRates, FaultRecord};
 pub use recovery::{RecoveryAction, RecoveryPolicy};

@@ -17,9 +17,12 @@
 //!   reports tasks which stay busy without beating for longer than a
 //!   stall bound, and can optionally trip the cancel token.
 //!
-//! A fifth primitive serves the request path rather than batch runs:
+//! Two more primitives serve the request path rather than batch runs:
 //! [`AdmissionGate`] caps a server's in-flight depth and sheds the
-//! excess with a typed [`Overloaded`] rejection.
+//! excess with a typed [`Overloaded`] rejection, and [`RetryPolicy`]
+//! is the shared retry budget — capped exponential backoff with every
+//! sleep clamped to the request's [`Deadline`] — used by the serving
+//! client and the cluster router alike.
 //!
 //! [`RunGuard`] bundles the first four behind two entry points: a cheap,
 //! infallible [`RunGuard::poll`] for kernel workers (beat + one load)
@@ -32,6 +35,7 @@ mod budget;
 mod cancel;
 mod deadline;
 mod guard;
+mod retry;
 mod watchdog;
 
 pub use admission::{AdmissionGate, AdmissionPermit, Overloaded};
@@ -39,6 +43,7 @@ pub use budget::MemoryBudget;
 pub use cancel::CancelToken;
 pub use deadline::Deadline;
 pub use guard::{GuardConfig, GuardSnapshot, LaneSpan, RunGuard, TripReason};
+pub use retry::RetryPolicy;
 pub use watchdog::{Heartbeats, StallReport, Watchdog, WatchdogConfig, WatchdogLedger};
 
 /// Process-global alloc counters are shared by tests in this crate;

@@ -1,0 +1,133 @@
+//! Retry budgets: capped exponential backoff under a [`Deadline`].
+//!
+//! One policy object is shared by every retrying caller in the stack —
+//! the serving [`Client`]'s `call_with_retry` and the cluster router's
+//! replica failover loop — so "how hard do we try" is configured in
+//! exactly one place. The policy is deterministic (no jitter): given the
+//! same failures it produces the same sleep schedule, which is what lets
+//! the fault-injection tests assert exact retry accounting.
+//!
+//! [`Client`]: https://docs.rs/splatt-serve
+
+use crate::Deadline;
+use std::time::Duration;
+
+/// A bounded retry budget: at most `max_attempts` tries, sleeping
+/// `base * 2^n` (capped at `cap`) between consecutive tries, with every
+/// sleep clamped to the request deadline's remaining budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total tries (first attempt included); 1 = no retries.
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base: Duration::from_millis(5),
+            cap: Duration::from_millis(100),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base: Duration::ZERO,
+            cap: Duration::ZERO,
+        }
+    }
+
+    /// The backoff scheduled before retry number `retry` (0-based):
+    /// `base * 2^retry`, saturating, capped at `cap`.
+    pub fn backoff(&self, retry: u32) -> Duration {
+        let exp = self
+            .base
+            .checked_mul(1u32.checked_shl(retry).unwrap_or(u32::MAX))
+            .unwrap_or(self.cap);
+        exp.min(self.cap)
+    }
+
+    /// Whether a retry numbered `retry` (0-based; retry 0 is the second
+    /// attempt) is still within the attempt budget.
+    pub fn allows(&self, retry: u32) -> bool {
+        retry + 1 < self.max_attempts
+    }
+
+    /// Sleep the backoff for retry `retry`, clamped so the caller can
+    /// never sleep past `deadline`. Returns `false` — without sleeping —
+    /// when the attempt budget or the deadline is already exhausted, i.e.
+    /// the caller should stop retrying.
+    pub fn sleep_before_retry(&self, retry: u32, deadline: &Deadline) -> bool {
+        if !self.allows(retry) || deadline.expired() {
+            return false;
+        }
+        let nap = deadline.clamp(self.backoff(retry));
+        if !nap.is_zero() {
+            std::thread::sleep(nap);
+        }
+        !deadline.expired()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(35),
+        };
+        assert_eq!(p.backoff(0), Duration::from_millis(10));
+        assert_eq!(p.backoff(1), Duration::from_millis(20));
+        assert_eq!(p.backoff(2), Duration::from_millis(35));
+        assert_eq!(p.backoff(31), Duration::from_millis(35));
+        assert_eq!(p.backoff(200), Duration::from_millis(35));
+    }
+
+    #[test]
+    fn attempt_budget_is_respected() {
+        let p = RetryPolicy {
+            max_attempts: 3,
+            ..Default::default()
+        };
+        assert!(p.allows(0));
+        assert!(p.allows(1));
+        assert!(!p.allows(2));
+        assert!(!RetryPolicy::none().allows(0));
+    }
+
+    #[test]
+    fn sleeps_never_cross_the_deadline() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            base: Duration::from_secs(30),
+            cap: Duration::from_secs(30),
+        };
+        let d = Deadline::after(Duration::from_millis(30));
+        let start = std::time::Instant::now();
+        // The 30 s backoff is clamped to the ~30 ms budget.
+        let _ = p.sleep_before_retry(0, &d);
+        assert!(start.elapsed() < Duration::from_secs(5));
+        assert!(!p.sleep_before_retry(1, &d), "deadline now spent");
+    }
+
+    #[test]
+    fn expired_deadline_stops_retrying_without_sleeping() {
+        let p = RetryPolicy::default();
+        let d = Deadline::after(Duration::ZERO);
+        let start = std::time::Instant::now();
+        assert!(!p.sleep_before_retry(0, &d));
+        assert!(start.elapsed() < Duration::from_millis(100));
+    }
+}

@@ -32,7 +32,7 @@ mod tasks;
 
 pub use locks::{LockCounters, LockStats};
 pub use report::{
-    DispatchRow, FaultRow, GuardRow, ProfileReport, QueryKindRow, RoutineRow, ServeRow,
+    DispatchRow, FaultRow, GuardRow, ProfileReport, QueryKindRow, RoutineRow, ServeRow, ShardRow,
     PROFILE_SCHEMA,
 };
 pub use span::SpanNode;

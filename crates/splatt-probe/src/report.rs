@@ -18,8 +18,10 @@ use std::fmt::Write as _;
 /// (per-query-kind latency histograms, batch-size distribution, cache
 /// hit rate, and shed counts from the serving subsystem); v6 added the
 /// `dispatch` array (per-mode tensor-format and kernel decisions from
-/// the benchmark-driven dispatcher).
-pub const PROFILE_SCHEMA: &str = "splatt-profile-v6";
+/// the benchmark-driven dispatcher); v7 added `serve.shards` (per-shard
+/// cluster routing counters: retries, failovers, degraded answers,
+/// health transitions, and replica lag — empty in single-process mode).
+pub const PROFILE_SCHEMA: &str = "splatt-profile-v7";
 
 /// One row of the per-routine table (label from `splatt_par::Routine`).
 #[derive(Debug, Clone, PartialEq)]
@@ -108,6 +110,27 @@ pub struct QueryKindRow {
     pub buckets: Vec<u64>,
 }
 
+/// Per-shard cluster routing counters — the v7 schema addition. Like
+/// [`FaultRow`], kept as plain data so this crate stays independent of
+/// the serving crate: the cluster router translates its atomics into
+/// rows.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ShardRow {
+    /// Shard index on the consistent-hash ring.
+    pub shard: usize,
+    /// Full replica-sweep retries (capped exponential backoff rounds).
+    pub retries: u64,
+    /// Calls answered by a non-first replica after a sibling failed.
+    pub failovers: u64,
+    /// Typed `Degraded` answers: no live replica covered this shard.
+    pub degraded: u64,
+    /// Health-state transitions across the shard's replica set
+    /// (live→suspect, suspect→dead, re-admissions).
+    pub health_transitions: u64,
+    /// Max−min health-probe round-trip across answering replicas, µs.
+    pub replica_lag_micros: u64,
+}
+
 /// Serving-subsystem activity during one profiled process — the v5
 /// schema addition. Like [`FaultRow`] and [`GuardRow`], kept as plain
 /// data so this crate stays independent of the serving crate.
@@ -139,6 +162,9 @@ pub struct ServeRow {
     pub arena_growth_allocs: u64,
     /// Bytes of query-arena growth.
     pub arena_growth_bytes: u64,
+    /// Per-shard cluster routing counters (the v7 addition); empty when
+    /// the process serves single-process, without a router.
+    pub shards: Vec<ShardRow>,
 }
 
 impl ServeRow {
@@ -381,9 +407,31 @@ impl ProfileReport {
                 let _ = write!(
                     out,
                     ", \"sheds\": {}, \"deadline_rejections\": {}, \
-                     \"arena_growth_allocs\": {}, \"arena_growth_bytes\": {}}}",
+                     \"arena_growth_allocs\": {}, \"arena_growth_bytes\": {}, \"shards\": [",
                     s.sheds, s.deadline_rejections, s.arena_growth_allocs, s.arena_growth_bytes
                 );
+                for (j, sh) in s.shards.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    let _ = write!(
+                        out,
+                        "\n    {{\"shard\": {}, \"retries\": {}, \"failovers\": {}, \
+                         \"degraded\": {}, \"health_transitions\": {}, \
+                         \"replica_lag_micros\": {}}}",
+                        sh.shard,
+                        sh.retries,
+                        sh.failovers,
+                        sh.degraded,
+                        sh.health_transitions,
+                        sh.replica_lag_micros
+                    );
+                }
+                if s.shards.is_empty() {
+                    out.push_str("]}");
+                } else {
+                    out.push_str("\n  ]}");
+                }
             }
         }
         out.push_str(",\n  \"spans\": ");
@@ -530,6 +578,19 @@ impl ProfileReport {
                     k.kind, k.requests, k.p50_micros, k.p99_micros, k.max_micros
                 );
             }
+            for sh in &s.shards {
+                let _ = writeln!(
+                    out,
+                    "  shard {:>3}  {} retries, {} failovers, {} degraded, \
+                     {} health transitions, replica lag {}us",
+                    sh.shard,
+                    sh.retries,
+                    sh.failovers,
+                    sh.degraded,
+                    sh.health_transitions,
+                    sh.replica_lag_micros
+                );
+            }
         }
         out.push_str("\n  span tree\n");
         self.span.render_into(&mut out, 1);
@@ -656,6 +717,20 @@ mod tests {
                 deadline_rejections: 3,
                 arena_growth_allocs: 6,
                 arena_growth_bytes: 4096,
+                shards: vec![
+                    ShardRow {
+                        shard: 0,
+                        retries: 4,
+                        failovers: 2,
+                        degraded: 1,
+                        health_transitions: 3,
+                        replica_lag_micros: 250,
+                    },
+                    ShardRow {
+                        shard: 1,
+                        ..ShardRow::default()
+                    },
+                ],
             }),
         }
     }
@@ -766,6 +841,21 @@ mod tests {
             serve.get("arena_growth_bytes").unwrap().as_u64(),
             Some(4096)
         );
+        let shards = serve.get("shards").unwrap().as_array().unwrap();
+        assert_eq!(shards.len(), 2);
+        assert_eq!(shards[0].get("shard").unwrap().as_u64(), Some(0));
+        assert_eq!(shards[0].get("retries").unwrap().as_u64(), Some(4));
+        assert_eq!(shards[0].get("failovers").unwrap().as_u64(), Some(2));
+        assert_eq!(shards[0].get("degraded").unwrap().as_u64(), Some(1));
+        assert_eq!(
+            shards[0].get("health_transitions").unwrap().as_u64(),
+            Some(3)
+        );
+        assert_eq!(
+            shards[0].get("replica_lag_micros").unwrap().as_u64(),
+            Some(250)
+        );
+        assert_eq!(shards[1].get("retries").unwrap().as_u64(), Some(0));
     }
 
     #[test]

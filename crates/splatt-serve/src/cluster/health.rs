@@ -1,0 +1,191 @@
+//! Worker health tracking: `Live` / `Suspect` / `Dead` with automatic
+//! re-admission.
+//!
+//! The router records an observation per worker call (or health-check
+//! ping): a *transport-level* failure moves `Live → Suspect`, and
+//! `dead_after` consecutive failures move `Suspect → Dead`. Dead workers
+//! are skipped by replica selection; the router's background pinger
+//! keeps probing them, and one successful probe re-admits the worker to
+//! `Live` — so a restarted shard rejoins the rotation without operator
+//! action. Typed server errors (`Overloaded`, `ShuttingDown`) are *not*
+//! health failures: the worker answered, it just could not serve.
+//!
+//! Every state change increments a per-worker transition counter; the
+//! totals surface in the probe schema v7 `serve.shards` rows.
+
+use splatt_rt::sync::Mutex;
+
+/// Liveness verdict for one worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthState {
+    /// Answering normally.
+    Live,
+    /// At least one recent failure; still tried, after live replicas.
+    Suspect,
+    /// `dead_after` consecutive failures; skipped until a probe succeeds.
+    Dead,
+}
+
+impl HealthState {
+    /// Stable label for logs and the CLI.
+    pub fn label(self) -> &'static str {
+        match self {
+            HealthState::Live => "live",
+            HealthState::Suspect => "suspect",
+            HealthState::Dead => "dead",
+        }
+    }
+
+    fn rank(self) -> u8 {
+        match self {
+            HealthState::Live => 0,
+            HealthState::Suspect => 1,
+            HealthState::Dead => 2,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct WorkerEntry {
+    state: HealthState,
+    consecutive_failures: u32,
+    transitions: u64,
+}
+
+/// Shared health ledger over a fixed worker set; see the module docs.
+#[derive(Debug)]
+pub struct HealthBoard {
+    workers: Mutex<Vec<WorkerEntry>>,
+    dead_after: u32,
+}
+
+impl HealthBoard {
+    /// A board tracking `nworkers` workers, all initially [`HealthState::Live`];
+    /// `dead_after` consecutive failures turn a worker [`HealthState::Dead`].
+    ///
+    /// # Panics
+    /// Panics when `dead_after` is zero.
+    pub fn new(nworkers: usize, dead_after: u32) -> Self {
+        assert!(dead_after > 0, "dead_after must be positive");
+        HealthBoard {
+            workers: Mutex::new(vec![
+                WorkerEntry {
+                    state: HealthState::Live,
+                    consecutive_failures: 0,
+                    transitions: 0,
+                };
+                nworkers
+            ]),
+            dead_after,
+        }
+    }
+
+    /// Current state of `worker`.
+    pub fn state(&self, worker: usize) -> HealthState {
+        self.workers.lock()[worker].state
+    }
+
+    /// Record a successful call or probe; a `Suspect`/`Dead` worker is
+    /// re-admitted to `Live`. Returns true when that transition fired.
+    pub fn record_success(&self, worker: usize) -> bool {
+        let mut workers = self.workers.lock();
+        let entry = &mut workers[worker];
+        entry.consecutive_failures = 0;
+        if entry.state != HealthState::Live {
+            entry.state = HealthState::Live;
+            entry.transitions += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Record a transport-level failure; returns the new state when a
+    /// transition fired.
+    pub fn record_failure(&self, worker: usize) -> Option<HealthState> {
+        let mut workers = self.workers.lock();
+        let entry = &mut workers[worker];
+        entry.consecutive_failures = entry.consecutive_failures.saturating_add(1);
+        let next = if entry.consecutive_failures >= self.dead_after {
+            HealthState::Dead
+        } else {
+            HealthState::Suspect
+        };
+        if entry.state != next {
+            entry.state = next;
+            entry.transitions += 1;
+            Some(next)
+        } else {
+            None
+        }
+    }
+
+    /// Order `workers` for a failover sweep: `Live` first, then
+    /// `Suspect` (stable within a class). `Dead` workers are omitted —
+    /// an empty result means the caller's hash range is uncovered and
+    /// the answer must be typed `Degraded`.
+    pub fn sweep_order(&self, workers: &[usize]) -> Vec<usize> {
+        let board = self.workers.lock();
+        let mut out: Vec<usize> = workers
+            .iter()
+            .copied()
+            .filter(|&w| board[w].state != HealthState::Dead)
+            .collect();
+        out.sort_by_key(|&w| board[w].state.rank());
+        out
+    }
+
+    /// Total state transitions recorded for `worker`.
+    pub fn transitions_of(&self, worker: usize) -> u64 {
+        self.workers.lock()[worker].transitions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failures_escalate_and_success_readmits() {
+        let board = HealthBoard::new(2, 3);
+        assert_eq!(board.state(0), HealthState::Live);
+        assert_eq!(board.record_failure(0), Some(HealthState::Suspect));
+        assert_eq!(board.record_failure(0), None, "still suspect");
+        assert_eq!(board.record_failure(0), Some(HealthState::Dead));
+        assert_eq!(board.record_failure(0), None, "stays dead");
+        assert!(board.record_success(0), "probe re-admits");
+        assert_eq!(board.state(0), HealthState::Live);
+        assert!(!board.record_success(0), "already live");
+        // 3 transitions: live->suspect, suspect->dead, dead->live.
+        assert_eq!(board.transitions_of(0), 3);
+        assert_eq!(board.transitions_of(1), 0, "worker 1 untouched");
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let board = HealthBoard::new(1, 2);
+        board.record_failure(0);
+        board.record_success(0);
+        assert_eq!(
+            board.record_failure(0),
+            Some(HealthState::Suspect),
+            "streak restarted, not dead"
+        );
+    }
+
+    #[test]
+    fn sweep_order_prefers_live_and_drops_dead() {
+        let board = HealthBoard::new(4, 1);
+        board.record_failure(3); // dead_after=1: straight to Dead
+        let board2 = HealthBoard::new(4, 2);
+        board2.record_failure(1); // suspect
+        board2.record_failure(2);
+        board2.record_failure(2); // dead
+        assert_eq!(board.sweep_order(&[0, 1, 2, 3]), vec![0, 1, 2]);
+        assert_eq!(board2.sweep_order(&[0, 1, 2, 3]), vec![0, 3, 1]);
+        let all_dead = HealthBoard::new(2, 1);
+        all_dead.record_failure(0);
+        all_dead.record_failure(1);
+        assert!(all_dead.sweep_order(&[0, 1]).is_empty(), "degraded range");
+    }
+}

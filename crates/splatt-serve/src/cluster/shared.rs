@@ -1,0 +1,125 @@
+//! One parse, many workers: shared read-only model loading.
+//!
+//! A naive N-worker loopback cluster would parse the `splatt-model-v1`
+//! file N times and hold N heap copies of the factor matrices. Factor
+//! models dwarf every other serving allocation, so [`SharedModel`]
+//! parses the canonical file **once** into an `Arc<KruskalModel>` and
+//! publishes per-worker *views* of that single payload — the in-process
+//! analogue of mapping one read-only file into every worker. A view is
+//! not a copy: it is the shard's owned mode-0 row set (pure
+//! [`ShardRing`] math) over the shared factors, which is all a worker
+//! needs to answer its shard-scoped queries.
+
+use super::shard::ShardRing;
+use crate::registry::ModelRegistry;
+use splatt_core::{load_model_path, KruskalModel};
+use std::path::Path;
+use std::sync::Arc;
+
+/// A named, shared, read-only model payload; see the module docs.
+#[derive(Debug, Clone)]
+pub struct SharedModel {
+    /// Registry name workers publish the payload under.
+    pub name: String,
+    /// The single shared parse of the model.
+    pub payload: Arc<KruskalModel>,
+}
+
+/// One worker's view of a [`SharedModel`]: which mode-0 rows it owns.
+#[derive(Debug, Clone)]
+pub struct ShardView {
+    pub shard: u32,
+    /// Owned mode-0 indices, ascending.
+    pub rows: Vec<u32>,
+}
+
+impl SharedModel {
+    /// Parse the model file at `path` once (any format
+    /// [`load_model_path`] accepts).
+    ///
+    /// # Errors
+    /// Propagates I/O and parse failures.
+    pub fn load(name: &str, path: &Path) -> std::io::Result<SharedModel> {
+        Ok(SharedModel {
+            name: name.to_string(),
+            payload: Arc::new(load_model_path(path)?),
+        })
+    }
+
+    /// Wrap an in-memory model (tests, or a model just trained).
+    pub fn from_model(name: &str, model: KruskalModel) -> SharedModel {
+        SharedModel {
+            name: name.to_string(),
+            payload: Arc::new(model),
+        }
+    }
+
+    /// Mode-0 extent — the dimension the ring partitions.
+    pub fn dim0(&self) -> usize {
+        self.payload.factors.first().map_or(0, |f| f.rows())
+    }
+
+    /// Publish the shared payload on a worker's registry. Every worker
+    /// calls this with a clone of the same `Arc`; the factors are never
+    /// duplicated.
+    pub fn publish_on(&self, registry: &ModelRegistry) -> u64 {
+        registry.publish_arc(&self.name, Arc::clone(&self.payload))
+    }
+
+    /// The row view `shard` serves under `ring`.
+    pub fn view(&self, ring: &ShardRing, shard: u32) -> ShardView {
+        ShardView {
+            shard,
+            rows: ring.owned_rows(shard, self.dim0()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splatt_dense::Matrix;
+
+    fn model() -> KruskalModel {
+        KruskalModel {
+            lambda: vec![1.0, 2.0],
+            factors: vec![Matrix::random(9, 2, 1), Matrix::random(4, 2, 2)],
+        }
+    }
+
+    #[test]
+    fn views_partition_the_shared_payload_without_copies() {
+        let shared = SharedModel::from_model("m", model());
+        let ring = ShardRing::new(3, 77);
+        let reg_a = ModelRegistry::new();
+        let reg_b = ModelRegistry::new();
+        assert_eq!(shared.publish_on(&reg_a), 1);
+        assert_eq!(shared.publish_on(&reg_b), 1);
+        let a = reg_a.get("m", 0).unwrap();
+        let b = reg_b.get("m", 0).unwrap();
+        assert!(
+            Arc::ptr_eq(&a.model, &b.model),
+            "both registries must serve the same heap payload"
+        );
+        let mut total = 0;
+        for shard in 0..3 {
+            total += shared.view(&ring, shard).rows.len();
+        }
+        assert_eq!(total, shared.dim0(), "views cover every mode-0 row");
+    }
+
+    #[test]
+    fn round_trips_through_the_model_file() {
+        let dir = std::env::temp_dir().join("splatt-serve-shared-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("shared.model");
+        let m = model();
+        let mut bytes = Vec::new();
+        splatt_core::save_model(&m, &mut bytes).unwrap();
+        std::fs::write(&path, bytes).unwrap();
+        let shared = SharedModel::load("m", &path).unwrap();
+        assert_eq!(shared.dim0(), 9);
+        assert_eq!(shared.payload.lambda, m.lambda);
+        let _ = std::fs::remove_file(&path);
+    }
+}

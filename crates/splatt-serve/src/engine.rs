@@ -25,6 +25,8 @@
 //! object via [`ServeEngine::profile_report`].
 
 use crate::cache::{CacheKey, CacheValue, ResultCache};
+use crate::cluster::ShardRing;
+use crate::protocol::ShardSel;
 use crate::registry::{ModelRegistry, ServableModel};
 use crate::stats::{QueryKind, ServeStats};
 use splatt_core::query::{self, QueryArena};
@@ -51,6 +53,15 @@ pub struct ServeConfig {
     pub default_deadline: Duration,
     /// Reject slices (and entry batches) larger than this many values.
     pub max_response_values: usize,
+    /// How long shutdown keeps executing already-queued requests before
+    /// failing the remainder with [`ServeError::ShuttingDown`]. New
+    /// submissions are rejected the moment shutdown starts.
+    pub drain_deadline: Duration,
+    /// Cluster identity reported by `Health` probes: worker rank and
+    /// shard. `u32::MAX` means "not part of a cluster".
+    pub worker: u32,
+    /// See [`ServeConfig::worker`].
+    pub shard: u32,
 }
 
 impl Default for ServeConfig {
@@ -62,6 +73,9 @@ impl Default for ServeConfig {
             cache_capacity: 256,
             default_deadline: Duration::from_secs(5),
             max_response_values: 1 << 22,
+            drain_deadline: Duration::from_secs(2),
+            worker: u32::MAX,
+            shard: u32::MAX,
         }
     }
 }
@@ -77,15 +91,32 @@ pub enum Query {
     /// Score every index along `mode` against `fixed` and return the
     /// `k` best.
     TopK { mode: u8, k: u32, fixed: Vec<u32> },
+    /// Shard-local top-k over mode 0: score only the mode-0 indices
+    /// `sel` owns and return the `k` best partials (the cluster router
+    /// merges partials from every shard).
+    TopKShard {
+        mode: u8,
+        k: u32,
+        fixed: Vec<u32>,
+        sel: ShardSel,
+    },
+    /// Shard-local piece of a `mode != 0` slice: the mode-0 blocks `sel`
+    /// owns, concatenated in ascending row order (the router stitches
+    /// them back at each row's offset).
+    SliceShard { mode: u8, index: u32, sel: ShardSel },
 }
 
 impl Query {
-    /// The kind bucket this query records under.
+    /// The kind bucket this query records under. Shard-scoped queries
+    /// record under their parent kind — they are the same kernels over a
+    /// row subset, and keeping the kind set stable keeps the probe
+    /// schema's per-kind rows comparable between cluster and
+    /// single-process runs.
     pub fn kind(&self) -> QueryKind {
         match self {
             Query::Entry { .. } => QueryKind::Entry,
-            Query::Slice { .. } => QueryKind::Slice,
-            Query::TopK { .. } => QueryKind::TopK,
+            Query::Slice { .. } | Query::SliceShard { .. } => QueryKind::Slice,
+            Query::TopK { .. } | Query::TopKShard { .. } => QueryKind::TopK,
         }
     }
 }
@@ -200,6 +231,9 @@ struct Pending {
 struct EngineQueue {
     pending: VecDeque<Pending>,
     closed: bool,
+    /// When the queue closed; the batcher drains queued work normally
+    /// until `ServeConfig::drain_deadline` past this instant.
+    closed_at: Option<Instant>,
 }
 
 /// The serving engine; see the module docs. Create with
@@ -228,6 +262,7 @@ impl ServeEngine {
             queue: Mutex::new(EngineQueue {
                 pending: VecDeque::new(),
                 closed: false,
+                closed_at: None,
             }),
             wake: Condvar::new(),
             shutdown: CancelToken::new(),
@@ -425,14 +460,17 @@ impl ServeEngine {
         }
     }
 
-    /// Begin shutdown and join the batcher: queued requests are failed
-    /// with [`ServeError::ShuttingDown`], no new submissions are
-    /// accepted. Idempotent.
+    /// Begin shutdown and join the batcher. New submissions are rejected
+    /// immediately with [`ServeError::ShuttingDown`]; requests already
+    /// queued keep executing (and their responses keep flowing) until
+    /// [`ServeConfig::drain_deadline`] elapses, after which the
+    /// remainder is failed typed. Idempotent.
     pub fn shutdown(&self) {
         self.shutdown.cancel();
         {
             let mut q = self.queue.lock();
             q.closed = true;
+            q.closed_at.get_or_insert(Instant::now());
         }
         self.wake.notify_all();
         let handle = self.batcher.lock().take();
@@ -497,6 +535,54 @@ impl ServeEngine {
                     return bad("k too large".into());
                 }
             }
+            Query::TopKShard {
+                mode,
+                k,
+                fixed,
+                sel,
+                ..
+            } => {
+                Self::validate_sel(sel)?;
+                if *mode != 0 {
+                    return bad("shard top-k partitions mode 0 only".into());
+                }
+                if order == 0 || fixed.len() + 1 != order {
+                    return bad(format!(
+                        "{} fixed coordinates for an order-{order} top-k",
+                        fixed.len()
+                    ));
+                }
+                if *k as usize > self.config.max_response_values {
+                    return bad("k too large".into());
+                }
+            }
+            Query::SliceShard { mode, sel, .. } => {
+                Self::validate_sel(sel)?;
+                if *mode == 0 {
+                    return bad("mode-0 slices are whole-shard; use Slice".into());
+                }
+                if *mode as usize >= order {
+                    return bad(format!("mode {mode} out of range for order {order}"));
+                }
+                let len = query::slice_len(&model.model, *mode as usize)
+                    .map_err(|e| ServeError::BadQuery(e.to_string()))?;
+                if len > self.config.max_response_values {
+                    return bad(format!(
+                        "slice has {len} values (limit {})",
+                        self.config.max_response_values
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn validate_sel(sel: &ShardSel) -> Result<(), ServeError> {
+        if sel.nshards == 0 || sel.shard >= sel.nshards {
+            return Err(ServeError::BadQuery(format!(
+                "shard {} out of range for {} shard(s)",
+                sel.shard, sel.nshards
+            )));
         }
         Ok(())
     }
@@ -516,6 +602,26 @@ impl ServeEngine {
                 mode: *mode,
                 k: *k,
                 fixed: fixed.clone(),
+            }),
+            Query::SliceShard { mode, index, sel } => Some(CacheKey::SliceShard {
+                model: model.name.clone(),
+                version: model.version,
+                mode: *mode,
+                index: *index,
+                sel: *sel,
+            }),
+            Query::TopKShard {
+                mode,
+                k,
+                fixed,
+                sel,
+            } => Some(CacheKey::TopKShard {
+                model: model.name.clone(),
+                version: model.version,
+                mode: *mode,
+                k: *k,
+                fixed: fixed.clone(),
+                sel: *sel,
             }),
         }
     }
@@ -552,6 +658,37 @@ fn run_one(item: &Pending, arena: &mut QueryArena) -> Result<QueryResult, ServeE
                 .map_err(to_bad)?;
             Ok(QueryResult::TopK(Arc::new(out)))
         }
+        Query::TopKShard {
+            mode,
+            k,
+            fixed,
+            sel,
+        } => {
+            let dim = model.factors[0].rows();
+            let rows = ShardRing::new(sel.nshards as usize, sel.seed).owned_rows(sel.shard, dim);
+            let mut out = Vec::new();
+            query::top_k_rows(
+                model,
+                *mode as usize,
+                *k as usize,
+                fixed,
+                &rows,
+                arena,
+                &mut out,
+            )
+            .map_err(to_bad)?;
+            Ok(QueryResult::TopK(Arc::new(out)))
+        }
+        Query::SliceShard { mode, index, sel } => {
+            let dim = model.factors[0].rows();
+            let rows = ShardRing::new(sel.nshards as usize, sel.seed).owned_rows(sel.shard, dim);
+            let len = query::slice_len(model, *mode as usize).map_err(to_bad)?;
+            let block = len.checked_div(dim).unwrap_or(0);
+            let mut out = vec![0.0; rows.len() * block];
+            query::slice_values_rows(model, *mode as usize, *index, &rows, arena, &mut out)
+                .map_err(to_bad)?;
+            Ok(QueryResult::Slice(Arc::new(out)))
+        }
     }
 }
 
@@ -568,9 +705,15 @@ fn run_batcher(engine: &Arc<ServeEngine>) {
             if q.pending.is_empty() && q.closed {
                 break;
             }
-            let closed = q.closed;
+            // Graceful drain: after close, keep executing already-queued
+            // batches until the drain deadline, then fail the remainder
+            // typed. Submissions are rejected from the moment of close,
+            // so the queue only shrinks here.
+            let drain_expired = q
+                .closed_at
+                .is_some_and(|at| at.elapsed() >= engine.config.drain_deadline);
             let items: Vec<Pending> = q.pending.drain(..).collect();
-            if closed {
+            if drain_expired {
                 drop(q);
                 for item in items {
                     item.slot.fill(Err(ServeError::ShuttingDown));
@@ -605,7 +748,9 @@ fn execute_batch(
     let mut live: Vec<&Pending> = Vec::with_capacity(items.len());
     let now = Instant::now();
     for item in items {
-        if item.cancel.is_cancelled() || engine.shutdown.is_cancelled() {
+        // The engine shutdown token is deliberately NOT checked here:
+        // requests already queued at shutdown are drained, not dropped.
+        if item.cancel.is_cancelled() {
             item.slot.fill(Err(ServeError::Cancelled));
         } else if now >= item.deadline {
             if item.slot.fill(Err(ServeError::DeadlineExpired)) {

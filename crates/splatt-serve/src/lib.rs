@@ -17,17 +17,26 @@
 //!   grow-only arenas — allocation-free on the steady-state hot path.
 //! * [`serve`] / [`Client`] — a length-prefixed binary protocol over
 //!   `std::net::TcpListener`, blocking thread-per-connection, with
-//!   per-request deadlines, typed overload shedding, and
-//!   cancel-on-disconnect.
-//! * Probe integration — every counter surfaces in the schema v5
-//!   `serve` object via [`ServeEngine::profile_report`].
+//!   per-request deadlines, typed overload shedding,
+//!   cancel-on-disconnect, transient-vs-permanent error classification
+//!   ([`Transience`]), and graceful drain on shutdown.
+//! * [`cluster`] — sharded, replicated serving: a consistent-hash
+//!   [`cluster::ShardRing`] over mode-0 rows, a scatter-gather
+//!   [`cluster::Router`] with replica failover and typed `Degraded`
+//!   answers, shared single-parse model loading
+//!   ([`cluster::SharedModel`]), and a [`cluster::LoopbackCluster`]
+//!   harness for deterministic shard-kill storms.
+//! * Probe integration — every counter surfaces in the schema v7
+//!   `serve` object via [`ServeEngine::profile_report`] (the cluster's
+//!   per-shard failover counters ride in `serve.shards`).
 //!
 //! Answers are **bit-identical** to dense reconstruction from the same
-//! model: the query kernels and the wire format both preserve IEEE-754
-//! bit patterns end to end.
+//! model: the query kernels, the wire format, and the cluster's
+//! partial-result merges all preserve IEEE-754 bit patterns end to end.
 
 mod cache;
 mod client;
+pub mod cluster;
 mod engine;
 pub mod protocol;
 mod registry;
@@ -35,7 +44,8 @@ mod server;
 mod stats;
 
 pub use cache::{CacheKey, CacheValue, ResultCache};
-pub use client::Client;
+pub use client::{classify, Client, Transience};
+pub use cluster::{ClusterConfig, LoopbackCluster, Router, SharedModel};
 pub use engine::{Query, QueryResult, ServeConfig, ServeEngine, ServeError, Ticket};
 pub use registry::{ModelInfo, ModelRegistry, ServableModel};
 pub use server::{serve, ServerHandle};

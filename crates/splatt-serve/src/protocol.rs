@@ -9,11 +9,16 @@
 //!
 //! ```text
 //! u8  op          1=entry 2=slice 3=topk 4=stats 5=list 6=shutdown
+//!                 7=health 8=topk-shard 9=slice-shard
 //! u32 deadline_ms 0 = server default
 //! u16 name_len    + name bytes (UTF-8; empty for stats/list/shutdown)
 //! u64 version     0 = latest
 //! ...op-specific body (see RequestBody)
 //! ```
+//!
+//! Ops 7–9 are the cluster extension: `health` is the router's liveness
+//! probe, and the shard-scoped query ops carry a [`ShardSel`] so a
+//! worker can re-derive its owned mode-0 row set from pure hash math.
 //!
 //! Response payload: `u8` status (0 = ok, else a [`WireError`] code)
 //! followed by either an error message (`u16` length + UTF-8) or the
@@ -36,6 +41,10 @@ pub enum WireError {
     BadRequest = 4,
     ShuttingDown = 5,
     Internal = 6,
+    /// A cluster router could not cover part of the query's hash range:
+    /// no live replica held a required shard. The answer is *absent*,
+    /// not wrong — clients may retry once replicas re-admit.
+    Degraded = 7,
 }
 
 impl WireError {
@@ -47,9 +56,24 @@ impl WireError {
             4 => WireError::BadRequest,
             5 => WireError::ShuttingDown,
             6 => WireError::Internal,
+            7 => WireError::Degraded,
             _ => return None,
         })
     }
+}
+
+/// Which shard of a consistent-hash partition a shard-scoped request
+/// addresses. Workers re-derive the owned mode-0 row set from
+/// `(nshards, seed)` — pure math, so the wire cost is constant no matter
+/// how large the mode-0 dimension is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShardSel {
+    /// Shard index in `0..nshards`.
+    pub shard: u32,
+    /// Total shard count of the partition.
+    pub nshards: u32,
+    /// Hash seed of the partition's ring.
+    pub seed: u64,
 }
 
 /// Op-specific request body.
@@ -74,6 +98,25 @@ pub enum RequestBody {
     Stats,
     List,
     Shutdown,
+    /// Liveness probe; answered with [`Response::Health`].
+    Health,
+    /// Shard-scoped top-k: like `TopK` but scoring only the mode-0 rows
+    /// owned by `sel`'s shard. Body adds `u32 shard, u32 nshards,
+    /// u64 seed`.
+    TopKShard {
+        mode: u8,
+        k: u32,
+        fixed: Vec<u32>,
+        sel: ShardSel,
+    },
+    /// Shard-scoped slice (`mode != 0`): only the sub-blocks whose
+    /// mode-0 coordinate is owned by `sel`'s shard, in ascending owned
+    /// order. Body adds `u32 shard, u32 nshards, u64 seed`.
+    SliceShard {
+        mode: u8,
+        index: u32,
+        sel: ShardSel,
+    },
 }
 
 /// One decoded request.
@@ -99,6 +142,12 @@ pub enum Response {
     Models(Vec<ModelInfo>),
     /// Acknowledges a shutdown request.
     Ack,
+    /// Liveness answer: which worker/shard identity answered. Routers
+    /// answer with `u32::MAX` for both.
+    Health {
+        worker: u32,
+        shard: u32,
+    },
     Error(WireError, String),
 }
 
@@ -271,6 +320,9 @@ const OP_TOPK: u8 = 3;
 const OP_STATS: u8 = 4;
 const OP_LIST: u8 = 5;
 const OP_SHUTDOWN: u8 = 6;
+const OP_HEALTH: u8 = 7;
+const OP_TOPK_SHARD: u8 = 8;
+const OP_SLICE_SHARD: u8 = 9;
 
 fn op_of(body: &RequestBody) -> u8 {
     match body {
@@ -280,7 +332,24 @@ fn op_of(body: &RequestBody) -> u8 {
         RequestBody::Stats => OP_STATS,
         RequestBody::List => OP_LIST,
         RequestBody::Shutdown => OP_SHUTDOWN,
+        RequestBody::Health => OP_HEALTH,
+        RequestBody::TopKShard { .. } => OP_TOPK_SHARD,
+        RequestBody::SliceShard { .. } => OP_SLICE_SHARD,
     }
+}
+
+fn put_sel(out: &mut Vec<u8>, sel: &ShardSel) {
+    out.extend_from_slice(&sel.shard.to_le_bytes());
+    out.extend_from_slice(&sel.nshards.to_le_bytes());
+    out.extend_from_slice(&sel.seed.to_le_bytes());
+}
+
+fn take_sel(c: &mut Cursor<'_>) -> std::io::Result<ShardSel> {
+    Ok(ShardSel {
+        shard: c.u32()?,
+        nshards: c.u32()?,
+        seed: c.u64()?,
+    })
 }
 
 /// Serialize a request payload (no frame prefix).
@@ -324,7 +393,26 @@ pub fn encode_request(req: &Request) -> std::io::Result<Vec<u8>> {
                 out.extend_from_slice(&c.to_le_bytes());
             }
         }
-        RequestBody::Stats | RequestBody::List | RequestBody::Shutdown => {}
+        RequestBody::TopKShard {
+            mode,
+            k,
+            fixed,
+            sel,
+        } => {
+            out.push(*mode);
+            out.extend_from_slice(&k.to_le_bytes());
+            out.push(fixed.len() as u8);
+            for c in fixed {
+                out.extend_from_slice(&c.to_le_bytes());
+            }
+            put_sel(&mut out, sel);
+        }
+        RequestBody::SliceShard { mode, index, sel } => {
+            out.push(*mode);
+            out.extend_from_slice(&index.to_le_bytes());
+            put_sel(&mut out, sel);
+        }
+        RequestBody::Stats | RequestBody::List | RequestBody::Shutdown | RequestBody::Health => {}
     }
     Ok(out)
 }
@@ -369,6 +457,28 @@ pub fn decode_request(payload: &[u8]) -> std::io::Result<Request> {
         OP_STATS => RequestBody::Stats,
         OP_LIST => RequestBody::List,
         OP_SHUTDOWN => RequestBody::Shutdown,
+        OP_HEALTH => RequestBody::Health,
+        OP_TOPK_SHARD => {
+            let mode = c.u8()?;
+            let k = c.u32()?;
+            let nfixed = c.u8()? as usize;
+            let fixed = c.u32s(nfixed)?;
+            RequestBody::TopKShard {
+                mode,
+                k,
+                fixed,
+                sel: take_sel(&mut c)?,
+            }
+        }
+        OP_SLICE_SHARD => {
+            let mode = c.u8()?;
+            let index = c.u32()?;
+            RequestBody::SliceShard {
+                mode,
+                index,
+                sel: take_sel(&mut c)?,
+            }
+        }
         other => return Err(bad(format!("unknown op {other}"))),
     };
     c.done()?;
@@ -435,6 +545,11 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             }
         }
         Response::Ack => out.push(OP_SHUTDOWN),
+        Response::Health { worker, shard } => {
+            out.push(OP_HEALTH);
+            out.extend_from_slice(&worker.to_le_bytes());
+            out.extend_from_slice(&shard.to_le_bytes());
+        }
         Response::Error(..) => unreachable!("handled above"),
     }
     out
@@ -499,6 +614,10 @@ pub fn decode_response(payload: &[u8]) -> std::io::Result<Response> {
             Response::Models(models)
         }
         OP_SHUTDOWN => Response::Ack,
+        OP_HEALTH => Response::Health {
+            worker: c.u32()?,
+            shard: c.u32()?,
+        },
         other => return Err(bad(format!("unknown response op {other}"))),
     };
     c.done()?;
@@ -546,7 +665,12 @@ mod tests {
                 fixed: vec![7, 9],
             },
         });
-        for body in [RequestBody::Stats, RequestBody::List, RequestBody::Shutdown] {
+        for body in [
+            RequestBody::Stats,
+            RequestBody::List,
+            RequestBody::Shutdown,
+            RequestBody::Health,
+        ] {
             roundtrip_request(Request {
                 deadline_ms: 0,
                 model: String::new(),
@@ -554,6 +678,36 @@ mod tests {
                 body,
             });
         }
+    }
+
+    #[test]
+    fn shard_scoped_requests_roundtrip() {
+        let sel = ShardSel {
+            shard: 2,
+            nshards: 3,
+            seed: 0xDEAD_BEEF_u64,
+        };
+        roundtrip_request(Request {
+            deadline_ms: 100,
+            model: "m".into(),
+            version: 1,
+            body: RequestBody::TopKShard {
+                mode: 0,
+                k: 5,
+                fixed: vec![1, 4],
+                sel,
+            },
+        });
+        roundtrip_request(Request {
+            deadline_ms: 0,
+            model: "m".into(),
+            version: 0,
+            body: RequestBody::SliceShard {
+                mode: 2,
+                index: 7,
+                sel,
+            },
+        });
     }
 
     #[test]
@@ -569,8 +723,28 @@ mod tests {
             rank: 16,
         }]));
         roundtrip_response(Response::Ack);
+        roundtrip_response(Response::Health {
+            worker: 4,
+            shard: 2,
+        });
         roundtrip_response(Response::Error(WireError::Overloaded, "busy".into()));
         roundtrip_response(Response::Error(WireError::DeadlineExpired, String::new()));
+        roundtrip_response(Response::Error(WireError::Degraded, "shard 1 dark".into()));
+    }
+
+    #[test]
+    fn a_flipped_status_high_bit_fails_decode() {
+        // The NetFaultPlan's frame corruption XORs the status byte with
+        // 0x80; every such frame must decode to a typed error, never to
+        // silently wrong values.
+        for resp in [
+            Response::Entries(vec![1.0]),
+            Response::Error(WireError::Overloaded, "x".into()),
+        ] {
+            let mut bytes = encode_response(&resp);
+            bytes[0] ^= 0x80;
+            assert!(decode_response(&bytes).is_err());
+        }
     }
 
     #[test]

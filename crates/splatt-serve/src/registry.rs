@@ -12,6 +12,10 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 /// One published model version, immutable once registered.
+///
+/// The payload is held behind its own `Arc` so many registries (one per
+/// cluster worker) can publish the *same* single parse of a model file:
+/// N workers, one heap copy.
 #[derive(Debug)]
 pub struct ServableModel {
     /// Registry name the model was published under.
@@ -19,7 +23,7 @@ pub struct ServableModel {
     /// Monotonic version within that name, starting at 1.
     pub version: u64,
     /// The Kruskal payload queries are answered from.
-    pub model: KruskalModel,
+    pub model: Arc<KruskalModel>,
 }
 
 /// Summary row for registry listings (and the wire `List` response).
@@ -52,6 +56,13 @@ impl ModelRegistry {
 
     /// Publish `model` under `name`, returning the version it received.
     pub fn publish(&self, name: &str, model: KruskalModel) -> u64 {
+        self.publish_arc(name, Arc::new(model))
+    }
+
+    /// Publish an already-shared model payload under `name`. Cluster
+    /// workers use this to register per-worker views of one shared parse
+    /// of a `splatt-model-v1` file instead of N heap copies.
+    pub fn publish_arc(&self, name: &str, model: Arc<KruskalModel>) -> u64 {
         let mut inner = self.inner.lock();
         let (next, versions) = inner
             .models

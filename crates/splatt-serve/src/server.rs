@@ -7,11 +7,15 @@
 //! with a non-blocking `peek` — a client that disconnects mid-wait
 //! cancels its request instead of leaving it to finish for nobody.
 //!
-//! Shutdown is cooperative and clean: cancelling the engine's shutdown
-//! token (via [`ServerHandle::shutdown`], the wire `Shutdown` op, or a
-//! signal handler the embedder wires up) stops the accept loop, drains
-//! the connection threads (their frame reads poll the token on a short
-//! read timeout), and joins the batcher.
+//! Shutdown is cooperative, clean, and *graceful*: cancelling the
+//! engine's shutdown token (via [`ServerHandle::shutdown`], the wire
+//! `Shutdown` op, or a signal handler the embedder wires up) stops the
+//! accept loop and rejects new submissions, but requests already in
+//! flight keep executing through the engine's drain window and their
+//! responses are written in full — a response is never dropped mid-write.
+//! Request cancel tokens are fresh roots (not children of the shutdown
+//! token) precisely so the drain can complete them; client disconnects
+//! are still caught by the socket poll during the wait.
 
 use crate::engine::{Query, QueryResult, ServeEngine, ServeError};
 use crate::protocol::{
@@ -134,7 +138,7 @@ fn handle_conn(engine: &Arc<ServeEngine>, stop: &CancelToken, mut stream: TcpStr
             Err(_) => break,   // disconnect, EOF, or garbage framing
         };
         let response = match decode_request(&payload) {
-            Ok(req) => handle_request(engine, stop, &stream, req),
+            Ok(req) => handle_request(engine, &stream, req),
             Err(e) => Response::Error(WireError::BadRequest, e.to_string()),
         };
         let shutdown_ack = matches!(response, Response::Ack);
@@ -148,31 +152,52 @@ fn handle_conn(engine: &Arc<ServeEngine>, stop: &CancelToken, mut stream: TcpStr
     }
 }
 
-fn handle_request(
-    engine: &Arc<ServeEngine>,
-    stop: &CancelToken,
-    stream: &TcpStream,
-    req: Request,
-) -> Response {
+fn handle_request(engine: &Arc<ServeEngine>, stream: &TcpStream, req: Request) -> Response {
     let query = match req.body {
         RequestBody::Stats => return Response::Stats(engine.profile_report().to_json()),
         RequestBody::List => return Response::Models(engine.registry().list()),
         RequestBody::Shutdown => return Response::Ack,
+        RequestBody::Health => {
+            return Response::Health {
+                worker: engine.config().worker,
+                shard: engine.config().shard,
+            }
+        }
         RequestBody::Entry { order: _, coords } => Query::Entry { coords },
         RequestBody::Slice { mode, index } => Query::Slice { mode, index },
         RequestBody::TopK { mode, k, fixed } => Query::TopK { mode, k, fixed },
+        RequestBody::TopKShard {
+            mode,
+            k,
+            fixed,
+            sel,
+        } => Query::TopKShard {
+            mode,
+            k,
+            fixed,
+            sel,
+        },
+        RequestBody::SliceShard { mode, index, sel } => Query::SliceShard { mode, index, sel },
     };
     let deadline = if req.deadline_ms > 0 {
         Some(Duration::from_millis(u64::from(req.deadline_ms)))
     } else {
         None
     };
-    // Poll the socket non-blockingly during the wait so a vanished
-    // client cancels its request instead of tying up the scheduler.
+    // A fresh root token per request — deliberately NOT a child of the
+    // server stop token, so shutdown drains in-flight requests instead
+    // of cancelling them. A vanished client is still caught by the
+    // non-blocking socket poll below.
+    let request_root = CancelToken::new();
     let _ = stream.set_nonblocking(true);
-    let result = engine.query(&req.model, req.version, query, deadline, stop, || {
-        disconnected(stream)
-    });
+    let result = engine.query(
+        &req.model,
+        req.version,
+        query,
+        deadline,
+        &request_root,
+        || disconnected(stream),
+    );
     let _ = stream.set_nonblocking(false);
     match result {
         Ok(QueryResult::Entries(vals)) => Response::Entries(vals),

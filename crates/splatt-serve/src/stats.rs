@@ -171,8 +171,9 @@ impl ServeStats {
         self.latency[kind.index()].count()
     }
 
-    /// Roll everything up into the probe schema v5 `serve` row; cache
-    /// and shed counters come from their owning components.
+    /// Roll everything up into the probe `serve` row; cache and shed
+    /// counters come from their owning components, and the cluster
+    /// router appends its per-shard counters afterwards.
     pub fn to_row(
         &self,
         cache_hits: u64,
@@ -208,6 +209,9 @@ impl ServeStats {
             deadline_rejections: self.deadline_rejections(),
             arena_growth_allocs: self.arena_growth_allocs.load(Ordering::Relaxed),
             arena_growth_bytes: self.arena_growth_bytes.load(Ordering::Relaxed),
+            // Per-shard failover counters are a router concern; the
+            // router fills them in after this rollup.
+            shards: Vec::new(),
         }
     }
 }

@@ -15,7 +15,9 @@ use splatt::core::{
 };
 use splatt::par::Routine;
 use splatt::serve::protocol::Response;
-use splatt::serve::{serve, Client, ServeConfig, ServeEngine};
+use splatt::serve::{
+    serve, Client, ClusterConfig, LoopbackCluster, ServeConfig, ServeEngine, SharedModel,
+};
 use splatt::tensor::{io, synth, TensorStats};
 use splatt::{
     corcondia, try_cp_als, try_cp_als_governed, Constraint, CpalsError, CpalsOptions, CsfAlloc,
@@ -24,6 +26,7 @@ use splatt::{
 };
 use std::io::Write;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 fn usage() -> ExitCode {
@@ -46,12 +49,14 @@ fn usage() -> ExitCode {
          splatt predict <model.kruskal> <coords.tns>\n  \
          splatt export-model <checkpoint|model|.kruskal> --out FILE\n  \
          splatt serve --model NAME=FILE[,NAME=FILE...] [--addr HOST:PORT]\n              \
-         [--tasks N] [--depth N] [--batch N] [--cache N] [--deadline-ms MS]\n  \
+         [--tasks N] [--depth N] [--batch N] [--cache N] [--deadline-ms MS]\n              \
+         [--shards N [--replicas M] [--seed S]]   (cluster mode: one --model)\n  \
+         splatt cluster <addr>   (router health + per-shard failover counters)\n  \
          splatt query <addr> entry --model NAME --coords i,j,k[;i,j,k...]\n              \
          [--version V] [--deadline-ms MS]   (coords are zero-based)\n  \
          splatt query <addr> slice --model NAME --mode M --index I\n  \
          splatt query <addr> topk  --model NAME --mode M --k K [--fixed i,j]\n  \
-         splatt query <addr> stats|list|shutdown\n  \
+         splatt query <addr> stats|list|health|shutdown\n  \
          splatt stats <tensor.tns>\n  \
          splatt check <tensor.tns>\n  \
          splatt generate <yelp|rate-beer|beer-advocate|nell-2|netflix|random>\n              \
@@ -541,8 +546,71 @@ fn parse_model_specs(flags: &Flags) -> Result<Vec<(String, String)>, String> {
     Ok(specs)
 }
 
+/// SIGTERM/SIGINT → graceful drain, not a dropped connection: the
+/// handler only sets a flag (async-signal-safe); a watcher thread trips
+/// the shutdown token, which stops accepting and lets the engine finish
+/// queued batches under its drain deadline before the process exits.
+#[cfg(unix)]
+mod term_signal {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static TERM: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_signum: i32) {
+        TERM.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        unsafe {
+            signal(SIGTERM, on_signal);
+            signal(SIGINT, on_signal);
+        }
+    }
+
+    pub fn received() -> bool {
+        TERM.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod term_signal {
+    pub fn install() {}
+
+    pub fn received() -> bool {
+        false
+    }
+}
+
+/// Run `drain` once a termination signal arrives; exit quietly when
+/// `done` reports the server already stopped on its own.
+fn spawn_term_watcher(
+    drain: impl FnOnce() + Send + 'static,
+    done: impl Fn() -> bool + Send + 'static,
+) {
+    term_signal::install();
+    std::thread::spawn(move || loop {
+        if term_signal::received() {
+            drain();
+            return;
+        }
+        if done() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    });
+}
+
 fn cmd_serve(flags: &Flags) -> Result<(), String> {
     let specs = parse_model_specs(flags)?;
+    let nshards: usize = flags.parse_or("shards", 0)?;
+    if nshards > 0 {
+        return cmd_serve_cluster(&specs, flags, nshards);
+    }
     let addr = flags.get("addr").unwrap_or("127.0.0.1:0");
     let config = ServeConfig {
         ntasks: flags.parse_or("tasks", ServeConfig::default().ntasks)?,
@@ -566,9 +634,86 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     // Tests parse the bound address from a pipe: flush past block buffering.
     println!("serving {} model(s) on {}", specs.len(), handle.addr());
     std::io::stdout().flush().map_err(|e| e.to_string())?;
+    let drain = Arc::clone(handle.engine());
+    let done = Arc::clone(handle.engine());
+    spawn_term_watcher(
+        move || drain.shutdown_token().cancel(),
+        move || done.shutdown_token().is_cancelled(),
+    );
     handle.join();
     println!("server stopped");
     Ok(())
+}
+
+/// `splatt serve --shards N [--replicas M]`: a loopback cluster —
+/// N×M shard workers behind one router that speaks the ordinary wire
+/// protocol, so `splatt query` works unchanged against it.
+fn cmd_serve_cluster(
+    specs: &[(String, String)],
+    flags: &Flags,
+    nshards: usize,
+) -> Result<(), String> {
+    if specs.len() != 1 {
+        return Err("cluster mode serves exactly one --model NAME=FILE".into());
+    }
+    let (name, path) = &specs[0];
+    let shared =
+        SharedModel::load(name, std::path::Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
+    let defaults = ClusterConfig::default();
+    let nreplicas: usize = flags.parse_or("replicas", defaults.nreplicas)?;
+    if nreplicas == 0 {
+        return Err("--replicas must be at least 1".into());
+    }
+    let seed: u64 = flags.parse_or("seed", defaults.seed)?;
+    let config = ClusterConfig {
+        nshards,
+        nreplicas,
+        seed,
+        default_deadline: Duration::from_millis(
+            flags.parse_or("deadline-ms", defaults.default_deadline.as_millis() as u64)?,
+        ),
+        ..defaults
+    };
+    let addr = flags.get("addr").unwrap_or("127.0.0.1:0");
+    let cluster = LoopbackCluster::start_on(config, &shared, None, addr)
+        .map_err(|e| format!("{addr}: {e}"))?;
+    println!(
+        "published {name} v1 from {path} on {} worker(s) \
+         ({nshards} shard(s) x {nreplicas} replica(s), ring seed {seed:#x})",
+        nshards * nreplicas
+    );
+    // Same line format as single-process serve: tests and scripts parse
+    // the bound address from it.
+    println!("serving 1 model(s) on {}", cluster.router_addr());
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+    let drain = cluster.router();
+    let done = cluster.router();
+    spawn_term_watcher(
+        move || drain.stop_token().cancel(),
+        move || done.stop_token().is_cancelled(),
+    );
+    cluster.join();
+    println!("server stopped");
+    Ok(())
+}
+
+/// `splatt cluster <addr>`: ping a running router and print its stats
+/// JSON (the schema v7 `serve` object with per-shard failover counters).
+fn cmd_cluster(addr: &str) -> Result<(), String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+    match client.health().map_err(|e| format!("{addr}: {e}"))? {
+        Response::Health { .. } => println!("{addr}: healthy"),
+        Response::Error(code, msg) => return Err(format!("server error ({code:?}): {msg}")),
+        other => return Err(format!("unexpected health response {other:?}")),
+    }
+    match client.stats().map_err(|e| format!("{addr}: {e}"))? {
+        Response::Stats(json) => {
+            println!("{json}");
+            Ok(())
+        }
+        Response::Error(code, msg) => Err(format!("server error ({code:?}): {msg}")),
+        other => Err(format!("unexpected stats response {other:?}")),
+    }
 }
 
 fn parse_coord_list(spec: &str, what: &str) -> Result<Vec<u32>, String> {
@@ -626,6 +771,7 @@ fn cmd_query(addr: &str, op: &str, flags: &Flags) -> Result<(), String> {
         }
         "stats" => client.stats(),
         "list" => client.list(),
+        "health" => client.health(),
         "shutdown" => client.shutdown(),
         other => return Err(format!("unknown query op '{other}'")),
     }
@@ -658,6 +804,16 @@ fn print_response(response: &Response) -> Result<(), String> {
                     "{} v{}: order {}, rank {}",
                     m.name, m.version, m.order, m.rank
                 );
+            }
+            Ok(())
+        }
+        Response::Health { worker, shard } => {
+            if *worker == u32::MAX {
+                // The sentinel covers both a router front end and a
+                // standalone server — neither has a shard identity.
+                println!("healthy");
+            } else {
+                println!("healthy (worker {worker}, shard {shard})");
             }
             Ok(())
         }
@@ -743,6 +899,7 @@ fn main() -> ExitCode {
             Flags::parse(flag_args).and_then(|f| cmd_export_model(input, &f))
         }
         ("serve", _) => Flags::parse(rest).and_then(|f| cmd_serve(&f)),
+        ("cluster", Some((addr, _))) => cmd_cluster(addr),
         ("query", Some((addr, rest2))) => match rest2.split_first() {
             Some((op, flag_args)) => Flags::parse(flag_args).and_then(|f| cmd_query(addr, op, &f)),
             None => return usage(),

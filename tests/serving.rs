@@ -4,9 +4,13 @@
 //! typed errors, and steady-state allocation certification through the
 //! probe schema-v5 `serve` counters.
 
+use splatt::guard::{Deadline, RetryPolicy};
 use splatt::rt::qc::{self, Gen};
 use splatt::serve::protocol::{Response, WireError};
-use splatt::serve::{serve, Client, Query, QueryResult, ServeConfig, ServeEngine, Ticket};
+use splatt::serve::{
+    classify, serve, Client, Query, QueryResult, ServeConfig, ServeEngine, ServeError, Ticket,
+    Transience,
+};
 use splatt::{CancelToken, KruskalModel, Matrix};
 use std::sync::Arc;
 use std::time::Duration;
@@ -384,7 +388,7 @@ fn tcp_loopback_answers_match_oracle_and_errors_are_typed() {
     }
     match client.stats().unwrap() {
         Response::Stats(json) => {
-            assert!(json.contains("\"schema\": \"splatt-profile-v6\""), "{json}");
+            assert!(json.contains("\"schema\": \"splatt-profile-v7\""), "{json}");
             assert!(json.contains("\"serve\": {"), "{json}");
         }
         other => panic!("expected stats, got {other:?}"),
@@ -487,4 +491,326 @@ fn steady_state_queries_are_allocation_free_after_warmup() {
         "query arenas must not grow after warm-up (probe v5 certification)"
     );
     engine.shutdown();
+}
+
+// ---- graceful drain (shutdown must not drop admitted work) ----
+
+#[test]
+fn shutdown_drains_queued_queries_instead_of_dropping_them() {
+    let engine = demo_engine();
+    let model = engine.registry().get("demo", 0).unwrap().model.clone();
+    let root = CancelToken::new();
+    let mut tickets = Vec::new();
+    for i in 0..12u32 {
+        let index = i % 5;
+        let ticket = engine
+            .submit("demo", 0, Query::Slice { mode: 1, index }, None, &root)
+            .expect("submit before shutdown");
+        tickets.push((index, ticket));
+    }
+    // Trip shutdown while the burst is still queued: everything already
+    // admitted must drain to a real answer, not fail mid-flight.
+    let drainer = Arc::clone(&engine);
+    let shutdown = std::thread::spawn(move || drainer.shutdown());
+    for (index, ticket) in tickets {
+        match engine.wait(ticket, || false) {
+            Ok(QueryResult::Slice(vals)) => {
+                assert_bits_eq(&vals, &oracle_slice(&model, 1, index), "drained slice");
+            }
+            other => panic!("expected drained answer, got {other:?}"),
+        }
+    }
+    shutdown.join().unwrap();
+    // And the drain deadline is a real backstop: post-shutdown
+    // submissions are rejected typed, immediately.
+    match engine.submit("demo", 0, Query::Slice { mode: 1, index: 0 }, None, &root) {
+        Err(ServeError::ShuttingDown) => {}
+        Err(other) => panic!("expected ShuttingDown, got {other:?}"),
+        Ok(_) => panic!("post-shutdown submit must be rejected"),
+    }
+}
+
+#[test]
+fn open_connections_get_complete_frames_across_shutdown() {
+    let engine = demo_engine();
+    let model = engine.registry().get("demo", 0).unwrap().model.clone();
+    let handle = serve(Arc::clone(&engine), "127.0.0.1:0").expect("bind loopback");
+    let addr = handle.addr().to_string();
+    let mut clients: Vec<Client> = (0..4).map(|_| Client::connect(&addr).unwrap()).collect();
+    // Every connection completes a query first, so all four are live
+    // inside the server when shutdown trips.
+    for client in clients.iter_mut() {
+        match client.slice("demo", 0, 0, 1, 0).unwrap() {
+            Response::Slice(vals) => assert_bits_eq(&vals, &oracle_slice(&model, 1, 0), "warm"),
+            other => panic!("expected slice, got {other:?}"),
+        }
+    }
+    handle.request_shutdown();
+    // A racing request either gets a *complete* frame (a drained answer,
+    // bit-identical, or typed ShuttingDown) or a clean connection close —
+    // never a torn half-written frame, which would decode as garbage.
+    for (i, client) in clients.iter_mut().enumerate() {
+        let index = (i % 5) as u32;
+        match client.slice("demo", 0, 0, 1, index) {
+            Ok(Response::Slice(vals)) => {
+                assert_bits_eq(
+                    &vals,
+                    &oracle_slice(&model, 1, index),
+                    "post-shutdown slice",
+                );
+            }
+            Ok(Response::Error(WireError::ShuttingDown, _)) => {}
+            Ok(other) => panic!("expected slice or ShuttingDown, got {other:?}"),
+            Err(_) => {} // clean close: the conn thread had already exited
+        }
+    }
+    handle.join();
+}
+
+// ---- client retry: transient vs permanent classification ----
+
+#[test]
+fn transience_classification_matches_the_retry_contract() {
+    for code in [
+        WireError::Overloaded,
+        WireError::ShuttingDown,
+        WireError::Internal,
+    ] {
+        assert_eq!(classify(code), Transience::Transient, "{code:?}");
+    }
+    for code in [
+        WireError::BadRequest,
+        WireError::ModelNotFound,
+        WireError::DeadlineExpired,
+        WireError::Degraded,
+    ] {
+        assert_eq!(classify(code), Transience::Permanent, "{code:?}");
+    }
+}
+
+#[test]
+fn call_with_retry_returns_permanent_errors_immediately() {
+    let engine = demo_engine();
+    let handle = serve(Arc::clone(&engine), "127.0.0.1:0").expect("bind loopback");
+    let mut client = Client::connect(handle.addr().to_string()).expect("connect");
+    let policy = RetryPolicy {
+        max_attempts: 5,
+        base: Duration::from_millis(200),
+        cap: Duration::from_secs(1),
+    };
+    let deadline = Deadline::after(Duration::from_secs(5));
+    let started = std::time::Instant::now();
+    let resp = client
+        .call_with_retry(
+            &splatt::serve::protocol::Request {
+                deadline_ms: 0,
+                model: "nope".into(),
+                version: 0,
+                body: splatt::serve::protocol::RequestBody::Slice { mode: 0, index: 0 },
+            },
+            &policy,
+            &deadline,
+        )
+        .expect("transport is healthy");
+    match resp {
+        Response::Error(WireError::ModelNotFound, _) => {}
+        other => panic!("expected ModelNotFound, got {other:?}"),
+    }
+    assert!(
+        started.elapsed() < Duration::from_millis(150),
+        "permanent errors must not burn backoff budget"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn call_with_retry_backs_off_on_overload_then_surfaces_the_typed_error() {
+    // max_depth 0 sheds everything: every attempt comes back Overloaded,
+    // a transient error, so the client should retry with backoff and
+    // finally surface the typed error — not an untyped failure.
+    let engine = ServeEngine::start(ServeConfig {
+        max_depth: 0,
+        ..Default::default()
+    });
+    engine.publish(
+        "m",
+        KruskalModel {
+            lambda: vec![1.0],
+            factors: vec![Matrix::random(3, 1, 1), Matrix::random(3, 1, 2)],
+        },
+    );
+    let handle = serve(Arc::clone(&engine), "127.0.0.1:0").expect("bind loopback");
+    let mut client = Client::connect(handle.addr().to_string()).expect("connect");
+    let policy = RetryPolicy {
+        max_attempts: 3,
+        base: Duration::from_millis(10),
+        cap: Duration::from_millis(40),
+    };
+    let deadline = Deadline::after(Duration::from_secs(5));
+    let started = std::time::Instant::now();
+    let resp = client
+        .call_with_retry(
+            &splatt::serve::protocol::Request {
+                deadline_ms: 0,
+                model: "m".into(),
+                version: 0,
+                body: splatt::serve::protocol::RequestBody::Slice { mode: 1, index: 0 },
+            },
+            &policy,
+            &deadline,
+        )
+        .expect("transport is healthy");
+    match resp {
+        Response::Error(WireError::Overloaded, _) => {}
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+    // Two backoff sleeps happened between the three attempts: 10 + 20 ms.
+    assert!(
+        started.elapsed() >= Duration::from_millis(25),
+        "overloaded retries skipped their backoff ({:?})",
+        started.elapsed()
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn call_with_retry_gives_up_cleanly_when_the_server_is_gone() {
+    let engine = demo_engine();
+    let handle = serve(Arc::clone(&engine), "127.0.0.1:0").expect("bind loopback");
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+    handle.shutdown(); // server fully gone; the port refuses connections
+    let policy = RetryPolicy {
+        max_attempts: 3,
+        base: Duration::from_millis(5),
+        cap: Duration::from_millis(20),
+    };
+    let deadline = Deadline::after(Duration::from_secs(2));
+    let err = client
+        .call_with_retry(
+            &splatt::serve::protocol::Request {
+                deadline_ms: 0,
+                model: String::new(),
+                version: 0,
+                body: splatt::serve::protocol::RequestBody::List,
+            },
+            &policy,
+            &deadline,
+        )
+        .expect_err("no server to answer");
+    // A typed io error after bounded retries — never a hang.
+    let _ = err;
+}
+
+// ---- registry evict racing a query storm ----
+
+#[test]
+fn evicted_version_never_yields_stale_hits_or_torn_reads() {
+    qc::check("evict during query storm", 8, |g| {
+        let engine = ServeEngine::start(ServeConfig {
+            ntasks: 2,
+            cache_capacity: 32,
+            ..Default::default()
+        });
+        let v1 = gen_model(g, 3);
+        // v2 shares v1's shapes (the storm's slice indices must be valid
+        // for both versions) but carries different values, so a stale v1
+        // answer on a v2-pinned query cannot pass the bit check.
+        let v2 = KruskalModel {
+            lambda: g.f64_vec(v1.rank(), -2.0, 2.0),
+            factors: v1
+                .factors
+                .iter()
+                .map(|f| Matrix::random(f.rows(), f.cols(), g.u64().wrapping_add(1000)))
+                .collect(),
+        };
+        assert_eq!(engine.publish("m", v1.clone()), 1);
+        assert_eq!(engine.publish("m", v2.clone()), 2);
+        // Pre-generate the storm workload: Gen stays on this thread.
+        let slices: Vec<u32> = (0..64)
+            .map(|_| g.usize_in(0..v1.factors[1].rows()) as u32)
+            .collect();
+
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let storm = |pin_version: u64, oracle: &'static str| {
+                let engine = Arc::clone(&engine);
+                let slices = slices.clone();
+                let stop = &stop;
+                let v1 = &v1;
+                let v2 = &v2;
+                move || {
+                    let root = CancelToken::new();
+                    let mut i = 0usize;
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        let index = slices[i % slices.len()];
+                        i += 1;
+                        let got = engine.query(
+                            "m",
+                            pin_version,
+                            Query::Slice { mode: 1, index },
+                            None,
+                            &root,
+                            || false,
+                        );
+                        match got {
+                            Ok(QueryResult::Slice(vals)) => {
+                                // Any answer must be the pinned version's,
+                                // bit for bit — a v2 value on a v1 query
+                                // (or vice versa) is a stale or torn read.
+                                let model = if pin_version == 1 { v1 } else { v2 };
+                                assert_bits_eq(&vals, &oracle_slice(model, 1, index), oracle);
+                            }
+                            Err(ServeError::ModelNotFound { version, .. }) => {
+                                assert_eq!(version, 1, "only the evicted version may vanish");
+                            }
+                            other => panic!("unexpected storm outcome: {other:?}"),
+                        }
+                    }
+                }
+            };
+            let t1 = scope.spawn(storm(1, "pinned v1"));
+            let t2 = scope.spawn(storm(2, "pinned v2"));
+            std::thread::sleep(Duration::from_millis(10));
+            assert_eq!(engine.evict("m", 1), 1, "evict v1 mid-storm");
+            std::thread::sleep(Duration::from_millis(10));
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            t1.join().unwrap();
+            t2.join().unwrap();
+        });
+        // After the evict settles, v1 is gone for good (no cache
+        // resurrection) and v2 still answers bit-identically.
+        let root = CancelToken::new();
+        match engine.query(
+            "m",
+            1,
+            Query::Slice {
+                mode: 1,
+                index: slices[0],
+            },
+            None,
+            &root,
+            || false,
+        ) {
+            Err(ServeError::ModelNotFound { version: 1, .. }) => {}
+            other => panic!("evicted version must stay gone, got {other:?}"),
+        }
+        match engine.query(
+            "m",
+            2,
+            Query::Slice {
+                mode: 1,
+                index: slices[0],
+            },
+            None,
+            &root,
+            || false,
+        ) {
+            Ok(QueryResult::Slice(vals)) => {
+                assert_bits_eq(&vals, &oracle_slice(&v2, 1, slices[0]), "v2 after evict");
+            }
+            other => panic!("surviving version must answer, got {other:?}"),
+        }
+        engine.shutdown();
+    });
 }
