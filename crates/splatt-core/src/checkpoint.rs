@@ -10,8 +10,17 @@
 //! Values are serialized as IEEE-754 bit patterns (`f64::to_bits` hex),
 //! not decimal text, so `resume(checkpoint(k)) ≡ run-through` holds
 //! **bit for bit** — the invariant the fault-tolerance tests pin down.
+//!
+//! On disk, [`Checkpoint::write_to_dir`] wraps the text payload in a
+//! `splatt-store` CRC-framed artifact and publishes it atomically
+//! (`write temp → fsync → rename → fsync dir`), so a crash mid-save
+//! leaves either the previous checkpoint or the complete new one —
+//! never a parseable-but-truncated file. [`Checkpoint::read_from`]
+//! verifies the frame checksum before parsing and still accepts the
+//! legacy unframed format for files written by older builds.
 
 use splatt_dense::Matrix;
+use splatt_store::StoreError;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
 
@@ -28,6 +37,9 @@ pub enum CheckpointError {
     /// A structurally valid checkpoint that does not match the run it
     /// was asked to resume (wrong dims, rank, or iteration count).
     Mismatch(String),
+    /// The CRC-framed container failed verification (torn file, bit
+    /// flip, trailing junk) — the payload was never parsed.
+    Corrupt(StoreError),
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -38,6 +50,7 @@ impl std::fmt::Display for CheckpointError {
                 write!(f, "checkpoint line {line}: {message}")
             }
             CheckpointError::Mismatch(m) => write!(f, "checkpoint mismatch: {m}"),
+            CheckpointError::Corrupt(e) => write!(f, "checkpoint container corrupt: {e}"),
         }
     }
 }
@@ -47,6 +60,15 @@ impl std::error::Error for CheckpointError {}
 impl From<std::io::Error> for CheckpointError {
     fn from(e: std::io::Error) -> Self {
         CheckpointError::Io(e)
+    }
+}
+
+impl From<StoreError> for CheckpointError {
+    fn from(e: StoreError) -> Self {
+        match e {
+            StoreError::Io(io) => CheckpointError::Io(io),
+            other => CheckpointError::Corrupt(other),
+        }
     }
 }
 
@@ -208,7 +230,10 @@ impl Checkpoint {
                     message: format!("factor has {cols} columns but rank is {rank}"),
                 });
             }
-            let mut data = Vec::with_capacity(rows * cols);
+            // Cap the up-front reservation: `rows` comes from untrusted
+            // bytes, and a corrupt header must produce a Parse error at
+            // the first missing line, not an allocation bomb here.
+            let mut data = Vec::with_capacity(rows.saturating_mul(cols).min(1 << 22));
             for _ in 0..rows {
                 data.extend(parse_hex_line(&next(&mut lineno)?, lineno, cols)?);
             }
@@ -224,21 +249,36 @@ impl Checkpoint {
 
     /// Write to `dir/ckpt-{iteration:05}.splatt`, returning the path.
     ///
+    /// The text payload is wrapped in a CRC-framed artifact stamped
+    /// with the iteration number and published atomically: a crash at
+    /// any point leaves either the previous file or the complete new
+    /// one.
+    ///
     /// # Errors
     /// Propagates I/O failures (the directory is created if missing).
     pub fn write_to_dir(&self, dir: &Path) -> Result<PathBuf, CheckpointError> {
         std::fs::create_dir_all(dir)?;
         let path = dir.join(format!("ckpt-{:05}.splatt", self.iteration));
-        self.write(std::fs::File::create(&path)?)?;
+        let mut payload = Vec::new();
+        self.write(&mut payload)?;
+        splatt_store::publish_artifact(&path, self.iteration as u64, &payload, None)?;
         Ok(path)
     }
 
-    /// Read a checkpoint file from disk.
+    /// Read a checkpoint file from disk: a framed artifact (checksum
+    /// verified before parsing) or the legacy unframed text format.
     ///
     /// # Errors
-    /// See [`Checkpoint::read`].
+    /// [`CheckpointError::Corrupt`] when the frame fails verification;
+    /// otherwise see [`Checkpoint::read`].
     pub fn read_from(path: &Path) -> Result<Checkpoint, CheckpointError> {
-        Self::read(std::fs::File::open(path)?)
+        let bytes = std::fs::read(path)?;
+        if splatt_store::is_framed(&bytes) {
+            let frame = splatt_store::unwrap_artifact(&bytes, path)?;
+            Self::read(frame.payload.as_slice())
+        } else {
+            Self::read(bytes.as_slice())
+        }
     }
 
     /// The highest-iteration `ckpt-*.splatt` in `dir`, if any.
@@ -405,5 +445,64 @@ mod tests {
         let back = Checkpoint::read_from(&p11).unwrap();
         assert_eq!(back.iteration, 11);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn on_disk_checkpoints_are_framed_and_verified() {
+        let dir = std::env::temp_dir().join("splatt_ckpt_framed_unit");
+        std::fs::remove_dir_all(&dir).ok();
+        let ck = sample();
+        let path = ck.write_to_dir(&dir).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert!(splatt_store::is_framed(&bytes), "checkpoint must be framed");
+
+        // A flip inside the frame must surface as Corrupt; a flip in
+        // the file magic demotes the file to the legacy path, where it
+        // must still fail typed. Either way: never a parsed checkpoint.
+        for probe in [bytes.len() / 2, bytes.len() - 1] {
+            let mut damaged = bytes.clone();
+            damaged[probe] ^= 0x10;
+            std::fs::write(&path, &damaged).unwrap();
+            match Checkpoint::read_from(&path) {
+                Err(CheckpointError::Corrupt(_)) => {}
+                other => panic!("flip at {probe}: expected Corrupt, got {other:?}"),
+            }
+        }
+        let mut damaged = bytes.clone();
+        damaged[0] ^= 0x10;
+        std::fs::write(&path, &damaged).unwrap();
+        assert!(Checkpoint::read_from(&path).is_err(), "magic flip parsed");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn legacy_unframed_checkpoint_still_reads() {
+        let dir = std::env::temp_dir().join("splatt_ckpt_legacy_unit");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let ck = sample();
+        let path = dir.join("ckpt-00007.splatt");
+        // Old builds wrote the bare text payload.
+        let mut payload = Vec::new();
+        ck.write(&mut payload).unwrap();
+        std::fs::write(&path, &payload).unwrap();
+        let back = Checkpoint::read_from(&path).unwrap();
+        assert_eq!(back, ck);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_factor_header_is_an_error_not_an_allocation_bomb() {
+        let ck = sample();
+        let mut buf = Vec::new();
+        ck.write(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        // Claim an absurd row count; the reader must fail at the first
+        // missing line instead of reserving rows*cols floats.
+        let huge = text.replacen("factor 5 3", "factor 99999999999 3", 1);
+        assert!(matches!(
+            Checkpoint::read(huge.as_bytes()),
+            Err(CheckpointError::Parse { .. })
+        ));
     }
 }

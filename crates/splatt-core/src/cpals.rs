@@ -870,6 +870,7 @@ pub fn try_cp_als_with_team_guarded(
                 }
             }),
             serve: None,
+            store: None,
         }
     });
 

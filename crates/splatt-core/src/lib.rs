@@ -70,7 +70,7 @@ pub use governed::{
 };
 pub use kruskal::KruskalModel;
 pub use model_file::{
-    load_model, load_model_path, model_from_checkpoint, save_model, MODEL_HEADER,
+    load_model, load_model_path, model_from_checkpoint, save_model, save_model_path, MODEL_HEADER,
 };
 pub use mttkrp::{MatrixAccess, MttkrpConfig, MttkrpWorkspace};
 pub use options::{Constraint, CpalsOptions, Implementation};

@@ -116,13 +116,31 @@ pub fn load_model(r: impl Read) -> std::io::Result<KruskalModel> {
         if cols != rank {
             return Err(bad(format!("factor has {cols} columns but rank is {rank}")));
         }
-        let mut data = Vec::with_capacity(rows * cols);
+        // Cap the up-front reservation: `rows` comes from untrusted
+        // bytes, and a corrupt header must fail at the first missing
+        // line, not reserve rows*cols floats here.
+        let mut data = Vec::with_capacity(rows.saturating_mul(cols).min(1 << 22));
         for _ in 0..rows {
             data.extend(parse_hex_line(&next()?, cols)?);
         }
         factors.push(Matrix::from_vec(rows, cols, data));
     }
     Ok(KruskalModel { lambda, factors })
+}
+
+/// Serialize `model` to `path` as a CRC-framed artifact published
+/// atomically (`write temp → fsync → rename → fsync dir`): a crash at
+/// any point leaves either the previous file or the complete new one,
+/// and any later torn/flipped bytes fail the checksum instead of
+/// parsing. `generation` stamps the frame (e.g. a refresh counter).
+///
+/// # Errors
+/// Propagates I/O failures; injected-fault and corruption errors from
+/// the store are converted to `InvalidData`.
+pub fn save_model_path(model: &KruskalModel, path: &Path, generation: u64) -> std::io::Result<()> {
+    let mut payload = Vec::new();
+    save_model(model, &mut payload)?;
+    splatt_store::publish_artifact(path, generation, &payload, None).map_err(std::io::Error::from)
 }
 
 /// Extract the model payload from a checkpoint: the serving layer does
@@ -143,7 +161,17 @@ pub fn model_from_checkpoint(ckpt: Checkpoint) -> KruskalModel {
 /// Returns `InvalidData` for unrecognized or malformed content and
 /// propagates I/O failures.
 pub fn load_model_path(path: &Path) -> std::io::Result<KruskalModel> {
-    let bytes = std::fs::read(path)?;
+    let raw = std::fs::read(path)?;
+    // Framed artifacts (written by `save_model_path` / checkpoint
+    // saves) are checksum-verified before any parsing; the payload is
+    // then sniffed like a bare file.
+    let bytes = if splatt_store::is_framed(&raw) {
+        splatt_store::unwrap_artifact(&raw, path)
+            .map_err(std::io::Error::from)?
+            .payload
+    } else {
+        raw
+    };
     let first_line = bytes
         .split(|&b| b == b'\n')
         .next()
@@ -277,5 +305,41 @@ mod tests {
         std::fs::write(&junk_path, "hello world\n").unwrap();
         assert!(load_model_path(&junk_path).is_err());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn framed_save_round_trips_and_detects_damage() {
+        let dir = std::env::temp_dir().join("splatt_model_framed_unit");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let model = sample();
+        let path = dir.join("m.splatt");
+        save_model_path(&model, &path, 3).unwrap();
+
+        let bytes = std::fs::read(&path).unwrap();
+        assert!(splatt_store::is_framed(&bytes), "model must be framed");
+        assert_eq!(bits(&load_model_path(&path).unwrap()), bits(&model));
+
+        // Truncations and bit flips must be typed errors, never a
+        // silently wrong model.
+        for cut in [1usize, bytes.len() / 3, bytes.len() - 1] {
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            assert!(load_model_path(&path).is_err(), "cut at {cut}");
+        }
+        let mut damaged = bytes.clone();
+        let mid = damaged.len() / 2;
+        damaged[mid] ^= 0x01;
+        std::fs::write(&path, &damaged).unwrap();
+        assert!(load_model_path(&path).is_err(), "bit flip undetected");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_factor_header_is_an_error_not_an_allocation_bomb() {
+        let mut buf = Vec::new();
+        save_model(&sample(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let huge = text.replacen("factor 5 3", "factor 99999999999 3", 1);
+        assert!(load_model(huge.as_bytes()).is_err());
     }
 }

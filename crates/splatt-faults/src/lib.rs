@@ -24,10 +24,12 @@
 //! facilities and the standard library, so it sits at the bottom of the
 //! workspace graph next to the RNG it mirrors.
 
+mod io;
 mod net;
 mod plan;
 mod recovery;
 
+pub use io::{IoFault, IoFaultKind, IoFaultPlan, IoFaultRates, IoFaultRecord};
 pub use net::{KillEvent, NetFaultPlan};
 pub use plan::{FaultKind, FaultPlan, FaultPlanParseError, FaultRates, FaultRecord};
 pub use recovery::{RecoveryAction, RecoveryPolicy};

@@ -33,7 +33,7 @@ mod tasks;
 pub use locks::{LockCounters, LockStats};
 pub use report::{
     DispatchRow, FaultRow, GuardRow, ProfileReport, QueryKindRow, RoutineRow, ServeRow, ShardRow,
-    PROFILE_SCHEMA,
+    StoreRow, PROFILE_SCHEMA,
 };
 pub use span::SpanNode;
 pub use tasks::{TaskTimes, ThreadLoad, ThreadLoadRow};

@@ -20,8 +20,12 @@ use std::fmt::Write as _;
 /// `dispatch` array (per-mode tensor-format and kernel decisions from
 /// the benchmark-driven dispatcher); v7 added `serve.shards` (per-shard
 /// cluster routing counters: retries, failovers, degraded answers,
-/// health transitions, and replica lag — empty in single-process mode).
-pub const PROFILE_SCHEMA: &str = "splatt-profile-v7";
+/// health transitions, and replica lag — empty in single-process mode);
+/// v8 added the `store` object (durability counters from the crash-safe
+/// persistence layer: WAL appends/commits/fsyncs, atomic publishes,
+/// segment rotations, recovery scans, torn bytes truncated, and
+/// checksum failures — `null` outside ingest/recover runs).
+pub const PROFILE_SCHEMA: &str = "splatt-profile-v8";
 
 /// One row of the per-routine table (label from `splatt_par::Routine`).
 #[derive(Debug, Clone, PartialEq)]
@@ -179,6 +183,33 @@ impl ServeRow {
     }
 }
 
+/// Durability-layer counters from the crash-safe persistence stack —
+/// the v8 schema addition. Like [`FaultRow`], kept as plain data so
+/// this crate stays independent of the store crate: the CLI copies a
+/// `splatt-store` counter snapshot into this row after an
+/// ingest/recover run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreRow {
+    /// Records appended to a WAL (buffered; not yet durable).
+    pub wal_appends: u64,
+    /// Group commits that reached the durable-ack point.
+    pub wal_commits: u64,
+    /// `fsync` calls issued (segments, artifacts, directories).
+    pub fsyncs: u64,
+    /// Artifacts published via the temp→fsync→rename protocol.
+    pub atomic_publishes: u64,
+    /// WAL segment rotations.
+    pub segments_rotated: u64,
+    /// WAL recovery scans performed on open.
+    pub recoveries: u64,
+    /// Records returned by recovery scans.
+    pub records_recovered: u64,
+    /// Bytes physically truncated off torn WAL tails.
+    pub torn_bytes_truncated: u64,
+    /// CRC mismatches observed while reading frames.
+    pub checksum_failures: u64,
+}
+
 /// Everything measured during one profiled CP-ALS run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ProfileReport {
@@ -205,6 +236,8 @@ pub struct ProfileReport {
     pub guard: Option<GuardRow>,
     /// Serving-subsystem activity; `None` outside a serving process.
     pub serve: Option<ServeRow>,
+    /// Durability-layer counters; `None` outside ingest/recover runs.
+    pub store: Option<StoreRow>,
 }
 
 impl Default for RoutineRow {
@@ -434,6 +467,28 @@ impl ProfileReport {
                 }
             }
         }
+        out.push_str(",\n  \"store\": ");
+        match &self.store {
+            None => out.push_str("null"),
+            Some(s) => {
+                let _ = write!(
+                    out,
+                    "{{\"wal_appends\": {}, \"wal_commits\": {}, \"fsyncs\": {}, \
+                     \"atomic_publishes\": {}, \"segments_rotated\": {}, \"recoveries\": {}, \
+                     \"records_recovered\": {}, \"torn_bytes_truncated\": {}, \
+                     \"checksum_failures\": {}}}",
+                    s.wal_appends,
+                    s.wal_commits,
+                    s.fsyncs,
+                    s.atomic_publishes,
+                    s.segments_rotated,
+                    s.recoveries,
+                    s.records_recovered,
+                    s.torn_bytes_truncated,
+                    s.checksum_failures
+                );
+            }
+        }
         out.push_str(",\n  \"spans\": ");
         span_json(&mut out, &self.span);
         out.push_str("\n}\n");
@@ -592,6 +647,20 @@ impl ProfileReport {
                 );
             }
         }
+        if let Some(s) = &self.store {
+            let _ = writeln!(
+                out,
+                "  store: {} WAL appends in {} commits, {} fsyncs, {} atomic publishes, \
+                 {} segments rotated",
+                s.wal_appends, s.wal_commits, s.fsyncs, s.atomic_publishes, s.segments_rotated
+            );
+            let _ = writeln!(
+                out,
+                "         {} recoveries restored {} records, truncated {} torn bytes, \
+                 {} checksum failures",
+                s.recoveries, s.records_recovered, s.torn_bytes_truncated, s.checksum_failures
+            );
+        }
         out.push_str("\n  span tree\n");
         self.span.render_into(&mut out, 1);
         out
@@ -732,6 +801,17 @@ mod tests {
                     },
                 ],
             }),
+            store: Some(StoreRow {
+                wal_appends: 120,
+                wal_commits: 30,
+                fsyncs: 35,
+                atomic_publishes: 4,
+                segments_rotated: 2,
+                recoveries: 1,
+                records_recovered: 118,
+                torn_bytes_truncated: 17,
+                checksum_failures: 1,
+            }),
         }
     }
 
@@ -869,6 +949,35 @@ mod tests {
     }
 
     #[test]
+    fn store_object_is_schema_stable() {
+        let report = sample();
+        let doc = json::parse(&report.to_json()).expect("valid JSON");
+        let store = doc.get("store").unwrap();
+        assert_eq!(store.get("wal_appends").unwrap().as_u64(), Some(120));
+        assert_eq!(store.get("wal_commits").unwrap().as_u64(), Some(30));
+        assert_eq!(store.get("fsyncs").unwrap().as_u64(), Some(35));
+        assert_eq!(store.get("atomic_publishes").unwrap().as_u64(), Some(4));
+        assert_eq!(store.get("segments_rotated").unwrap().as_u64(), Some(2));
+        assert_eq!(store.get("recoveries").unwrap().as_u64(), Some(1));
+        assert_eq!(store.get("records_recovered").unwrap().as_u64(), Some(118));
+        assert_eq!(
+            store.get("torn_bytes_truncated").unwrap().as_u64(),
+            Some(17)
+        );
+        assert_eq!(store.get("checksum_failures").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn storeless_report_serializes_null_store() {
+        let mut report = sample();
+        report.store = None;
+        let json = report.to_json();
+        assert!(json.contains("\"store\": null"), "json: {json}");
+        json::parse(&json).expect("valid JSON");
+        assert!(!report.render().contains("store:"));
+    }
+
+    #[test]
     fn cache_hit_rate_handles_empty_cache() {
         assert_eq!(ServeRow::default().cache_hit_rate(), 0.0);
     }
@@ -910,6 +1019,8 @@ mod tests {
         assert!(text.contains("serve: 250 batches"));
         assert!(text.contains("cache 75.0% hit"));
         assert!(text.contains("12 shed"));
+        assert!(text.contains("store: 120 WAL appends in 30 commits"));
+        assert!(text.contains("truncated 17 torn bytes"));
         assert!(text.contains("span tree"));
     }
 

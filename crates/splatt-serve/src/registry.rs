@@ -78,6 +78,23 @@ impl ModelRegistry {
         version
     }
 
+    /// Publish the model stored at `path` (any format
+    /// [`splatt_core::load_model_path`] sniffs, including the CRC-framed
+    /// artifacts the durability layer writes) under `name`.
+    ///
+    /// The file is read, checksum-verified, and parsed entirely
+    /// *outside* the registry lock, so republishing a refreshed model
+    /// never blocks in-flight queries: readers see the old latest until
+    /// the one `publish_arc` call at the end swaps in the new version.
+    ///
+    /// # Errors
+    /// Propagates load failures (torn/corrupt files surface as typed
+    /// `InvalidData` errors from the store layer, never a wrong model).
+    pub fn publish_path(&self, name: &str, path: &std::path::Path) -> std::io::Result<u64> {
+        let model = splatt_core::load_model_path(path)?;
+        Ok(self.publish_arc(name, Arc::new(model)))
+    }
+
     /// Resolve `name` at `version` (0 = latest).
     pub fn get(&self, name: &str, version: u64) -> Option<Arc<ServableModel>> {
         let inner = self.inner.lock();
@@ -188,6 +205,34 @@ mod tests {
         assert_eq!(reg.evict("m", 0), 1);
         assert_eq!(reg.evict("m", 0), 0);
         assert_eq!(reg.evict("ghost", 0), 0);
+    }
+
+    #[test]
+    fn publish_path_loads_framed_artifacts_and_rejects_torn_ones() {
+        let dir = std::env::temp_dir().join("splatt_registry_publish_path");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.splatt");
+        splatt_core::save_model_path(&model(5), &path, 1).unwrap();
+
+        let reg = ModelRegistry::new();
+        assert_eq!(reg.publish_path("m", &path).unwrap(), 1);
+        assert_eq!(reg.get("m", 0).unwrap().model.rank(), 2);
+
+        // A refreshed model republished from disk becomes the new
+        // latest while an old pin keeps serving.
+        let pinned = reg.get("m", 1).unwrap();
+        splatt_core::save_model_path(&model(9), &path, 2).unwrap();
+        assert_eq!(reg.publish_path("m", &path).unwrap(), 2);
+        assert_eq!(reg.get("m", 0).unwrap().version, 2);
+        assert_eq!(pinned.model.rank(), 2, "pin unaffected by republish");
+
+        // A torn artifact must fail typed and leave the registry as-is.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+        assert!(reg.publish_path("m", &path).is_err());
+        assert_eq!(reg.get("m", 0).unwrap().version, 2, "registry unchanged");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

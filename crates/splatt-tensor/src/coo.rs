@@ -202,6 +202,30 @@ impl SparseTensor {
         (train, test)
     }
 
+    /// Merge a batch of delta entries into this tensor: append every
+    /// `(coordinate, value)` pair — growing mode dimensions as needed to
+    /// admit out-of-range coordinates — then [`SparseTensor::coalesce`],
+    /// so duplicates (an update to an existing cell) sum and exact
+    /// cancellations vanish. This is the ingest path for WAL-recovered
+    /// nnz deltas: deterministic, so replaying the same acknowledged
+    /// prefix always yields the same tensor.
+    ///
+    /// # Panics
+    /// Panics if any entry's coordinate arity differs from the tensor
+    /// order.
+    pub fn merge_entries(&mut self, entries: &[(Vec<u32>, f64)]) {
+        for (coord, _) in entries {
+            assert_eq!(coord.len(), self.order(), "delta entry arity mismatch");
+            for (d, &i) in self.dims.iter_mut().zip(coord) {
+                *d = (*d).max(i as usize + 1);
+            }
+        }
+        for (coord, val) in entries {
+            self.push(coord, *val);
+        }
+        self.coalesce();
+    }
+
     /// Merge duplicate coordinates by summing their values, dropping exact
     /// zeros produced by cancellation. Ordering of the result is the
     /// lexicographic coordinate order.
@@ -381,6 +405,40 @@ mod tests {
         let mut t = SparseTensor::new(vec![2, 2]);
         t.coalesce();
         assert_eq!(t.nnz(), 0);
+    }
+
+    #[test]
+    fn merge_entries_sums_updates_and_grows_dims() {
+        let mut t = small();
+        t.merge_entries(&[
+            (vec![0, 0, 0], 0.5),  // update of an existing cell
+            (vec![2, 3, 4], -2.0), // exact cancellation
+            (vec![4, 1, 1], 9.0),  // out of range: grows mode 0 to 5
+        ]);
+        assert_eq!(t.dims(), &[5, 4, 5]);
+        assert_eq!(
+            t.canonical_entries(),
+            vec![
+                (vec![0, 0, 0], 1.5),
+                (vec![1, 2, 3], 3.0),
+                (vec![4, 1, 1], 9.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn merge_entries_is_deterministic_and_batchable() {
+        // One big merge and two staged merges agree entry-for-entry.
+        let deltas: Vec<(Vec<u32>, f64)> = (0..40u32)
+            .map(|i| (vec![i % 5, i % 4, i % 3], (i as f64) * 0.25 - 3.0))
+            .collect();
+        let mut whole = small();
+        whole.merge_entries(&deltas);
+        let mut staged = small();
+        staged.merge_entries(&deltas[..17]);
+        staged.merge_entries(&deltas[17..]);
+        assert_eq!(whole.canonical_entries(), staged.canonical_entries());
+        assert_eq!(whole.dims(), staged.dims());
     }
 
     #[test]

@@ -60,6 +60,105 @@ pub enum DuplicatePolicy {
     Error,
 }
 
+/// Parse the shared per-line payload: `ord` 1-based coordinates (mapped
+/// to 0-based `u32`) followed by a finite value.
+fn parse_entry_fields(
+    fields: &[&str],
+    ord: usize,
+    lineno: usize,
+) -> Result<(Vec<u32>, f64), TnsError> {
+    let mut coord = Vec::with_capacity(ord);
+    for (m, f) in fields[..ord].iter().enumerate() {
+        let idx: u64 = f.parse().map_err(|_| TnsError::Parse {
+            line: lineno,
+            message: format!("invalid index '{f}' in mode {m}"),
+        })?;
+        if idx == 0 || idx > u32::MAX as u64 {
+            return Err(TnsError::Parse {
+                line: lineno,
+                message: format!("index {idx} out of range (format is 1-based)"),
+            });
+        }
+        coord.push((idx - 1) as u32);
+    }
+    let v: f64 = fields[ord].parse().map_err(|_| TnsError::Parse {
+        line: lineno,
+        message: format!("invalid value '{}'", fields[ord]),
+    })?;
+    if !v.is_finite() {
+        return Err(TnsError::Parse {
+            line: lineno,
+            message: format!("non-finite value '{}'", fields[ord]),
+        });
+    }
+    Ok((coord, v))
+}
+
+/// Parse a `.tns` stream into raw `(coordinate, value)` entries in file
+/// order, without building a tensor: the ingest path for WAL delta
+/// batches, where entries must survive exactly as written (duplicates
+/// preserved, order preserved) so the log replays deterministically.
+/// Coordinates are returned 0-based; the same validations as
+/// [`read_tns_with`] apply (consistent arity, 1-based indices that fit
+/// `u32`, finite values).
+///
+/// Returns `(order, entries)`.
+///
+/// # Errors
+/// See [`read_tns_with`]; an empty stream is an error.
+pub fn read_tns_entries(reader: impl Read) -> Result<RawEntries, TnsError> {
+    let mut reader = BufReader::new(reader);
+    let mut order: Option<usize> = None;
+    let mut entries: Vec<(Vec<u32>, f64)> = Vec::new();
+    let mut line_buf = String::new();
+    let mut lineno = 0usize;
+    loop {
+        line_buf.clear();
+        if reader.read_line(&mut line_buf)? == 0 {
+            break;
+        }
+        lineno += 1;
+        let line = line_buf.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        let ord = *order.get_or_insert_with(|| fields.len().saturating_sub(1));
+        if ord < 2 {
+            return Err(TnsError::Parse {
+                line: lineno,
+                message: format!("expected at least 3 fields, found {}", fields.len()),
+            });
+        }
+        if fields.len() != ord + 1 {
+            return Err(TnsError::Parse {
+                line: lineno,
+                message: format!("expected {} fields, found {}", ord + 1, fields.len()),
+            });
+        }
+        entries.push(parse_entry_fields(&fields, ord, lineno)?);
+    }
+    match order {
+        Some(ord) => Ok((ord, entries)),
+        None => Err(TnsError::Parse {
+            line: 0,
+            message: "empty tensor file: cannot infer order".to_string(),
+        }),
+    }
+}
+
+/// Raw `.tns` content: the inferred order and every `(coords, value)`
+/// entry in file order (0-based coordinates, duplicates preserved).
+pub type RawEntries = (usize, Vec<(Vec<u32>, f64)>);
+
+/// Read raw `.tns` entries from a file on disk; see [`read_tns_entries`].
+///
+/// # Errors
+/// See [`read_tns_entries`].
+pub fn read_tns_entries_file(path: impl AsRef<Path>) -> Result<RawEntries, TnsError> {
+    read_tns_entries(std::fs::File::open(path)?)
+}
+
 /// Parse a `.tns` stream, inferring mode dimensions from the data.
 /// Equivalent to [`read_tns_with`] under [`DuplicatePolicy::Keep`].
 ///
@@ -122,30 +221,7 @@ pub fn read_tns_with(
             inds = vec![Vec::new(); ord];
             dims = vec![0; ord];
         }
-        let mut coord = Vec::with_capacity(ord);
-        for (m, f) in fields[..ord].iter().enumerate() {
-            let idx: u64 = f.parse().map_err(|_| TnsError::Parse {
-                line: lineno,
-                message: format!("invalid index '{f}' in mode {m}"),
-            })?;
-            if idx == 0 || idx > u32::MAX as u64 {
-                return Err(TnsError::Parse {
-                    line: lineno,
-                    message: format!("index {idx} out of range (format is 1-based)"),
-                });
-            }
-            coord.push((idx - 1) as u32);
-        }
-        let v: f64 = fields[ord].parse().map_err(|_| TnsError::Parse {
-            line: lineno,
-            message: format!("invalid value '{}'", fields[ord]),
-        })?;
-        if !v.is_finite() {
-            return Err(TnsError::Parse {
-                line: lineno,
-                message: format!("non-finite value '{}'", fields[ord]),
-            });
-        }
+        let (coord, v) = parse_entry_fields(&fields, ord, lineno)?;
         if duplicates != DuplicatePolicy::Keep {
             if let Some(&at) = seen.get(&coord) {
                 match duplicates {
@@ -440,6 +516,34 @@ mod tests {
                 Err(TnsError::Io(e)) => panic!("unexpected I/O error {e} (seed {:#x})", g.seed()),
             }
         });
+    }
+
+    #[test]
+    fn entries_reader_preserves_order_and_duplicates() {
+        let text = "# c\n1 2 3 1.5\n1 2 3 -0.5\n4 1 1 2.0\n";
+        let (order, entries) = read_tns_entries(text.as_bytes()).unwrap();
+        assert_eq!(order, 3);
+        assert_eq!(
+            entries,
+            vec![
+                (vec![0, 1, 2], 1.5),
+                (vec![0, 1, 2], -0.5),
+                (vec![3, 0, 0], 2.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn entries_reader_rejects_what_the_tensor_reader_rejects() {
+        for bad in [
+            "",
+            "0 1 1 1.0\n",
+            "1 1 1 NaN\n",
+            "1 1 1 1.0\n1 1 2.0\n",
+            "4294967296 1 1 1.0\n",
+        ] {
+            assert!(read_tns_entries(bad.as_bytes()).is_err(), "{bad:?}");
+        }
     }
 
     #[test]

@@ -57,6 +57,10 @@ fn usage() -> ExitCode {
          splatt query <addr> slice --model NAME --mode M --index I\n  \
          splatt query <addr> topk  --model NAME --mode M --k K [--fixed i,j]\n  \
          splatt query <addr> stats|list|health|shutdown\n  \
+         splatt ingest <store-dir> <delta.tns> [--batch N] [--segment-bytes B]\n              \
+         (append nnz deltas to the store's checksummed WAL)\n  \
+         splatt recover <store-dir> [--base base.tns] [--out merged.tns]\n              \
+         [--report FILE.json]   (replay the WAL, merge into the base tensor)\n  \
          splatt stats <tensor.tns>\n  \
          splatt check <tensor.tns>\n  \
          splatt generate <yelp|rate-beer|beer-advocate|nell-2|netflix|random>\n              \
@@ -389,8 +393,15 @@ fn cmd_cpd(path: &str, flags: &Flags) -> Result<(), String> {
 }
 
 fn save_model(model: &KruskalModel, path: &str) -> Result<(), String> {
-    let f = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
-    model.write(f).map_err(|e| format!("{path}: {e}"))?;
+    // Text `.kruskal` format, but published atomically (temp + fsync +
+    // rename) so a crash mid-save can never leave a torn half-model
+    // where a previous good model used to be.
+    let mut bytes = Vec::new();
+    model
+        .write(&mut bytes)
+        .map_err(|e| format!("{path}: {e}"))?;
+    splatt::store::publish_bytes(std::path::Path::new(path), &bytes, None)
+        .map_err(|e| format!("{path}: {e}"))?;
     println!(
         "wrote {path} (rank {}, {} modes)",
         model.rank(),
@@ -400,10 +411,8 @@ fn save_model(model: &KruskalModel, path: &str) -> Result<(), String> {
 }
 
 fn cmd_predict(model_path: &str, coords_path: &str) -> Result<(), String> {
-    let model = KruskalModel::read(
-        std::fs::File::open(model_path).map_err(|e| format!("{model_path}: {e}"))?,
-    )
-    .map_err(|e| format!("{model_path}: {e}"))?;
+    let model = splatt::core::load_model_path(std::path::Path::new(model_path))
+        .map_err(|e| format!("{model_path}: {e}"))?;
     let queries = load(coords_path)?;
     if queries.order() != model.order() {
         return Err(format!(
@@ -511,18 +520,188 @@ fn cmd_complete(path: &str, flags: &Flags) -> Result<(), String> {
 
 /// Convert a checkpoint, bit-exact model file, or text `.kruskal` model
 /// into the canonical bit-exact model format used by `splatt serve`.
+///
+/// The output is a CRC-framed artifact written via atomic publish, so a
+/// crash mid-export leaves either the old file or the new one — never a
+/// torn hybrid that parses as a wrong model.
 fn cmd_export_model(input: &str, flags: &Flags) -> Result<(), String> {
     let out_path = flags.get("out").ok_or("export-model requires --out FILE")?;
     let model = splatt::core::load_model_path(std::path::Path::new(input))
         .map_err(|e| format!("{input}: {e}"))?;
-    let f = std::fs::File::create(out_path).map_err(|e| format!("{out_path}: {e}"))?;
-    splatt::core::save_model(&model, f).map_err(|e| format!("{out_path}: {e}"))?;
+    splatt::core::save_model_path(&model, std::path::Path::new(out_path), 1)
+        .map_err(|e| format!("{out_path}: {e}"))?;
     println!(
         "wrote {out_path} (rank {}, {} modes, dims {:?})",
         model.rank(),
         model.order(),
         model.factors.iter().map(Matrix::rows).collect::<Vec<_>>()
     );
+    Ok(())
+}
+
+/// Copy a global store-counter snapshot into the schema v8 probe row.
+fn store_row(c: splatt::store::StoreCounters) -> splatt::probe::StoreRow {
+    splatt::probe::StoreRow {
+        wal_appends: c.wal_appends,
+        wal_commits: c.wal_commits,
+        fsyncs: c.fsyncs,
+        atomic_publishes: c.atomic_publishes,
+        segments_rotated: c.segments_rotated,
+        recoveries: c.recoveries,
+        records_recovered: c.records_recovered,
+        torn_bytes_truncated: c.torn_bytes_truncated,
+        checksum_failures: c.checksum_failures,
+    }
+}
+
+/// Append the nonzeros of `delta.tns` to a store directory's WAL in
+/// group-committed batches, then publish a refreshed manifest. Every
+/// batch reported as committed here is durable: the WAL fsyncs before
+/// `commit` returns, and recovery replays it even after power loss.
+fn cmd_ingest(store_dir: &str, delta_path: &str, flags: &Flags) -> Result<(), String> {
+    use splatt::store::{counters_snapshot, encode_delta, Manifest, Wal, WalOptions};
+    let batch: usize = flags.parse_or("batch", 1024)?;
+    if batch == 0 {
+        return Err("--batch must be at least 1".into());
+    }
+    let segment_bytes: u64 = flags.parse_or("segment-bytes", 4 << 20)?;
+    if segment_bytes == 0 {
+        return Err("--segment-bytes must be at least 1".into());
+    }
+    let (order, entries) =
+        io::read_tns_entries_file(delta_path).map_err(|e| format!("{delta_path}: {e}"))?;
+    let dir = std::path::Path::new(store_dir);
+    std::fs::create_dir_all(dir).map_err(|e| format!("{store_dir}: {e}"))?;
+    let (mut wal, recovery) = Wal::open(
+        dir,
+        WalOptions {
+            segment_bytes,
+            plan: None,
+        },
+    )
+    .map_err(|e| format!("{store_dir}: {e}"))?;
+    if recovery.truncated_bytes > 0 {
+        println!(
+            "recovered WAL: truncated {} torn tail byte(s), {} committed record(s) intact",
+            recovery.truncated_bytes,
+            recovery.records.len()
+        );
+    }
+    let mut committed_nnz = 0usize;
+    for chunk in entries.chunks(batch) {
+        let payload = encode_delta(order, chunk);
+        wal.append(&payload)
+            .map_err(|e| format!("{store_dir}: {e}"))?;
+        wal.commit().map_err(|e| format!("{store_dir}: {e}"))?;
+        committed_nnz += chunk.len();
+    }
+    let mut manifest = Manifest::load(dir, None)
+        .map_err(|e| format!("{store_dir}: {e}"))?
+        .unwrap_or_default();
+    manifest.set("order", &order.to_string());
+    manifest.set("segment", &wal.segment_index().to_string());
+    if let Some(seq) = wal.acked_seq() {
+        manifest.set("acked_seq", &seq.to_string());
+    }
+    let generation = manifest
+        .publish(dir, None)
+        .map_err(|e| format!("{store_dir}: {e}"))?;
+    let c = counters_snapshot();
+    println!(
+        "ingested {committed_nnz} nonzeros from {delta_path} into {store_dir} \
+         (manifest generation {generation})"
+    );
+    println!(
+        "store: {} WAL appends in {} commits, {} fsyncs, {} atomic publishes, \
+         {} segments rotated",
+        c.wal_appends, c.wal_commits, c.fsyncs, c.atomic_publishes, c.segments_rotated
+    );
+    Ok(())
+}
+
+/// Replay a store directory's WAL, merge the recovered nnz deltas into
+/// an optional base tensor, and report what recovery found. Coincident
+/// coordinates sum (the WAL is a log of *deltas*, not of final values).
+fn cmd_recover(store_dir: &str, flags: &Flags) -> Result<(), String> {
+    use splatt::store::{counters_snapshot, decode_delta, Manifest, Wal};
+    let dir = std::path::Path::new(store_dir);
+    let recovery = Wal::recover(dir, None).map_err(|e| format!("{store_dir}: {e}"))?;
+    let manifest = Manifest::load(dir, None).map_err(|e| format!("{store_dir}: {e}"))?;
+    if let Some(m) = &manifest {
+        println!(
+            "manifest generation {}{}",
+            m.generation,
+            m.get("acked_seq")
+                .map(|s| format!(", acked seq {s}"))
+                .unwrap_or_default()
+        );
+    }
+    let mut entries: Vec<(Vec<u32>, f64)> = Vec::new();
+    let mut order: Option<usize> = None;
+    for record in &recovery.records {
+        let (rec_order, batch) = decode_delta(&record.payload)
+            .map_err(|e| format!("{store_dir}: WAL record {}: {e}", record.seq))?;
+        match order {
+            None => order = Some(rec_order),
+            Some(o) if o == rec_order => {}
+            Some(o) => {
+                return Err(format!(
+                    "{store_dir}: WAL record {} has order {rec_order}, expected {o}",
+                    record.seq
+                ))
+            }
+        }
+        entries.extend(batch);
+    }
+    println!(
+        "recovered {} record(s) holding {} nonzeros from {} segment(s), \
+         truncated {} torn byte(s)",
+        recovery.records.len(),
+        entries.len(),
+        recovery.segments_scanned,
+        recovery.truncated_bytes
+    );
+    let merged = match (flags.get("base"), order) {
+        (Some(base_path), _) => {
+            let mut base = load(base_path)?;
+            let expect = base.order();
+            if let Some(o) = order {
+                if o != expect {
+                    return Err(format!(
+                        "{base_path} has order {expect} but the WAL holds order-{o} deltas"
+                    ));
+                }
+            }
+            base.merge_entries(&entries);
+            println!(
+                "merged into {base_path}: {} nonzeros after coalescing",
+                base.nnz()
+            );
+            Some(base)
+        }
+        (None, Some(o)) => {
+            // Unit dims: merge_entries grows each mode to fit its data.
+            let mut t = splatt::SparseTensor::new(vec![1; o]);
+            t.merge_entries(&entries);
+            Some(t)
+        }
+        (None, None) => None,
+    };
+    if let Some(out_path) = flags.get("out") {
+        let t = merged
+            .as_ref()
+            .ok_or("--out needs recovered records or a --base tensor")?;
+        io::write_tns_file(t, out_path).map_err(|e| format!("{out_path}: {e}"))?;
+        println!("wrote {} nonzeros to {out_path}", t.nnz());
+    }
+    if let Some(report_path) = flags.get("report") {
+        let report = splatt::probe::ProfileReport {
+            store: Some(store_row(counters_snapshot())),
+            ..Default::default()
+        };
+        std::fs::write(report_path, report.to_json()).map_err(|e| format!("{report_path}: {e}"))?;
+        println!("wrote {report_path}");
+    }
     Ok(())
 }
 
@@ -904,6 +1083,15 @@ fn main() -> ExitCode {
             Some((op, flag_args)) => Flags::parse(flag_args).and_then(|f| cmd_query(addr, op, &f)),
             None => return usage(),
         },
+        ("ingest", Some((store_dir, rest2))) => match rest2.split_first() {
+            Some((delta, flag_args)) => {
+                Flags::parse(flag_args).and_then(|f| cmd_ingest(store_dir, delta, &f))
+            }
+            None => return usage(),
+        },
+        ("recover", Some((store_dir, flag_args))) => {
+            Flags::parse(flag_args).and_then(|f| cmd_recover(store_dir, &f))
+        }
         ("stats", Some((path, _))) => cmd_stats(path),
         ("check", Some((path, _))) => cmd_check(path),
         ("generate", Some((which, flag_args))) => {

@@ -20,6 +20,7 @@
 //! | [`faults`] | seeded fault injection (`FaultPlan`), recovery policies |
 //! | [`mod@guard`] | run governance: cancellation, deadlines, budgets, watchdog |
 //! | [`mod@serve`] | model registry, batched query engine, TCP serving front end |
+//! | [`mod@store`] | checksummed WAL, atomic artifact publish, crash recovery |
 //! | [`rt`] | sync primitives, seeded RNG, parallel helpers, qc harness |
 //!
 //! The most common entry points are also re-exported at the top level.
@@ -90,6 +91,12 @@ pub mod guard {
 /// Factor-model serving: registry, batched query engine, TCP front end.
 pub mod serve {
     pub use splatt_serve::*;
+}
+
+/// Crash-safe persistence: checksummed frames, the nnz-delta WAL,
+/// atomic artifact publish, and the versioned store manifest.
+pub mod store {
+    pub use splatt_store::*;
 }
 
 pub use splatt_core::{
