@@ -66,9 +66,10 @@ fn committed_baseline_is_schema_stable() {
 /// The committed baseline must both feed the dispatcher and pass the
 /// regression gate: no `(kernel, sync, rank)` decision may land on a
 /// specialized cell that measured below 1.0x against its own generic
-/// column. This is what retires defects like the leaf-R=32 cells of the
-/// v1 baseline (0.59x / 0.66x): auto dispatch now masks them instead of
-/// shipping them.
+/// column. The leaf-R=32 regression of the v1 baseline (0.59x / 0.66x)
+/// is retired outright now — the kernel drivers route leaf-32 to the
+/// generic path and `decide` never offers it — so the gate is a pure
+/// regression tripwire for *new* losing cells.
 #[test]
 fn committed_baseline_passes_dispatch_gate() {
     let path = committed_baseline_path();
@@ -135,6 +136,45 @@ fn specialized_dispatch_is_bit_identical_on_bench_workload() {
             );
         }
     }
+}
+
+/// Regenerating the baseline must never select a sub-1.0x cell either:
+/// a fresh `run_cells` sweep on the pinned workload, fed through the
+/// same dispatcher, has zero gate violations — and the retired leaf-32
+/// specialization is never selected no matter what it measures.
+/// Meaningless without optimization (debug-build noise would dominate),
+/// so debug builds skip it; CI runs it with `cargo test --release`.
+#[cfg_attr(
+    debug_assertions,
+    ignore = "regenerated-cell gate is only meaningful in release builds"
+)]
+#[test]
+fn regenerated_cells_selected_by_dispatch_are_all_winners() {
+    let w = BenchWorkload::default();
+    // Three attempts absorb scheduler noise, matching the r16 floor test.
+    let mut last: Vec<String> = Vec::new();
+    for attempt in 0..3 {
+        let cells = run_cells(&w);
+        let json = splatt_bench::baseline::to_json(&w, 0, &cells);
+        let table = splatt_core::DispatchTable::parse_str(&json)
+            .expect("regenerated cells must parse as a dispatch table");
+        for cell in table.cells() {
+            let d = table.decide(cell.kernel.as_str(), cell.sync.as_str(), cell.rank);
+            assert!(
+                !(d.specialize && cell.kernel == "leaf" && cell.rank == 32),
+                "retired leaf-32 specialization was selected"
+            );
+        }
+        last = dispatch_gate_violations(&table);
+        eprintln!("attempt {attempt}: {} gate violations", last.len());
+        if last.is_empty() {
+            return;
+        }
+    }
+    panic!(
+        "regenerated baseline kept selecting sub-1.0x cells:\n  {}",
+        last.join("\n  ")
+    );
 }
 
 /// The perf floor the PR commits to: on the pinned baseline workload the

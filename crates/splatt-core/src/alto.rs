@@ -78,12 +78,18 @@ pub fn mttkrp_alto(
         assert_eq!(f.rows(), alto.dims()[m], "factor {m} rows mismatch");
         assert_eq!(f.cols(), out.cols(), "factor {m} rank mismatch");
     }
+    // Leaf-role modes (deepest packed level) at R = 32 are retired to
+    // the generic path, mirroring the CSF driver — same register-spill
+    // regression, same fix (see `mttkrp::SPECIALIZED_RANKS`).
+    let leaf32_retired = alto.level_of_mode(mode) == alto.order() - 1;
     macro_rules! dispatch {
         ($A:ty) => {
             match out.cols() {
                 8 if cfg.specialize => run_alto::<$A, 8>(alto, factors, mode, out, ws, team, cfg),
                 16 if cfg.specialize => run_alto::<$A, 16>(alto, factors, mode, out, ws, team, cfg),
-                32 if cfg.specialize => run_alto::<$A, 32>(alto, factors, mode, out, ws, team, cfg),
+                32 if cfg.specialize && !leaf32_retired => {
+                    run_alto::<$A, 32>(alto, factors, mode, out, ws, team, cfg)
+                }
                 _ => run_alto::<$A, 0>(alto, factors, mode, out, ws, team, cfg),
             }
         };

@@ -389,8 +389,9 @@ pub fn try_cp_als_with_team_guarded(
     });
     let mut span_root = opts.profile.then(|| SpanNode::new("CPD total"));
 
-    // ---- initialization: uniform random factors (SPLATT), or the exact
-    // state of a prior run when resuming from a checkpoint ----
+    // ---- initialization: uniform random factors (SPLATT), the exact
+    // state of a prior run when resuming from a checkpoint, or a previous
+    // Kruskal model when warm-starting an online refresh ----
     let mut start_iter = 0usize;
     let mut fits = Vec::with_capacity(opts.max_iters);
     let mut oldfit = 0.0;
@@ -404,6 +405,42 @@ pub fn try_cp_als_with_team_guarded(
         fits = ck.fits;
         oldfit = fits.last().copied().unwrap_or(0.0);
         factors_init = ck.factors;
+    } else if let Some(model) = &opts.warm_start {
+        assert_eq!(model.rank(), rank, "warm-start model rank mismatch");
+        assert_eq!(
+            model.order(),
+            tensor.order(),
+            "warm-start model order mismatch"
+        );
+        // Fold lambda into mode 0 so the starting point *is* the model;
+        // the first iteration re-normalizes as usual. Rows past the
+        // model's dimension (modes grown by merged deltas) take the
+        // seeded random values a cold start would give them.
+        factors_init = tensor
+            .dims()
+            .iter()
+            .enumerate()
+            .map(|(m, &d)| {
+                let old = &model.factors[m];
+                assert!(
+                    old.rows() <= d,
+                    "warm-start model mode {m} is larger than the tensor"
+                );
+                let mut f = Matrix::random(d, rank, opts.seed.wrapping_add(m as u64));
+                for i in 0..old.rows() {
+                    let src = old.row(i);
+                    let dst = f.row_mut(i);
+                    for r in 0..rank {
+                        dst[r] = if m == 0 {
+                            model.lambda[r] * src[r]
+                        } else {
+                            src[r]
+                        };
+                    }
+                }
+                f
+            })
+            .collect();
     } else {
         factors_init = tensor
             .dims()
@@ -871,6 +908,7 @@ pub fn try_cp_als_with_team_guarded(
             }),
             serve: None,
             store: None,
+            refresh: None,
         }
     });
 

@@ -7,7 +7,7 @@ use splatt_tensor::SparseTensor;
 /// A rank-`R` Kruskal tensor: weights `lambda` and one column-normalized
 /// factor matrix per mode. The modeled value at coordinate `(i_1..i_N)` is
 /// `sum_r lambda[r] * prod_m factors[m][i_m][r]`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct KruskalModel {
     /// Component weights (column norms absorbed during ALS).
     pub lambda: Vec<f64>,

@@ -46,6 +46,7 @@ mod kruskal;
 mod model_file;
 mod options;
 pub mod query;
+pub mod refresh;
 mod sgd;
 mod tiling;
 
@@ -75,5 +76,8 @@ pub use model_file::{
 pub use mttkrp::{MatrixAccess, MttkrpConfig, MttkrpWorkspace};
 pub use options::{Constraint, CpalsOptions, Implementation};
 pub use query::{QueryArena, QueryError};
+pub use refresh::{
+    RefreshEngine, RefreshError, RefreshOptions, RefreshOutcome, REFRESH_MODEL_FILE,
+};
 pub use sgd::{tensor_complete_sgd, SgdOptions};
 pub use tiling::TiledCsf;

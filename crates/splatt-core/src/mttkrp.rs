@@ -98,6 +98,13 @@ impl Default for MttkrpConfig {
 
 /// Ranks with dedicated fixed-width kernel instantiations. Any other rank
 /// (or `specialize: false`) takes the generic dynamic-width path.
+///
+/// Exception: the **leaf** kernel at R = 32 is retired — its fixed
+/// `[f64; 32]` accumulator spills past the register file and benched
+/// consistently below 1.0x (0.804x CSF / 0.887x ALTO), so leaf kernels
+/// at rank 32 always run the generic path in both the CSF and ALTO
+/// drivers, and [`crate::dispatch::DispatchTable::decide`] never offers
+/// that cell as a specialization candidate.
 pub const SPECIALIZED_RANKS: [usize; 3] = [8, 16, 32];
 
 /// Re-slice a rank-length slice as a fixed-width array reference. Only
@@ -590,13 +597,19 @@ pub fn mttkrp(
         assert_eq!(f.cols(), out.cols(), "factor {m} rank mismatch");
     }
     // Two-level dispatch: access strategy (outer) x compile-time rank
-    // (inner). `R = 0` is the dynamic-width fallback.
+    // (inner). `R = 0` is the dynamic-width fallback. The leaf kernel at
+    // R = 32 is retired: its fixed-width accumulator spills past the
+    // register file and measured consistently below 1.0x, so leaf-32
+    // always takes the generic path (see `SPECIALIZED_RANKS`).
+    let leaf32_retired = matches!(kind, KernelKind::Leaf);
     macro_rules! dispatch {
         ($A:ty) => {
             match out.cols() {
                 8 if cfg.specialize => run::<$A, 8>(csf, kind, factors, mode, out, ws, team, cfg),
                 16 if cfg.specialize => run::<$A, 16>(csf, kind, factors, mode, out, ws, team, cfg),
-                32 if cfg.specialize => run::<$A, 32>(csf, kind, factors, mode, out, ws, team, cfg),
+                32 if cfg.specialize && !leaf32_retired => {
+                    run::<$A, 32>(csf, kind, factors, mode, out, ws, team, cfg)
+                }
                 _ => run::<$A, 0>(csf, kind, factors, mode, out, ws, team, cfg),
             }
         };

@@ -135,6 +135,14 @@ pub struct CpalsOptions {
     /// initialization. The resumed run continues **bit for bit** where
     /// the checkpointed run left off.
     pub resume_from: Option<PathBuf>,
+    /// Seed the factors from a previous [`crate::KruskalModel`] instead
+    /// of random initialization — the online-refresh warm start. The
+    /// model's lambda weights are folded into mode 0, so iteration 1
+    /// starts exactly at the previous solution; modes whose dimension
+    /// grew since the model was fit pad the new rows with the usual
+    /// seeded random values. Ignored when `resume_from` is set (a
+    /// checkpoint is a strictly stronger restart).
+    pub warm_start: Option<crate::KruskalModel>,
     /// Recovery knobs (retry budgets, ridge escalation, rollback cap)
     /// used when faults — injected or organic — hit the solver.
     pub recovery: RecoveryPolicy,
@@ -163,6 +171,7 @@ impl Default for CpalsOptions {
             profile: false,
             checkpoint_dir: None,
             resume_from: None,
+            warm_start: None,
             recovery: RecoveryPolicy::default(),
         }
     }

@@ -24,8 +24,13 @@ use std::fmt::Write as _;
 /// v8 added the `store` object (durability counters from the crash-safe
 /// persistence layer: WAL appends/commits/fsyncs, atomic publishes,
 /// segment rotations, recovery scans, torn bytes truncated, and
-/// checksum failures — `null` outside ingest/recover runs).
-pub const PROFILE_SCHEMA: &str = "splatt-profile-v8";
+/// checksum failures — `null` outside ingest/recover runs); v9 added
+/// the `refresh` object (online-refresh counters: rounds, deltas
+/// applied, incremental-merge comparisons and time, rebuild sorts
+/// skipped, warm-started refit iterations, warm fit and warm-vs-cold
+/// gap, publish latency, and the durable watermark — `null` outside
+/// refresh runs).
+pub const PROFILE_SCHEMA: &str = "splatt-profile-v9";
 
 /// One row of the per-routine table (label from `splatt_par::Routine`).
 #[derive(Debug, Clone, PartialEq)]
@@ -210,6 +215,40 @@ pub struct StoreRow {
     pub checksum_failures: u64,
 }
 
+/// Online-refresh counters — the v9 schema addition. Like [`StoreRow`],
+/// plain data: the refresh driver copies its counters into this row so
+/// the probe crate stays independent of the solver and store crates.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RefreshRow {
+    /// Refresh rounds completed (WAL tail → merge → refit → publish).
+    pub rounds: u64,
+    /// WAL records applied past the committed watermark.
+    pub deltas_applied: u64,
+    /// Individual delta entries merged into the resident tensor.
+    pub entries_merged: u64,
+    /// Coordinate comparisons spent in the incremental merges — the
+    /// asymptotic-cost evidence (compare against a full re-coalesce
+    /// bound, not wall-clock).
+    pub merge_compare_ops: u64,
+    /// Nanoseconds spent merging deltas into the resident tensor.
+    pub merge_ns: u64,
+    /// CSF/ALTO rebuild sorts skipped because the merged tensor was
+    /// already strictly sorted (the incremental-rebuild fast path).
+    pub sorts_skipped: u64,
+    /// ALS iterations across all warm-started refits.
+    pub refit_iterations: u64,
+    /// Final fit of the most recent warm-started refit.
+    pub warm_fit: f64,
+    /// `|warm fit − cold fit|` of the most recent audited refit; `0`
+    /// when the cold-refit audit was not requested.
+    pub warm_fit_gap: f64,
+    /// Nanoseconds spent publishing (model artifact + manifest + registry).
+    pub publish_ns: u64,
+    /// Committed WAL watermark, exclusive: every record with
+    /// `seq < watermark` is durably folded into the published state.
+    pub watermark: u64,
+}
+
 /// Everything measured during one profiled CP-ALS run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ProfileReport {
@@ -238,6 +277,8 @@ pub struct ProfileReport {
     pub serve: Option<ServeRow>,
     /// Durability-layer counters; `None` outside ingest/recover runs.
     pub store: Option<StoreRow>,
+    /// Online-refresh counters; `None` outside refresh runs.
+    pub refresh: Option<RefreshRow>,
 }
 
 impl Default for RoutineRow {
@@ -489,6 +530,33 @@ impl ProfileReport {
                 );
             }
         }
+        out.push_str(",\n  \"refresh\": ");
+        match &self.refresh {
+            None => out.push_str("null"),
+            Some(r) => {
+                let _ = write!(
+                    out,
+                    "{{\"rounds\": {}, \"deltas_applied\": {}, \"entries_merged\": {}, \
+                     \"merge_compare_ops\": {}, \"merge_ns\": {}, \"sorts_skipped\": {}, \
+                     \"refit_iterations\": {}, \"warm_fit\": ",
+                    r.rounds,
+                    r.deltas_applied,
+                    r.entries_merged,
+                    r.merge_compare_ops,
+                    r.merge_ns,
+                    r.sorts_skipped,
+                    r.refit_iterations
+                );
+                num(&mut out, r.warm_fit);
+                out.push_str(", \"warm_fit_gap\": ");
+                num(&mut out, r.warm_fit_gap);
+                let _ = write!(
+                    out,
+                    ", \"publish_ns\": {}, \"watermark\": {}}}",
+                    r.publish_ns, r.watermark
+                );
+            }
+        }
         out.push_str(",\n  \"spans\": ");
         span_json(&mut out, &self.span);
         out.push_str("\n}\n");
@@ -661,6 +729,29 @@ impl ProfileReport {
                 s.recoveries, s.records_recovered, s.torn_bytes_truncated, s.checksum_failures
             );
         }
+        if let Some(r) = &self.refresh {
+            let _ = writeln!(
+                out,
+                "  refresh: {} rounds applied {} deltas ({} entries) to watermark {}, \
+                 {} merge comparisons in {:.4}s, {} sorts skipped",
+                r.rounds,
+                r.deltas_applied,
+                r.entries_merged,
+                r.watermark,
+                r.merge_compare_ops,
+                r.merge_ns as f64 / 1e9,
+                r.sorts_skipped
+            );
+            let _ = writeln!(
+                out,
+                "           {} warm refit iterations, fit {:.6} (warm-vs-cold gap {:.2e}), \
+                 publish {:.4}s",
+                r.refit_iterations,
+                r.warm_fit,
+                r.warm_fit_gap,
+                r.publish_ns as f64 / 1e9
+            );
+        }
         out.push_str("\n  span tree\n");
         self.span.render_into(&mut out, 1);
         out
@@ -811,6 +902,19 @@ mod tests {
                 records_recovered: 118,
                 torn_bytes_truncated: 17,
                 checksum_failures: 1,
+            }),
+            refresh: Some(RefreshRow {
+                rounds: 3,
+                deltas_applied: 12,
+                entries_merged: 480,
+                merge_compare_ops: 5200,
+                merge_ns: 1_500_000,
+                sorts_skipped: 9,
+                refit_iterations: 15,
+                warm_fit: 0.998765,
+                warm_fit_gap: 4.2e-8,
+                publish_ns: 800_000,
+                watermark: 12,
             }),
         }
     }
@@ -978,6 +1082,39 @@ mod tests {
     }
 
     #[test]
+    fn refresh_object_is_schema_stable() {
+        let report = sample();
+        let doc = json::parse(&report.to_json()).expect("valid JSON");
+        let refresh = doc.get("refresh").unwrap();
+        assert_eq!(refresh.get("rounds").unwrap().as_u64(), Some(3));
+        assert_eq!(refresh.get("deltas_applied").unwrap().as_u64(), Some(12));
+        assert_eq!(refresh.get("entries_merged").unwrap().as_u64(), Some(480));
+        assert_eq!(
+            refresh.get("merge_compare_ops").unwrap().as_u64(),
+            Some(5200)
+        );
+        assert_eq!(refresh.get("merge_ns").unwrap().as_u64(), Some(1_500_000));
+        assert_eq!(refresh.get("sorts_skipped").unwrap().as_u64(), Some(9));
+        assert_eq!(refresh.get("refit_iterations").unwrap().as_u64(), Some(15));
+        let fit = refresh.get("warm_fit").unwrap().as_f64().unwrap();
+        assert!((fit - 0.998765).abs() < 1e-12);
+        let gap = refresh.get("warm_fit_gap").unwrap().as_f64().unwrap();
+        assert!((gap - 4.2e-8).abs() < 1e-20);
+        assert_eq!(refresh.get("publish_ns").unwrap().as_u64(), Some(800_000));
+        assert_eq!(refresh.get("watermark").unwrap().as_u64(), Some(12));
+    }
+
+    #[test]
+    fn refreshless_report_serializes_null_refresh() {
+        let mut report = sample();
+        report.refresh = None;
+        let json = report.to_json();
+        assert!(json.contains("\"refresh\": null"), "json: {json}");
+        json::parse(&json).expect("valid JSON");
+        assert!(!report.render().contains("refresh:"));
+    }
+
+    #[test]
     fn cache_hit_rate_handles_empty_cache() {
         assert_eq!(ServeRow::default().cache_hit_rate(), 0.0);
     }
@@ -1021,6 +1158,8 @@ mod tests {
         assert!(text.contains("12 shed"));
         assert!(text.contains("store: 120 WAL appends in 30 commits"));
         assert!(text.contains("truncated 17 torn bytes"));
+        assert!(text.contains("refresh: 3 rounds applied 12 deltas"));
+        assert!(text.contains("15 warm refit iterations"));
         assert!(text.contains("span tree"));
     }
 

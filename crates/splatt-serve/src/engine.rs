@@ -1024,6 +1024,48 @@ mod tests {
     }
 
     #[test]
+    fn evict_all_versions_drops_every_cached_version() {
+        // version == 0 means "every version": both the registry entries
+        // and all version-keyed cache lines for the name must go, while
+        // other models' cache lines survive.
+        let eng = engine(); // publishes "m" v1
+        eng.publish("m", model()); // v2
+        eng.publish("other", model());
+        let root = CancelToken::new();
+        let q = Query::TopK {
+            mode: 0,
+            k: 3,
+            fixed: vec![1, 1],
+        };
+        // cache a result at each explicit version plus one for "other"
+        eng.query("m", 1, q.clone(), None, &root, || false).unwrap();
+        eng.query("m", 2, q.clone(), None, &root, || false).unwrap();
+        eng.query("other", 1, q.clone(), None, &root, || false)
+            .unwrap();
+        assert_eq!(eng.cache().len(), 3);
+
+        assert_eq!(eng.evict("m", 0), 2, "both versions evicted");
+        assert_eq!(
+            eng.cache().len(),
+            1,
+            "every cached version of 'm' must be invalidated"
+        );
+        for version in [0, 1, 2] {
+            assert!(matches!(
+                eng.query("m", version, q.clone(), None, &root, || false),
+                Err(ServeError::ModelNotFound { .. })
+            ));
+        }
+        // the survivor is still served (from cache — no new miss needed)
+        let hits_before = eng.cache().hits();
+        eng.query("other", 1, q, None, &root, || false).unwrap();
+        assert_eq!(eng.cache().hits(), hits_before + 1);
+        // re-publishing never reuses an evicted version number
+        assert_eq!(eng.publish("m", model()), 3);
+        eng.shutdown();
+    }
+
+    #[test]
     fn profile_report_carries_serve_row() {
         let eng = engine();
         let root = CancelToken::new();

@@ -7,6 +7,29 @@
 //! Section IV-C discusses), and MTTKRP construction walks single-mode index
 //! streams. Indices are `u32` (the paper's largest mode is 480 k).
 
+/// Cost evidence from one [`SparseTensor::merge_entries`] call.
+///
+/// `compare_ops` counts full lexicographic coordinate comparisons (one
+/// per compare, however many modes it inspects) spent sorting the delta
+/// batch and running the two-way merge — the counter the refresh
+/// loopback test uses to assert K incremental merges are asymptotically
+/// cheaper than K full [`SparseTensor::coalesce`] re-sorts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MergeStats {
+    /// Nonzeros in the canonical base before the merge.
+    pub base_nnz: usize,
+    /// Delta entries in the batch.
+    pub delta_nnz: usize,
+    /// Nonzeros after the merge.
+    pub out_nnz: usize,
+    /// Coordinate comparisons spent on the delta sort plus the merge.
+    pub compare_ops: u64,
+    /// Whether the base was already canonical (strictly sorted). When
+    /// `false` a one-time [`SparseTensor::coalesce`] ran first; its
+    /// cost is not included in `compare_ops`.
+    pub base_was_canonical: bool,
+}
+
 /// An order-`N` sparse tensor in coordinate (COO) format.
 ///
 /// Duplicate coordinates are permitted (their values add, matching the
@@ -202,28 +225,115 @@ impl SparseTensor {
         (train, test)
     }
 
-    /// Merge a batch of delta entries into this tensor: append every
-    /// `(coordinate, value)` pair — growing mode dimensions as needed to
-    /// admit out-of-range coordinates — then [`SparseTensor::coalesce`],
-    /// so duplicates (an update to an existing cell) sum and exact
-    /// cancellations vanish. This is the ingest path for WAL-recovered
-    /// nnz deltas: deterministic, so replaying the same acknowledged
-    /// prefix always yields the same tensor.
+    /// Merge a batch of delta entries into this tensor: each
+    /// `(coordinate, value)` pair sums into the cell it names — growing
+    /// mode dimensions as needed to admit out-of-range coordinates —
+    /// and exact cancellations vanish, leaving the result in canonical
+    /// (strictly sorted, duplicate-free) lexicographic order. This is
+    /// the ingest path for WAL-recovered nnz deltas: deterministic, so
+    /// replaying the same acknowledged prefix always yields the same
+    /// tensor.
+    ///
+    /// The merge is a linear sorted two-way merge of the canonical base
+    /// against the sorted batch — O(N + Δ·log Δ) — not a full re-sort
+    /// of all N + Δ entries. A non-canonical base pays a one-time
+    /// [`SparseTensor::coalesce`] first. Per-cell accumulation is
+    /// strictly left-to-right (base value first, then deltas in batch
+    /// order), so splitting one batch into several merges the same
+    /// prefix to a *bit-identical* tensor even for values with inexact
+    /// sums.
     ///
     /// # Panics
     /// Panics if any entry's coordinate arity differs from the tensor
     /// order.
-    pub fn merge_entries(&mut self, entries: &[(Vec<u32>, f64)]) {
+    pub fn merge_entries(&mut self, entries: &[(Vec<u32>, f64)]) -> MergeStats {
+        use std::cmp::Ordering;
+        let order = self.order();
         for (coord, _) in entries {
-            assert_eq!(coord.len(), self.order(), "delta entry arity mismatch");
+            assert_eq!(coord.len(), order, "delta entry arity mismatch");
             for (d, &i) in self.dims.iter_mut().zip(coord) {
                 *d = (*d).max(i as usize + 1);
             }
         }
-        for (coord, val) in entries {
-            self.push(coord, *val);
+        let base_was_canonical = self.is_strictly_sorted();
+        if !base_was_canonical {
+            self.coalesce();
         }
-        self.coalesce();
+        let mut compare_ops: u64 = 0;
+        // Stable sort of the batch by coordinate: ties keep batch order,
+        // so duplicate deltas to one cell accumulate left-to-right.
+        let mut dperm: Vec<usize> = (0..entries.len()).collect();
+        dperm.sort_by(|&a, &b| {
+            compare_ops += 1;
+            entries[a].0.cmp(&entries[b].0)
+        });
+        let n = self.nnz();
+        let dn = entries.len();
+        let mut new_inds: Vec<Vec<u32>> = vec![Vec::with_capacity(n + dn); order];
+        let mut new_vals: Vec<f64> = Vec::with_capacity(n + dn);
+        let cmp_base_delta = |inds: &[Vec<u32>], x: usize, coord: &[u32]| -> Ordering {
+            for (ind, &c) in inds.iter().zip(coord) {
+                match ind[x].cmp(&c) {
+                    Ordering::Equal => continue,
+                    other => return other,
+                }
+            }
+            Ordering::Equal
+        };
+        let (mut bi, mut di) = (0usize, 0usize);
+        while bi < n || di < dn {
+            let rel = if bi == n {
+                Ordering::Greater
+            } else if di == dn {
+                Ordering::Less
+            } else {
+                compare_ops += 1;
+                cmp_base_delta(&self.inds, bi, &entries[dperm[di]].0)
+            };
+            if rel == Ordering::Less {
+                let v = self.vals[bi];
+                if v != 0.0 {
+                    for (ni, oi) in new_inds.iter_mut().zip(&self.inds) {
+                        ni.push(oi[bi]);
+                    }
+                    new_vals.push(v);
+                }
+                bi += 1;
+            } else {
+                let coord = entries[dperm[di]].0.as_slice();
+                let mut acc = if rel == Ordering::Equal {
+                    let v = self.vals[bi];
+                    bi += 1;
+                    v
+                } else {
+                    0.0
+                };
+                acc += entries[dperm[di]].1;
+                di += 1;
+                while di < dn && {
+                    compare_ops += 1;
+                    entries[dperm[di]].0 == coord
+                } {
+                    acc += entries[dperm[di]].1;
+                    di += 1;
+                }
+                if acc != 0.0 {
+                    for (ni, &c) in new_inds.iter_mut().zip(coord) {
+                        ni.push(c);
+                    }
+                    new_vals.push(acc);
+                }
+            }
+        }
+        self.inds = new_inds;
+        self.vals = new_vals;
+        MergeStats {
+            base_nnz: n,
+            delta_nnz: dn,
+            out_nnz: self.vals.len(),
+            compare_ops,
+            base_was_canonical,
+        }
     }
 
     /// Merge duplicate coordinates by summing their values, dropping exact
@@ -291,6 +401,22 @@ impl SparseTensor {
                 }
             }
             true
+        })
+    }
+
+    /// `true` if nonzeros are *strictly* sorted lexicographically by the
+    /// identity mode order — sorted with no duplicate coordinates, the
+    /// canonical form [`SparseTensor::coalesce`] produces.
+    pub fn is_strictly_sorted(&self) -> bool {
+        (1..self.nnz()).all(|x| {
+            for ind in &self.inds {
+                match ind[x - 1].cmp(&ind[x]) {
+                    std::cmp::Ordering::Less => return true,
+                    std::cmp::Ordering::Greater => return false,
+                    std::cmp::Ordering::Equal => continue,
+                }
+            }
+            false // exact duplicate coordinate
         })
     }
 
@@ -439,6 +565,80 @@ mod tests {
         staged.merge_entries(&deltas[17..]);
         assert_eq!(whole.canonical_entries(), staged.canonical_entries());
         assert_eq!(whole.dims(), staged.dims());
+    }
+
+    #[test]
+    fn merge_entries_batch_split_is_bit_identical() {
+        // Inexact values: 0.1*i sums depend on accumulation order, so
+        // this pins the left-to-right (base, then batch order) rule.
+        let deltas: Vec<(Vec<u32>, f64)> = (0..60u32)
+            .map(|i| (vec![i % 7, i % 5, i % 3], (i as f64) * 0.1 - 2.7))
+            .collect();
+        let mut whole = small();
+        whole.merge_entries(&deltas);
+        for split in [1usize, 13, 29, 59] {
+            let mut staged = small();
+            staged.merge_entries(&deltas[..split]);
+            staged.merge_entries(&deltas[split..]);
+            assert_eq!(staged.dims(), whole.dims(), "split {split}");
+            assert_eq!(staged.nnz(), whole.nnz(), "split {split}");
+            for x in 0..whole.nnz() {
+                assert_eq!(staged.coord(x), whole.coord(x), "split {split}");
+                assert_eq!(
+                    staged.vals()[x].to_bits(),
+                    whole.vals()[x].to_bits(),
+                    "split {split} entry {x} must be bit-identical"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merge_entries_result_is_canonical_and_linear() {
+        let mut t = small();
+        t.coalesce();
+        let stats = t.merge_entries(&[(vec![2, 2, 2], 1.0), (vec![0, 0, 1], 2.0)]);
+        assert!(t.is_strictly_sorted(), "merge output must be canonical");
+        assert!(stats.base_was_canonical, "coalesced base is canonical");
+        assert_eq!(stats.base_nnz, 3);
+        assert_eq!(stats.delta_nnz, 2);
+        assert_eq!(stats.out_nnz, 5);
+        // Linear merge: comparisons bounded by sort (d log d) + merge (n + d).
+        assert!(
+            stats.compare_ops <= 2 * (3 + 2) + 2 * 4,
+            "compare_ops {} not linear-ish",
+            stats.compare_ops
+        );
+        // A second merge into the now-canonical output skips coalesce.
+        let stats2 = t.merge_entries(&[(vec![1, 1, 1], 1.0)]);
+        assert!(stats2.base_was_canonical);
+    }
+
+    #[test]
+    fn merge_entries_canonicalizes_unsorted_base_once() {
+        let mut t = SparseTensor::from_entries(
+            vec![3, 3],
+            &[(vec![2, 2], 1.0), (vec![0, 0], 2.0), (vec![2, 2], 0.5)],
+        );
+        let stats = t.merge_entries(&[(vec![1, 1], 4.0)]);
+        assert!(!stats.base_was_canonical);
+        assert_eq!(stats.base_nnz, 2, "base coalesced before the merge");
+        assert_eq!(
+            t.canonical_entries(),
+            vec![(vec![0, 0], 2.0), (vec![1, 1], 4.0), (vec![2, 2], 1.5),]
+        );
+        assert!(t.is_strictly_sorted());
+    }
+
+    #[test]
+    fn is_strictly_sorted_rejects_duplicates() {
+        let sorted = small(); // entries of small() are not sorted
+        assert!(!sorted.is_strictly_sorted());
+        let mut c = small();
+        c.coalesce();
+        assert!(c.is_strictly_sorted());
+        let dup = SparseTensor::from_entries(vec![2, 2], &[(vec![0, 1], 1.0), (vec![0, 1], 2.0)]);
+        assert!(!dup.is_strictly_sorted(), "exact duplicates are not strict");
     }
 
     #[test]

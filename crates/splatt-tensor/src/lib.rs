@@ -26,7 +26,7 @@ pub mod stats;
 pub mod synth;
 
 pub use alto::AltoTensor;
-pub use coo::SparseTensor;
+pub use coo::{MergeStats, SparseTensor};
 pub use sort::SortVariant;
 pub use stats::TensorStats;
 pub use synth::DatasetShape;

@@ -20,6 +20,35 @@
 
 use crate::SparseTensor;
 use splatt_par::{partition, TaskTeam};
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+
+/// Process-wide count of sorts skipped by the already-strictly-sorted
+/// fast path (see [`sort_by_perm_guarded`]) — surfaced in the probe
+/// refresh row so incremental CSF/ALTO rebuilds can prove they reused
+/// the canonical order instead of re-sorting.
+static SORTS_SKIPPED: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot of the skipped-sort counter.
+pub fn sorts_skipped() -> u64 {
+    SORTS_SKIPPED.load(AtomicOrdering::Relaxed)
+}
+
+/// `true` if the tensor is *strictly* sorted by `perm` — every adjacent
+/// pair strictly increasing, so no duplicate coordinates. Strictness is
+/// what makes skipping the sort safe: with exact duplicates a re-sort
+/// could permute their values and break bit-identity.
+fn is_strictly_sorted_by(tt: &SparseTensor, perm: &[usize]) -> bool {
+    (1..tt.nnz()).all(|x| {
+        for &m in perm {
+            match tt.ind(m)[x - 1].cmp(&tt.ind(m)[x]) {
+                std::cmp::Ordering::Less => return true,
+                std::cmp::Ordering::Greater => return false,
+                std::cmp::Ordering::Equal => continue,
+            }
+        }
+        false // exact duplicate coordinate
+    })
+}
 
 /// Which combination of the paper's two sorting fixes to apply
 /// (Figure 1's four series).
@@ -118,6 +147,14 @@ pub fn sort_by_perm_guarded(
     }
     let nnz = tt.nnz();
     if nnz <= 1 {
+        return;
+    }
+
+    // Fast path for incremental rebuilds: a tensor already strictly
+    // sorted by `perm` (the canonical form `merge_entries` maintains)
+    // needs no work — skip straight to CSF/ALTO construction.
+    if is_strictly_sorted_by(tt, perm) {
+        SORTS_SKIPPED.fetch_add(1, AtomicOrdering::Relaxed);
         return;
     }
 

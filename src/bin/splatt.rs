@@ -61,6 +61,12 @@ fn usage() -> ExitCode {
          (append nnz deltas to the store's checksummed WAL)\n  \
          splatt recover <store-dir> [--base base.tns] [--out merged.tns]\n              \
          [--report FILE.json]   (replay the WAL, merge into the base tensor)\n  \
+         splatt refresh <store-dir> [--base base.tns] [--rank R] [--iters N] [--tol T]\n              \
+         [--tasks N] [--seed S] [--rounds N] [--audit-cold 1]\n              \
+         [--deadline SECS] [--mem-budget BYTES] [--stall-bound MS]\n              \
+         [--on-overrun abort|checkpoint|degrade] [--checkpoint DIR]\n              \
+         [--model-file NAME] [--report FILE.json]\n              \
+         (tail the WAL past the watermark, warm-refit, republish atomically)\n  \
          splatt stats <tensor.tns>\n  \
          splatt check <tensor.tns>\n  \
          splatt generate <yelp|rate-beer|beer-advocate|nell-2|netflix|random>\n              \
@@ -539,7 +545,7 @@ fn cmd_export_model(input: &str, flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-/// Copy a global store-counter snapshot into the schema v8 probe row.
+/// Copy a global store-counter snapshot into the probe report's store row.
 fn store_row(c: splatt::store::StoreCounters) -> splatt::probe::StoreRow {
     splatt::probe::StoreRow {
         wal_appends: c.wal_appends,
@@ -697,6 +703,165 @@ fn cmd_recover(store_dir: &str, flags: &Flags) -> Result<(), String> {
     if let Some(report_path) = flags.get("report") {
         let report = splatt::probe::ProfileReport {
             store: Some(store_row(counters_snapshot())),
+            ..Default::default()
+        };
+        std::fs::write(report_path, report.to_json()).map_err(|e| format!("{report_path}: {e}"))?;
+        println!("wrote {report_path}");
+    }
+    Ok(())
+}
+
+/// Tail a store directory's WAL past its committed watermark, merge the
+/// pending delta batches incrementally, warm-start a governed CP-ALS
+/// refit from the previously published model, and atomically republish
+/// the refreshed model into the store — the streaming counterpart of
+/// `recover` + `cpd`. Each round commits its watermark to the manifest
+/// only after the model artifact is durably published, so a crash at
+/// any point recovers to a consistent (tensor, model, watermark) triple.
+fn cmd_refresh(store_dir: &str, flags: &Flags) -> Result<(), String> {
+    use splatt::core::refresh::{RefreshEngine, RefreshOptions};
+    use splatt::faults::IoFaultPlan;
+    use splatt::store::counters_snapshot;
+
+    let dir = std::path::Path::new(store_dir);
+    if !dir.is_dir() {
+        return Err(format!("{store_dir}: not a directory"));
+    }
+    let base = flags.get("base").map(load).transpose()?;
+    let rounds: usize = flags.parse_or("rounds", 1)?;
+    if rounds == 0 {
+        return Err("--rounds must be at least 1".into());
+    }
+
+    let cpals = CpalsOptions {
+        rank: flags.parse_or("rank", 10)?,
+        max_iters: flags.parse_or("iters", 50)?,
+        tolerance: flags.parse_or("tol", 1e-5)?,
+        ntasks: flags.parse_or("tasks", 1)?,
+        seed: flags.parse_or("seed", 0xC0FFEE_u64)?,
+        checkpoint_dir: flags.get("checkpoint").map(std::path::PathBuf::from),
+        ..Default::default()
+    };
+
+    // Governance: same flags as `cpd`.
+    let deadline_secs: Option<f64> = flags
+        .get("deadline")
+        .map(|v| {
+            v.parse()
+                .map_err(|_| format!("invalid value '{v}' for --deadline"))
+        })
+        .transpose()?;
+    let stall_bound_ms: Option<u64> = flags
+        .get("stall-bound")
+        .map(|v| {
+            v.parse()
+                .map_err(|_| format!("invalid value '{v}' for --stall-bound"))
+        })
+        .transpose()?;
+    let on_overrun = flags
+        .get("on-overrun")
+        .map(|v| {
+            OnOverrun::parse(v)
+                .ok_or_else(|| format!("unknown --on-overrun '{v}' (abort|checkpoint|degrade)"))
+        })
+        .transpose()?
+        .unwrap_or_default();
+    if on_overrun == OnOverrun::Checkpoint && cpals.checkpoint_dir.is_none() {
+        return Err("--on-overrun checkpoint requires --checkpoint DIR".into());
+    }
+    let policy = GovernancePolicy {
+        deadline: deadline_secs.map(Duration::from_secs_f64),
+        mem_budget: flags
+            .get("mem-budget")
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| format!("invalid value '{v}' for --mem-budget"))
+            })
+            .transpose()?,
+        watchdog: stall_bound_ms.map(|ms| WatchdogConfig {
+            stall_bound: Duration::from_millis(ms),
+            ..Default::default()
+        }),
+        on_overrun,
+    };
+
+    // Disk-fault injection (crash storms drive this from scripts).
+    let io_seed: u64 = flags.parse_or("io-fault-seed", 0)?;
+    let plan = match flags.get("io-crash-at-op") {
+        Some(v) => {
+            let op: u64 = v
+                .parse()
+                .map_err(|_| format!("invalid value '{v}' for --io-crash-at-op"))?;
+            Some(Arc::new(IoFaultPlan::quiet(io_seed).with_crash_at_op(op)))
+        }
+        None => None,
+    };
+
+    let opts = RefreshOptions {
+        cpals,
+        policy,
+        plan,
+        audit_cold: flags.parse_or("audit-cold", 0u8)? != 0,
+        model_file: flags.get("model-file").unwrap_or_default().to_string(),
+    };
+    let mut eng = RefreshEngine::open(dir, base, opts).map_err(|e| format!("{store_dir}: {e}"))?;
+    println!(
+        "refresh: store {store_dir}, watermark {} ({} nonzeros resident, previous model {})",
+        eng.watermark(),
+        eng.tensor().nnz(),
+        if eng.model().is_some() {
+            "loaded"
+        } else {
+            "none"
+        }
+    );
+
+    for round in 0..rounds {
+        match eng
+            .refresh_once()
+            .map_err(|e| format!("{store_dir}: {e}"))?
+        {
+            None => {
+                println!("round {}: WAL has nothing past the watermark", round + 1);
+                break;
+            }
+            Some(out) => {
+                println!(
+                    "round {}: applied {} record(s) / {} entries \
+                     ({} merge comparisons), fit {:.6} in {} iteration(s), \
+                     published generation {} at watermark {}",
+                    round + 1,
+                    out.applied,
+                    out.entries,
+                    out.merge.compare_ops,
+                    out.fit,
+                    out.iterations,
+                    out.round,
+                    out.watermark
+                );
+                for d in &out.degradations {
+                    println!("degraded: {d}");
+                }
+                if out.warm_fit_gap > 0.0 {
+                    println!("warm-vs-cold fit gap {:.3e}", out.warm_fit_gap);
+                }
+            }
+        }
+    }
+
+    if let Some(model) = eng.model() {
+        println!(
+            "model: rank {}, dims {:?} ({})",
+            model.rank(),
+            model.factors.iter().map(Matrix::rows).collect::<Vec<_>>(),
+            dir.join(splatt::core::refresh::REFRESH_MODEL_FILE)
+                .display()
+        );
+    }
+    if let Some(report_path) = flags.get("report") {
+        let report = splatt::probe::ProfileReport {
+            store: Some(store_row(counters_snapshot())),
+            refresh: Some(eng.refresh_row()),
             ..Default::default()
         };
         std::fs::write(report_path, report.to_json()).map_err(|e| format!("{report_path}: {e}"))?;
@@ -1091,6 +1256,9 @@ fn main() -> ExitCode {
         },
         ("recover", Some((store_dir, flag_args))) => {
             Flags::parse(flag_args).and_then(|f| cmd_recover(store_dir, &f))
+        }
+        ("refresh", Some((store_dir, flag_args))) => {
+            Flags::parse(flag_args).and_then(|f| cmd_refresh(store_dir, &f))
         }
         ("stats", Some((path, _))) => cmd_stats(path),
         ("check", Some((path, _))) => cmd_check(path),

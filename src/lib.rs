@@ -104,7 +104,8 @@ pub use splatt_core::{
     try_cp_als_governed, try_cp_als_guarded, CcdOptions, Checkpoint, CheckpointError,
     CompletionOptions, CompletionOutput, Constraint, CpalsError, CpalsOptions, CpalsOutput, Csf,
     CsfAlloc, CsfSet, DispatchError, DispatchTable, FormatChoice, GovernancePolicy, GovernedRun,
-    Implementation, KruskalModel, MatrixAccess, OnOverrun, RunAborted, SgdOptions, TensorFormat,
+    Implementation, KruskalModel, MatrixAccess, OnOverrun, RefreshEngine, RefreshError,
+    RefreshOptions, RefreshOutcome, RunAborted, SgdOptions, TensorFormat,
 };
 pub use splatt_dense::Matrix;
 pub use splatt_faults::{FaultKind, FaultPlan, FaultRates, RecoveryAction, RecoveryPolicy};

@@ -388,7 +388,7 @@ fn tcp_loopback_answers_match_oracle_and_errors_are_typed() {
     }
     match client.stats().unwrap() {
         Response::Stats(json) => {
-            assert!(json.contains("\"schema\": \"splatt-profile-v8\""), "{json}");
+            assert!(json.contains("\"schema\": \"splatt-profile-v9\""), "{json}");
             assert!(json.contains("\"serve\": {"), "{json}");
         }
         other => panic!("expected stats, got {other:?}"),
