@@ -13,6 +13,7 @@
 //! for observability.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Rejection returned when the gate is at capacity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -116,6 +117,43 @@ impl Drop for AdmissionPermit<'_> {
     }
 }
 
+impl AdmissionGate {
+    /// Like [`AdmissionGate::try_admit`], but the permit owns an `Arc`
+    /// of the gate instead of borrowing it — for permits stored in
+    /// long-lived structures (a reactor's per-connection state, a
+    /// worker-pool job) that outlive any one stack frame.
+    pub fn try_admit_owned(self: &Arc<Self>) -> Result<OwnedAdmissionPermit, Overloaded> {
+        // Admit through the borrowed path, then forget the borrow and
+        // hand ownership to the Arc-holding permit: exactly one
+        // decrement happens, on OwnedAdmissionPermit::drop.
+        let permit = self.try_admit()?;
+        std::mem::forget(permit);
+        Ok(OwnedAdmissionPermit {
+            gate: Arc::clone(self),
+        })
+    }
+}
+
+/// One unit of admitted depth holding the gate alive; releases on drop.
+/// See [`AdmissionGate::try_admit_owned`].
+#[derive(Debug)]
+pub struct OwnedAdmissionPermit {
+    gate: Arc<AdmissionGate>,
+}
+
+impl OwnedAdmissionPermit {
+    /// The gate this permit was admitted through.
+    pub fn gate(&self) -> &Arc<AdmissionGate> {
+        &self.gate
+    }
+}
+
+impl Drop for OwnedAdmissionPermit {
+    fn drop(&mut self) {
+        self.gate.depth.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,6 +180,20 @@ mod tests {
         drop(c);
         assert_eq!(gate.depth(), 0);
         assert_eq!(gate.admitted(), 3);
+        assert_eq!(gate.sheds(), 1);
+    }
+
+    #[test]
+    fn owned_permits_share_depth_with_borrowed_ones() {
+        let gate = Arc::new(AdmissionGate::new(2));
+        let owned = gate.try_admit_owned().unwrap();
+        let _borrowed = gate.try_admit().unwrap();
+        assert_eq!(gate.depth(), 2);
+        assert!(gate.try_admit_owned().is_err());
+        assert!(Arc::ptr_eq(owned.gate(), &gate));
+        drop(owned);
+        assert_eq!(gate.depth(), 1);
+        assert_eq!(gate.admitted(), 2);
         assert_eq!(gate.sheds(), 1);
     }
 

@@ -38,7 +38,7 @@ mod guard;
 mod retry;
 mod watchdog;
 
-pub use admission::{AdmissionGate, AdmissionPermit, Overloaded};
+pub use admission::{AdmissionGate, AdmissionPermit, Overloaded, OwnedAdmissionPermit};
 pub use budget::MemoryBudget;
 pub use cancel::CancelToken;
 pub use deadline::Deadline;

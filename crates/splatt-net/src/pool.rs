@@ -1,0 +1,172 @@
+//! A bounded worker pool: N threads draining a shared job queue.
+//!
+//! The pool itself keeps an unbounded `VecDeque` — boundedness comes
+//! from the layer above: the reactor only submits jobs for requests
+//! that hold a decode-gate admission permit, so the queue can never
+//! exceed the gate's depth. That keeps the pool free of its own
+//! backpressure policy and makes shedding a single, typed decision at
+//! admission time rather than a blocking `send` deep in the I/O loop.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use splatt_rt::sync::{Condvar, Mutex};
+
+type Job = Box<dyn FnOnce() + Send>;
+
+struct PoolInner {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// See the module docs.
+pub struct WorkerPool {
+    inner: Arc<PoolInner>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.threads.len())
+            .field("queued", &self.queued())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawn `workers` threads named `{name}-{i}`.
+    pub fn new(workers: usize, name: &str) -> WorkerPool {
+        let workers = workers.max(1);
+        let inner = Arc::new(PoolInner {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let threads = (0..workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("{name}-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool { inner, threads }
+    }
+
+    /// Enqueue a job. Panics if called after [`WorkerPool::shutdown`].
+    pub fn submit(&self, job: Job) {
+        assert!(
+            !self.inner.shutdown.load(Ordering::Acquire),
+            "submit after pool shutdown"
+        );
+        let mut queue = self.inner.queue.lock();
+        queue.push_back(job);
+        drop(queue);
+        self.inner.available.notify_one();
+    }
+
+    /// Jobs waiting for a worker (excludes jobs mid-execution).
+    pub fn queued(&self) -> usize {
+        self.inner.queue.lock().len()
+    }
+
+    /// Worker threads in the pool.
+    pub fn workers(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Finish every queued job, then stop the workers and join them.
+    pub fn shutdown(mut self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.available.notify_all();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // A dropped (not shut down) pool still stops its threads so the
+        // process can exit; queued jobs are drained first, as in
+        // `shutdown`.
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.available.notify_all();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &PoolInner) {
+    loop {
+        let job = {
+            let mut queue = inner.queue.lock();
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                if inner.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                inner.available.wait(&mut queue);
+            }
+        };
+        job();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn runs_every_submitted_job_across_workers() {
+        let pool = WorkerPool::new(4, "test-worker");
+        assert_eq!(pool.workers(), 4);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..1000 {
+            let done = Arc::clone(&done);
+            pool.submit(Box::new(move || {
+                done.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn shutdown_drains_queued_jobs_before_stopping() {
+        // One worker, jobs that sleep: shutdown must still run them all.
+        let pool = WorkerPool::new(1, "test-drain");
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..8 {
+            let done = Arc::clone(&done);
+            pool.submit(Box::new(move || {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                done.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn zero_workers_is_clamped_to_one() {
+        let pool = WorkerPool::new(0, "test-clamp");
+        assert_eq!(pool.workers(), 1);
+        let done = Arc::new(AtomicUsize::new(0));
+        let d = Arc::clone(&done);
+        pool.submit(Box::new(move || {
+            d.fetch_add(1, Ordering::Relaxed);
+        }));
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::Relaxed), 1);
+    }
+}

@@ -29,8 +29,13 @@ use std::fmt::Write as _;
 /// applied, incremental-merge comparisons and time, rebuild sorts
 /// skipped, warm-started refit iterations, warm fit and warm-vs-cold
 /// gap, publish latency, and the durable watermark — `null` outside
-/// refresh runs).
-pub const PROFILE_SCHEMA: &str = "splatt-profile-v9";
+/// refresh runs); v10 added `serve.net` (multiplexed front-end
+/// counters from the `splatt-net` reactor: connection counts and peak,
+/// readiness wakeups, frame and write-coalescing totals, per-layer
+/// admission sheds, idle closes, deadline backstops, and worker-pool
+/// size — `null` when serving through the legacy thread-per-connection
+/// front end or not serving at all).
+pub const PROFILE_SCHEMA: &str = "splatt-profile-v10";
 
 /// One row of the per-routine table (label from `splatt_par::Routine`).
 #[derive(Debug, Clone, PartialEq)]
@@ -174,6 +179,44 @@ pub struct ServeRow {
     /// Per-shard cluster routing counters (the v7 addition); empty when
     /// the process serves single-process, without a router.
     pub shards: Vec<ShardRow>,
+    /// Multiplexed front-end counters (the v10 addition); `None` when
+    /// serving through the legacy thread-per-connection front end.
+    pub net: Option<NetFrontRow>,
+}
+
+/// Reactor front-end counters — the v10 schema addition. Like
+/// [`ServeRow`], plain data so this crate stays independent of the
+/// networking crate; the serving layer copies its live counters in.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetFrontRow {
+    /// Connections accepted from the OS (including ones later shed).
+    pub accepted: u64,
+    /// Connections registered with the reactor at snapshot time.
+    pub connections_open: u64,
+    /// High-water mark of open connections.
+    pub connections_peak: u64,
+    /// Poll/sweep iterations executed.
+    pub polls: u64,
+    /// Polls that returned at least one ready descriptor.
+    pub readiness_wakeups: u64,
+    /// Complete request frames parsed off sockets.
+    pub frames_read: u64,
+    /// Response frames appended to write buffers.
+    pub frames_written: u64,
+    /// Write syscalls issued.
+    pub writes: u64,
+    /// Flushes that pushed two or more response frames in one batch.
+    pub coalesced_writes: u64,
+    /// Connections shed at the accept layer (connection cap).
+    pub sheds_accept: u64,
+    /// Requests shed at the decode layer (queue depth or pipeline cap).
+    pub sheds_decode: u64,
+    /// Connections closed by the idle timer.
+    pub idle_closed: u64,
+    /// Requests answered by the reactor's deadline backstop.
+    pub deadline_backstops: u64,
+    /// Worker threads in the front-end pool.
+    pub worker_threads: u64,
 }
 
 impl ServeRow {
@@ -502,10 +545,41 @@ impl ProfileReport {
                     );
                 }
                 if s.shards.is_empty() {
-                    out.push_str("]}");
+                    out.push(']');
                 } else {
-                    out.push_str("\n  ]}");
+                    out.push_str("\n  ]");
                 }
+                out.push_str(", \"net\": ");
+                match &s.net {
+                    None => out.push_str("null"),
+                    Some(n) => {
+                        let _ = write!(
+                            out,
+                            "{{\"accepted\": {}, \"connections_open\": {}, \
+                             \"connections_peak\": {}, \"polls\": {}, \
+                             \"readiness_wakeups\": {}, \"frames_read\": {}, \
+                             \"frames_written\": {}, \"writes\": {}, \
+                             \"coalesced_writes\": {}, \"sheds_accept\": {}, \
+                             \"sheds_decode\": {}, \"idle_closed\": {}, \
+                             \"deadline_backstops\": {}, \"worker_threads\": {}}}",
+                            n.accepted,
+                            n.connections_open,
+                            n.connections_peak,
+                            n.polls,
+                            n.readiness_wakeups,
+                            n.frames_read,
+                            n.frames_written,
+                            n.writes,
+                            n.coalesced_writes,
+                            n.sheds_accept,
+                            n.sheds_decode,
+                            n.idle_closed,
+                            n.deadline_backstops,
+                            n.worker_threads
+                        );
+                    }
+                }
+                out.push('}');
             }
         }
         out.push_str(",\n  \"store\": ");
@@ -694,6 +768,29 @@ impl ProfileReport {
                 s.arena_growth_allocs,
                 s.arena_growth_bytes
             );
+            if let Some(n) = &s.net {
+                let _ = writeln!(
+                    out,
+                    "  net: {} conns open (peak {}, {} accepted), {} workers, \
+                     {} wakeups / {} polls, {} frames in / {} out, \
+                     {} coalesced of {} writes, sheds {} accept / {} decode, \
+                     {} idle-closed, {} backstops",
+                    n.connections_open,
+                    n.connections_peak,
+                    n.accepted,
+                    n.worker_threads,
+                    n.readiness_wakeups,
+                    n.polls,
+                    n.frames_read,
+                    n.frames_written,
+                    n.coalesced_writes,
+                    n.writes,
+                    n.sheds_accept,
+                    n.sheds_decode,
+                    n.idle_closed,
+                    n.deadline_backstops
+                );
+            }
             for k in &s.kinds {
                 let _ = writeln!(
                     out,
@@ -891,6 +988,22 @@ mod tests {
                         ..ShardRow::default()
                     },
                 ],
+                net: Some(NetFrontRow {
+                    accepted: 10_500,
+                    connections_open: 9_800,
+                    connections_peak: 10_000,
+                    polls: 50_000,
+                    readiness_wakeups: 42_000,
+                    frames_read: 120_000,
+                    frames_written: 120_000,
+                    writes: 90_000,
+                    coalesced_writes: 8_000,
+                    sheds_accept: 500,
+                    sheds_decode: 1_200,
+                    idle_closed: 150,
+                    deadline_backstops: 2,
+                    worker_threads: 8,
+                }),
             }),
             store: Some(StoreRow {
                 wal_appends: 120,
@@ -1040,6 +1153,31 @@ mod tests {
             Some(250)
         );
         assert_eq!(shards[1].get("retries").unwrap().as_u64(), Some(0));
+        let net = serve.get("net").unwrap();
+        assert_eq!(net.get("accepted").unwrap().as_u64(), Some(10_500));
+        assert_eq!(net.get("connections_open").unwrap().as_u64(), Some(9_800));
+        assert_eq!(net.get("connections_peak").unwrap().as_u64(), Some(10_000));
+        assert_eq!(net.get("polls").unwrap().as_u64(), Some(50_000));
+        assert_eq!(net.get("readiness_wakeups").unwrap().as_u64(), Some(42_000));
+        assert_eq!(net.get("frames_read").unwrap().as_u64(), Some(120_000));
+        assert_eq!(net.get("frames_written").unwrap().as_u64(), Some(120_000));
+        assert_eq!(net.get("writes").unwrap().as_u64(), Some(90_000));
+        assert_eq!(net.get("coalesced_writes").unwrap().as_u64(), Some(8_000));
+        assert_eq!(net.get("sheds_accept").unwrap().as_u64(), Some(500));
+        assert_eq!(net.get("sheds_decode").unwrap().as_u64(), Some(1_200));
+        assert_eq!(net.get("idle_closed").unwrap().as_u64(), Some(150));
+        assert_eq!(net.get("deadline_backstops").unwrap().as_u64(), Some(2));
+        assert_eq!(net.get("worker_threads").unwrap().as_u64(), Some(8));
+    }
+
+    #[test]
+    fn legacy_front_end_serializes_null_net() {
+        let mut report = sample();
+        report.serve.as_mut().unwrap().net = None;
+        let json = report.to_json();
+        assert!(json.contains("\"net\": null"), "json: {json}");
+        json::parse(&json).expect("valid JSON");
+        assert!(!report.render().contains("net:"));
     }
 
     #[test]
@@ -1156,6 +1294,8 @@ mod tests {
         assert!(text.contains("serve: 250 batches"));
         assert!(text.contains("cache 75.0% hit"));
         assert!(text.contains("12 shed"));
+        assert!(text.contains("net: 9800 conns open (peak 10000"));
+        assert!(text.contains("sheds 500 accept / 1200 decode"));
         assert!(text.contains("store: 120 WAL appends in 30 commits"));
         assert!(text.contains("truncated 17 torn bytes"));
         assert!(text.contains("refresh: 3 rounds applied 12 deltas"));

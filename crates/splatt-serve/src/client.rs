@@ -36,9 +36,13 @@ pub enum Transience {
 /// may still be live.
 pub fn classify(code: WireError) -> Transience {
     match code {
-        WireError::Overloaded | WireError::ShuttingDown | WireError::Internal => {
-            Transience::Transient
-        }
+        // Cancelled is transient: the server aborted because it judged
+        // the transport dead, not because the request was wrong — a
+        // replay on a fresh connection may well succeed.
+        WireError::Overloaded
+        | WireError::ShuttingDown
+        | WireError::Internal
+        | WireError::Cancelled => Transience::Transient,
         WireError::BadRequest
         | WireError::ModelNotFound
         | WireError::DeadlineExpired

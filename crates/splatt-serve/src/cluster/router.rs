@@ -37,17 +37,21 @@ use super::shard::{ShardMap, ShardRing};
 use super::shared::SharedModel;
 use crate::client::{classify, Client, Transience};
 use crate::protocol::{
-    decode_request, decode_response, encode_response, read_frame_polled, write_frame, Request,
-    RequestBody, Response, ShardSel, WireError,
+    decode_request, decode_response, encode_response, Request, RequestBody, Response, ShardSel,
+    WireError, MAX_FRAME,
 };
+use crate::service::{accept_shed_frame, backstop_frame, net_row_of, peek_deadline, shed_frame};
 use crate::stats::ServeStats;
 use splatt_faults::NetFaultPlan;
 use splatt_guard::{CancelToken, Deadline, RetryPolicy};
+use splatt_net::{
+    serve_frames, Disposition, FrameService, NetCounters, NetHandle, NetSnapshot, ReactorConfig,
+    Reply, RequestCtx, ShedLayer,
+};
 use splatt_probe::{ProfileReport, ShardRow};
-use std::io::ErrorKind;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Router tuning knobs.
@@ -219,8 +223,9 @@ impl Router {
         resp
     }
 
-    /// Probe report with the schema v7 `serve` object: router-side
-    /// latency histograms plus the per-shard failover counters.
+    /// Probe report with the schema v10 `serve` object: router-side
+    /// latency histograms plus the per-shard failover counters (the
+    /// front end splices its `net` row in before serialising).
     pub fn profile_report(&self) -> ProfileReport {
         let mut row = self.stats.to_row(0, 0, 0, 0);
         row.shards = (0..self.config.nshards)
@@ -548,11 +553,11 @@ impl Router {
     }
 }
 
-/// A running router front end (accept thread + health pinger).
+/// A running router front end (reactor + health pinger).
 pub struct RouterHandle {
     addr: SocketAddr,
     router: Arc<Router>,
-    accept_thread: Option<std::thread::JoinHandle<()>>,
+    front: Option<NetHandle>,
     health_thread: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -567,6 +572,11 @@ impl RouterHandle {
         &self.router
     }
 
+    /// Reactor front-end counters.
+    pub fn net_counters(&self) -> Option<NetSnapshot> {
+        self.front.as_ref().map(NetHandle::counters)
+    }
+
     /// Trip the stop token without blocking.
     pub fn request_shutdown(&self) {
         self.router.stop.cancel();
@@ -576,38 +586,101 @@ impl RouterHandle {
     /// `Shutdown` op or [`RouterHandle::request_shutdown`]), then join
     /// its threads.
     pub fn join(mut self) {
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
+        if let Some(f) = self.front.take() {
+            f.wait();
         }
         if let Some(t) = self.health_thread.take() {
             let _ = t.join();
         }
     }
 
-    /// Stop and join the accept and health threads.
-    pub fn shutdown(mut self) {
+    /// Stop and join the reactor and health threads.
+    pub fn shutdown(self) {
         self.request_shutdown();
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
-        }
-        if let Some(t) = self.health_thread.take() {
-            let _ = t.join();
-        }
+        self.join();
     }
 }
 
-/// Bind `addr` and serve the wire protocol through `router`.
+/// The router's [`FrameService`]: decode, dispatch to
+/// [`Router::handle`], and splice the reactor's own counters into
+/// `Stats` answers. The reactor worker pool replaces the old
+/// thread-per-connection loop, so a slow shard sweep on one connection
+/// no longer costs a dedicated thread.
+struct RouterService {
+    router: Arc<Router>,
+    net: OnceLock<Arc<NetCounters>>,
+}
+
+impl FrameService for RouterService {
+    fn handle(&self, payload: &[u8], _ctx: &RequestCtx) -> Reply {
+        let response = match decode_request(payload) {
+            Ok(req) => {
+                if matches!(req.body, RequestBody::Stats) {
+                    let mut report = self.router.profile_report();
+                    if let Some(serve) = report.serve.as_mut() {
+                        serve.net = self.net.get().map(|c| net_row_of(c));
+                    }
+                    Response::Stats(report.to_json())
+                } else {
+                    self.router.handle(&req)
+                }
+            }
+            Err(e) => Response::Error(WireError::BadRequest, e.to_string()),
+        };
+        let disposition = if matches!(response, Response::Ack) {
+            Disposition::ShutdownAfterWrite
+        } else {
+            Disposition::Continue
+        };
+        Reply {
+            payload: encode_response(&response),
+            disposition,
+        }
+    }
+
+    fn deadline_of(&self, payload: &[u8]) -> Option<Duration> {
+        peek_deadline(payload, self.router.config.default_deadline)
+    }
+
+    fn shed_reply(&self, layer: ShedLayer) -> Vec<u8> {
+        shed_frame(layer)
+    }
+
+    fn deadline_reply(&self) -> Vec<u8> {
+        backstop_frame()
+    }
+
+    fn on_shutdown(&self) {
+        self.router.stop.cancel();
+    }
+}
+
+/// Bind `addr` and serve the wire protocol through `router` on the
+/// reactor front end.
 ///
 /// # Errors
-/// Propagates bind failures.
+/// Propagates bind and reactor setup failures.
 pub fn serve_router(router: Arc<Router>, addr: &str) -> std::io::Result<RouterHandle> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
-    listener.set_nonblocking(true)?;
-    let accept_router = Arc::clone(&router);
-    let accept_thread = std::thread::Builder::new()
-        .name("splatt-router-accept".into())
-        .spawn(move || accept_loop(&listener, &accept_router))?;
+    let config = ReactorConfig {
+        max_frame: MAX_FRAME,
+        accept_shed_frame: accept_shed_frame(ReactorConfig::default().max_conns),
+        thread_name: "splatt-router".to_string(),
+        ..ReactorConfig::default()
+    };
+    let service = Arc::new(RouterService {
+        router: Arc::clone(&router),
+        net: OnceLock::new(),
+    });
+    let stop = router.stop.child();
+    let handle = serve_frames(
+        listener,
+        Arc::clone(&service) as Arc<dyn FrameService>,
+        config,
+        stop,
+    )?;
+    let _ = service.net.set(handle.counters_handle());
     let health_router = Arc::clone(&router);
     let health_thread = std::thread::Builder::new()
         .name("splatt-router-health".into())
@@ -615,53 +688,9 @@ pub fn serve_router(router: Arc<Router>, addr: &str) -> std::io::Result<RouterHa
     Ok(RouterHandle {
         addr: local,
         router,
-        accept_thread: Some(accept_thread),
+        front: Some(handle),
         health_thread: Some(health_thread),
     })
-}
-
-fn accept_loop(listener: &TcpListener, router: &Arc<Router>) {
-    let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
-    while !router.stop.is_cancelled() {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                let router = Arc::clone(router);
-                conns.retain(|t| !t.is_finished());
-                if let Ok(handle) = std::thread::Builder::new()
-                    .name("splatt-router-conn".into())
-                    .spawn(move || handle_conn(&router, stream))
-                {
-                    conns.push(handle);
-                }
-            }
-            Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(5));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(20)),
-        }
-    }
-    for t in conns {
-        let _ = t.join();
-    }
-}
-
-fn handle_conn(router: &Arc<Router>, mut stream: TcpStream) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
-    while let Ok(Some(payload)) = read_frame_polled(&mut stream, &|| router.stop.is_cancelled()) {
-        let response = match decode_request(&payload) {
-            Ok(req) => router.handle(&req),
-            Err(e) => Response::Error(WireError::BadRequest, e.to_string()),
-        };
-        let shutdown_ack = matches!(response, Response::Ack);
-        if write_frame(&mut stream, &encode_response(&response)).is_err() {
-            break;
-        }
-        if shutdown_ack {
-            router.stop.cancel();
-            break;
-        }
-    }
 }
 
 /// Probe every worker, feed the health board, and record per-shard

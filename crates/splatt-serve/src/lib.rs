@@ -15,20 +15,24 @@
 //!   scheduler that coalesces queued requests per (model, query kind)
 //!   and fans batches out over a `splatt-par` task team with per-task
 //!   grow-only arenas — allocation-free on the steady-state hot path.
-//! * [`serve`] / [`Client`] — a length-prefixed binary protocol over
-//!   `std::net::TcpListener`, blocking thread-per-connection, with
-//!   per-request deadlines, typed overload shedding,
-//!   cancel-on-disconnect, transient-vs-permanent error classification
-//!   ([`Transience`]), and graceful drain on shutdown.
+//! * [`serve`] / [`Client`] — a length-prefixed binary protocol served
+//!   by the `splatt-net` readiness-polled reactor: a bounded worker
+//!   pool multiplexing all connections, request pipelining, per-request
+//!   deadlines with a timer-wheel backstop, typed overload shedding at
+//!   accept/decode/batch, cancel-on-disconnect, transient-vs-permanent
+//!   error classification ([`Transience`]), and graceful drain on
+//!   shutdown. The old thread-per-connection front end survives behind
+//!   [`FrontEndConfig::legacy_threads`] as a bit-exact A/B oracle.
 //! * [`cluster`] — sharded, replicated serving: a consistent-hash
 //!   [`cluster::ShardRing`] over mode-0 rows, a scatter-gather
 //!   [`cluster::Router`] with replica failover and typed `Degraded`
 //!   answers, shared single-parse model loading
 //!   ([`cluster::SharedModel`]), and a [`cluster::LoopbackCluster`]
 //!   harness for deterministic shard-kill storms.
-//! * Probe integration — every counter surfaces in the schema v7
+//! * Probe integration — every counter surfaces in the schema v10
 //!   `serve` object via [`ServeEngine::profile_report`] (the cluster's
-//!   per-shard failover counters ride in `serve.shards`).
+//!   per-shard failover counters ride in `serve.shards`, the reactor
+//!   front end's connection/wakeup/shed counters in `serve.net`).
 //!
 //! Answers are **bit-identical** to dense reconstruction from the same
 //! model: the query kernels, the wire format, and the cluster's
@@ -41,6 +45,7 @@ mod engine;
 pub mod protocol;
 mod registry;
 mod server;
+mod service;
 mod stats;
 
 pub use cache::{CacheKey, CacheValue, ResultCache};
@@ -48,5 +53,5 @@ pub use client::{classify, Client, Transience};
 pub use cluster::{ClusterConfig, LoopbackCluster, Router, SharedModel};
 pub use engine::{Query, QueryResult, ServeConfig, ServeEngine, ServeError, Ticket};
 pub use registry::{ModelInfo, ModelRegistry, ServableModel};
-pub use server::{serve, ServerHandle};
+pub use server::{serve, serve_with, FrontEndConfig, ServerHandle};
 pub use stats::{Log2Histogram, QueryKind, ServeStats};

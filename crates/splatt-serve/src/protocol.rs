@@ -45,6 +45,11 @@ pub enum WireError {
     /// no live replica held a required shard. The answer is *absent*,
     /// not wrong — clients may retry once replicas re-admit.
     Degraded = 7,
+    /// The request was cancelled server-side before producing a result
+    /// — typically the client vanished mid-wait, or the front end tore
+    /// the connection down. Distinct from [`WireError::Internal`]: the
+    /// server did nothing wrong, and a replay may well succeed.
+    Cancelled = 8,
 }
 
 impl WireError {
@@ -57,6 +62,7 @@ impl WireError {
             5 => WireError::ShuttingDown,
             6 => WireError::Internal,
             7 => WireError::Degraded,
+            8 => WireError::Cancelled,
             _ => return None,
         })
     }
@@ -730,6 +736,7 @@ mod tests {
         roundtrip_response(Response::Error(WireError::Overloaded, "busy".into()));
         roundtrip_response(Response::Error(WireError::DeadlineExpired, String::new()));
         roundtrip_response(Response::Error(WireError::Degraded, "shard 1 dark".into()));
+        roundtrip_response(Response::Error(WireError::Cancelled, "client gone".into()));
     }
 
     #[test]

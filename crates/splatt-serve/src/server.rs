@@ -1,38 +1,94 @@
-//! The blocking, thread-per-connection TCP front end.
+//! Serving front ends.
 //!
-//! One accept thread polls a non-blocking listener (checking the stop
-//! token every few milliseconds); each connection gets its own thread
-//! running a read-frame → decode → execute → write-frame loop. While a
-//! query waits on the engine, the connection thread polls the socket
-//! with a non-blocking `peek` — a client that disconnects mid-wait
-//! cancels its request instead of leaving it to finish for nobody.
+//! The default is the `splatt-net` readiness-polled reactor: one
+//! reactor thread multiplexes every connection (raw `poll(2)` where
+//! available), a bounded worker pool executes decoded requests, and
+//! three admission layers — connection cap at accept, queue depth at
+//! decode, the engine's own gate at batch — shed typed `Overloaded`
+//! frames instead of queueing unboundedly. Socket mode is owned by the
+//! reactor's connection state machine: a socket goes nonblocking once
+//! at registration and never flips again.
 //!
-//! Shutdown is cooperative, clean, and *graceful*: cancelling the
-//! engine's shutdown token (via [`ServerHandle::shutdown`], the wire
-//! `Shutdown` op, or a signal handler the embedder wires up) stops the
-//! accept loop and rejects new submissions, but requests already in
-//! flight keep executing through the engine's drain window and their
-//! responses are written in full — a response is never dropped mid-write.
+//! The legacy thread-per-connection front end survives behind
+//! [`FrontEndConfig::legacy_threads`] as the A/B oracle: responses from
+//! the two front ends are bit-identical, which the net-smoke tests pin.
+//! It too now carries a hard connection cap (an [`AdmissionGate`] permit
+//! rides in each connection thread; at capacity the accept loop writes
+//! one typed `Overloaded` frame and closes — O(1) per accept, no
+//! thread-handle bookkeeping), and its sockets are nonblocking for
+//! their whole life with paced read/write loops instead of the old
+//! per-request `set_nonblocking` toggle that raced the read timeout.
+//!
+//! Shutdown is cooperative, clean, and *graceful* on both paths:
+//! cancelling the engine's shutdown token (via
+//! [`ServerHandle::shutdown`], the wire `Shutdown` op, or a signal
+//! handler the embedder wires up) stops accepting and rejects new
+//! submissions, but requests already in flight keep executing through
+//! the engine's drain window and their responses are written in full.
 //! Request cancel tokens are fresh roots (not children of the shutdown
 //! token) precisely so the drain can complete them; client disconnects
-//! are still caught by the socket poll during the wait.
+//! are still caught — by the reactor's EOF handling on one path and the
+//! non-blocking socket peek on the other.
 
-use crate::engine::{Query, QueryResult, ServeEngine, ServeError};
+use crate::engine::ServeEngine;
 use crate::protocol::{
-    decode_request, encode_response, read_frame_polled, write_frame, Request, RequestBody,
-    Response, WireError,
+    decode_request, encode_response, read_frame_polled, write_frame, Response, WireError, MAX_FRAME,
 };
-use splatt_guard::CancelToken;
-use std::io::ErrorKind;
+use crate::service::{accept_shed_frame, wire_code_of, EngineService};
+use splatt_guard::{AdmissionGate, CancelToken};
+use splatt_net::{serve_frames, NetHandle, NetSnapshot, ReactorConfig};
+use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-/// A running server: the bound address plus the accept-thread handle.
+/// Front-end tuning for [`serve_with`].
+#[derive(Debug, Clone)]
+pub struct FrontEndConfig {
+    /// Worker threads executing decoded requests; 0 means one per core
+    /// (minimum two).
+    pub workers: usize,
+    /// Hard cap on concurrently open connections; beyond it, accepts
+    /// are shed with a typed `Overloaded` frame.
+    pub max_conns: usize,
+    /// Decoded-but-unanswered requests allowed across all connections
+    /// before the decode layer sheds.
+    pub queue_depth: usize,
+    /// Unanswered pipelined requests allowed on one connection.
+    pub max_pipeline: usize,
+    /// Reactor front end only: close connections idle this long.
+    pub idle_timeout: Duration,
+    /// Force the portable sweep poller (tests exercise the
+    /// `WouldBlock` paths deterministically with this).
+    pub force_sweep: bool,
+    /// Use the legacy thread-per-connection front end.
+    pub legacy_threads: bool,
+}
+
+impl Default for FrontEndConfig {
+    fn default() -> Self {
+        FrontEndConfig {
+            workers: 0,
+            max_conns: 4096,
+            queue_depth: 256,
+            max_pipeline: 32,
+            idle_timeout: Duration::from_secs(60),
+            force_sweep: false,
+            legacy_threads: false,
+        }
+    }
+}
+
+enum Front {
+    Reactor(Option<NetHandle>),
+    Legacy(Option<std::thread::JoinHandle<()>>),
+}
+
+/// A running server: the bound address plus whichever front end serves it.
 pub struct ServerHandle {
     addr: SocketAddr,
     engine: Arc<ServeEngine>,
-    accept_thread: Option<std::thread::JoinHandle<()>>,
+    front: Front,
 }
 
 impl ServerHandle {
@@ -46,18 +102,37 @@ impl ServerHandle {
         &self.engine
     }
 
+    /// Front-end counters; `None` on the legacy front end, which has
+    /// none (that asymmetry is itself probe-visible: schema v10 reports
+    /// `"net": null` for it).
+    pub fn net_counters(&self) -> Option<NetSnapshot> {
+        match &self.front {
+            Front::Reactor(h) => h.as_ref().map(NetHandle::counters),
+            Front::Legacy(_) => None,
+        }
+    }
+
     /// Request shutdown without blocking: trips the engine token, which
-    /// the accept loop and every connection thread poll.
+    /// both front ends observe within one poll interval.
     pub fn request_shutdown(&self) {
         self.engine.shutdown_token().cancel();
     }
 
     /// Block until the server stops (token cancelled — by
     /// [`ServerHandle::shutdown`], the wire `Shutdown` op, or the
-    /// embedder), then drain threads and join the engine's batcher.
+    /// embedder), then drain the front end and the engine's batcher.
     pub fn join(mut self) {
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
+        match &mut self.front {
+            Front::Reactor(h) => {
+                if let Some(h) = h.take() {
+                    h.wait();
+                }
+            }
+            Front::Legacy(t) => {
+                if let Some(t) = t.take() {
+                    let _ = t.join();
+                }
+            }
         }
         self.engine.shutdown();
     }
@@ -69,50 +144,177 @@ impl ServerHandle {
     }
 }
 
-/// Bind `addr` (e.g. `127.0.0.1:0`) and start serving `engine`.
+/// Bind `addr` (e.g. `127.0.0.1:0`) and serve `engine` on the default
+/// (reactor) front end with default tuning.
 ///
 /// # Errors
 /// Propagates bind failures.
 pub fn serve(engine: Arc<ServeEngine>, addr: &str) -> std::io::Result<ServerHandle> {
+    serve_with(engine, addr, FrontEndConfig::default())
+}
+
+/// Bind `addr` and serve `engine` on the configured front end.
+///
+/// # Errors
+/// Propagates bind and front-end setup failures.
+pub fn serve_with(
+    engine: Arc<ServeEngine>,
+    addr: &str,
+    config: FrontEndConfig,
+) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
-    listener.set_nonblocking(true)?;
-    let accept_engine = Arc::clone(&engine);
-    let accept_stop = engine.shutdown_token().child();
-    let accept_thread = std::thread::Builder::new()
-        .name("splatt-serve-accept".into())
-        .spawn(move || accept_loop(&listener, &accept_engine, &accept_stop))?;
+    if config.legacy_threads {
+        return serve_legacy(engine, listener, local, &config);
+    }
+    let service = Arc::new(EngineService::new(Arc::clone(&engine)));
+    let workers = if config.workers == 0 {
+        ReactorConfig::default().workers
+    } else {
+        config.workers
+    };
+    let reactor_config = ReactorConfig {
+        workers,
+        max_conns: config.max_conns,
+        queue_depth: config.queue_depth,
+        max_pipeline: config.max_pipeline,
+        idle_timeout: config.idle_timeout,
+        drain_deadline: engine.config().drain_deadline + Duration::from_secs(1),
+        max_frame: MAX_FRAME,
+        force_sweep: config.force_sweep,
+        accept_shed_frame: accept_shed_frame(config.max_conns),
+        thread_name: "splatt-serve".to_string(),
+    };
+    // The reactor's stop token is a child of the engine's shutdown
+    // token: request_shutdown, the wire Shutdown op (via
+    // EngineService::on_shutdown), and embedder signal handlers all
+    // start the same drain.
+    let stop = engine.shutdown_token().child();
+    let handle = serve_frames(
+        listener,
+        Arc::clone(&service) as Arc<dyn splatt_net::FrameService>,
+        reactor_config,
+        stop,
+    )?;
+    // Now the counters exist, let Stats report them.
+    service.attach_net(handle.counters_handle());
     Ok(ServerHandle {
         addr: local,
         engine,
-        accept_thread: Some(accept_thread),
+        front: Front::Reactor(Some(handle)),
     })
 }
 
-fn accept_loop(listener: &TcpListener, engine: &Arc<ServeEngine>, stop: &CancelToken) {
-    let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+fn serve_legacy(
+    engine: Arc<ServeEngine>,
+    listener: TcpListener,
+    local: SocketAddr,
+    config: &FrontEndConfig,
+) -> std::io::Result<ServerHandle> {
+    listener.set_nonblocking(true)?;
+    let accept_engine = Arc::clone(&engine);
+    let accept_stop = engine.shutdown_token().child();
+    let gate = Arc::new(AdmissionGate::new(config.max_conns));
+    let drain = engine.config().drain_deadline + Duration::from_secs(1);
+    let accept_thread = std::thread::Builder::new()
+        .name("splatt-serve-accept".into())
+        .spawn(move || accept_loop(&listener, &accept_engine, &accept_stop, &gate, drain))?;
+    Ok(ServerHandle {
+        addr: local,
+        engine,
+        front: Front::Legacy(Some(accept_thread)),
+    })
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    engine: &Arc<ServeEngine>,
+    stop: &CancelToken,
+    gate: &Arc<AdmissionGate>,
+    drain: Duration,
+) {
+    let shed_payload = accept_shed_frame(gate.max_depth());
     while !stop.is_cancelled() {
         match listener.accept() {
-            Ok((stream, _)) => {
-                let engine = Arc::clone(engine);
-                let conn_stop = stop.child();
-                conns.retain(|t| !t.is_finished());
-                if let Ok(handle) = std::thread::Builder::new()
-                    .name("splatt-serve-conn".into())
-                    .spawn(move || handle_conn(&engine, &conn_stop, stream))
-                {
-                    conns.push(handle);
+            Ok((stream, _)) => match gate.try_admit_owned() {
+                Ok(permit) => {
+                    let engine = Arc::clone(engine);
+                    let conn_stop = stop.child();
+                    // The permit rides in the connection thread and
+                    // releases its slot when the thread exits — the
+                    // gate's depth IS the open-connection count, so
+                    // per-accept cost is O(1) with no handle Vec.
+                    let _ = std::thread::Builder::new()
+                        .name("splatt-serve-conn".into())
+                        .spawn(move || {
+                            let _permit = permit;
+                            handle_conn(&engine, &conn_stop, &stream);
+                        });
                 }
-            }
+                Err(_) => shed_accept(stream, &shed_payload),
+            },
             Err(e) if e.kind() == ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(5));
             }
             Err(_) => std::thread::sleep(Duration::from_millis(20)),
         }
     }
-    for t in conns {
-        let _ = t.join();
+    // Connection threads poll the stop token and exit on their own;
+    // give in-flight requests the engine's drain window to finish.
+    let deadline = Instant::now() + drain;
+    while gate.depth() > 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
     }
+}
+
+/// Over-capacity accept: write one typed `Overloaded` frame (briefly —
+/// a stalled peer must not stall the accept loop) and close.
+fn shed_accept(mut stream: TcpStream, payload: &[u8]) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
+    let _ = write_frame(&mut stream, payload);
+}
+
+/// `Read` adapter for a permanently-nonblocking socket: paces
+/// `WouldBlock` with a short sleep so `read_frame_polled`'s retry loop
+/// idles at a few-millisecond cadence instead of hot-spinning.
+struct PacedReader<'a> {
+    stream: &'a TcpStream,
+}
+
+impl Read for PacedReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match (&*self.stream).read(buf) {
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+                Err(e)
+            }
+            other => other,
+        }
+    }
+}
+
+/// `write_all` for a permanently-nonblocking socket, pacing
+/// `WouldBlock` the same way.
+fn write_all_paced(stream: &TcpStream, mut buf: &[u8]) -> std::io::Result<()> {
+    while !buf.is_empty() {
+        match (&*stream).write(buf) {
+            Ok(0) => return Err(ErrorKind::WriteZero.into()),
+            Ok(n) => buf = &buf[n..],
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+fn write_frame_paced(stream: &TcpStream, payload: &[u8]) -> std::io::Result<()> {
+    let mut frame = Vec::with_capacity(4 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(payload);
+    write_all_paced(stream, &frame)
 }
 
 /// Non-blocking liveness probe: true once the peer has gone away.
@@ -126,23 +328,29 @@ fn disconnected(stream: &TcpStream) -> bool {
     }
 }
 
-fn handle_conn(engine: &Arc<ServeEngine>, stop: &CancelToken, mut stream: TcpStream) {
+fn handle_conn(engine: &Arc<ServeEngine>, stop: &CancelToken, stream: &TcpStream) {
     let _ = stream.set_nodelay(true);
-    // Short read timeout so frame reads poll the stop token instead of
-    // blocking through a shutdown.
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    // Nonblocking for the connection's whole life: reads pace through
+    // PacedReader, writes through write_all_paced, and the liveness
+    // peek during engine waits needs no mode flipping. (The old code
+    // toggled set_nonblocking around each query, racing its own 50ms
+    // read timeout.)
+    if stream.set_nonblocking(true).is_err() {
+        return;
+    }
     loop {
-        let payload = match read_frame_polled(&mut stream, &|| stop.is_cancelled()) {
+        let mut reader = PacedReader { stream };
+        let payload = match read_frame_polled(&mut reader, &|| stop.is_cancelled()) {
             Ok(Some(p)) => p,
             Ok(None) => break, // stopped between frames
             Err(_) => break,   // disconnect, EOF, or garbage framing
         };
         let response = match decode_request(&payload) {
-            Ok(req) => handle_request(engine, &stream, req),
+            Ok(req) => handle_request(engine, stream, req),
             Err(e) => Response::Error(WireError::BadRequest, e.to_string()),
         };
         let shutdown_ack = matches!(response, Response::Ack);
-        if write_frame(&mut stream, &encode_response(&response)).is_err() {
+        if write_frame_paced(stream, &encode_response(&response)).is_err() {
             break;
         }
         if shutdown_ack {
@@ -152,7 +360,13 @@ fn handle_conn(engine: &Arc<ServeEngine>, stop: &CancelToken, mut stream: TcpStr
     }
 }
 
-fn handle_request(engine: &Arc<ServeEngine>, stream: &TcpStream, req: Request) -> Response {
+fn handle_request(
+    engine: &Arc<ServeEngine>,
+    stream: &TcpStream,
+    req: crate::protocol::Request,
+) -> Response {
+    use crate::engine::{Query, QueryResult};
+    use crate::protocol::RequestBody;
     let query = match req.body {
         RequestBody::Stats => return Response::Stats(engine.profile_report().to_json()),
         RequestBody::List => return Response::Models(engine.registry().list()),
@@ -189,7 +403,6 @@ fn handle_request(engine: &Arc<ServeEngine>, stream: &TcpStream, req: Request) -
     // of cancelling them. A vanished client is still caught by the
     // non-blocking socket poll below.
     let request_root = CancelToken::new();
-    let _ = stream.set_nonblocking(true);
     let result = engine.query(
         &req.model,
         req.version,
@@ -198,21 +411,10 @@ fn handle_request(engine: &Arc<ServeEngine>, stream: &TcpStream, req: Request) -
         &request_root,
         || disconnected(stream),
     );
-    let _ = stream.set_nonblocking(false);
     match result {
         Ok(QueryResult::Entries(vals)) => Response::Entries(vals),
         Ok(QueryResult::Slice(vals)) => Response::Slice(vals.to_vec()),
         Ok(QueryResult::TopK(pairs)) => Response::TopK(pairs.to_vec()),
-        Err(err) => {
-            let code = match &err {
-                ServeError::Overloaded(_) => WireError::Overloaded,
-                ServeError::DeadlineExpired => WireError::DeadlineExpired,
-                ServeError::ModelNotFound { .. } => WireError::ModelNotFound,
-                ServeError::BadQuery(_) => WireError::BadRequest,
-                ServeError::ShuttingDown => WireError::ShuttingDown,
-                ServeError::Cancelled => WireError::Internal,
-            };
-            Response::Error(code, err.to_string())
-        }
+        Err(err) => Response::Error(wire_code_of(&err), err.to_string()),
     }
 }

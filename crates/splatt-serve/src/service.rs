@@ -1,0 +1,285 @@
+//! The `splatt-net` ↔ `splatt-serve` seam: [`EngineService`] adapts a
+//! [`ServeEngine`] to the reactor's protocol-agnostic
+//! [`FrameService`] trait.
+//!
+//! The reactor owns sockets, framing, pipelining, and the accept- and
+//! decode-layer admission gates; this adapter owns protocol semantics —
+//! decode, engine dispatch (through the batch-layer gate inside
+//! [`ServeEngine::query`]), typed error mapping, and the probe `Stats`
+//! answer, into which it splices the live front-end counters so one
+//! wire round trip reports the whole pipeline.
+
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use splatt_net::{Disposition, FrameService, NetCounters, Reply, RequestCtx, ShedLayer};
+use splatt_probe::NetFrontRow;
+
+use crate::engine::{Query, QueryResult, ServeEngine, ServeError};
+use crate::protocol::{decode_request, encode_response, Request, RequestBody, Response, WireError};
+
+/// Map a typed engine refusal onto its wire code. The `Cancelled`
+/// mapping is deliberate: it used to be folded into `Internal`, which
+/// told retrying clients the *server* had failed when in fact the
+/// server had (correctly) stopped serving a vanished client.
+pub(crate) fn wire_code_of(err: &ServeError) -> WireError {
+    match err {
+        ServeError::Overloaded(_) => WireError::Overloaded,
+        ServeError::DeadlineExpired => WireError::DeadlineExpired,
+        ServeError::ModelNotFound { .. } => WireError::ModelNotFound,
+        ServeError::BadQuery(_) => WireError::BadRequest,
+        ServeError::ShuttingDown => WireError::ShuttingDown,
+        ServeError::Cancelled => WireError::Cancelled,
+    }
+}
+
+/// Encode the typed frame written when an admission layer sheds.
+pub(crate) fn shed_frame(layer: ShedLayer) -> Vec<u8> {
+    let msg = match layer {
+        ShedLayer::QueueDepth { depth, max_depth } => {
+            format!("front-end queue full: {depth} decoded requests in flight (limit {max_depth})")
+        }
+        ShedLayer::Pipeline { max_pipeline } => {
+            format!("pipeline full: {max_pipeline} unanswered requests on this connection")
+        }
+    };
+    encode_response(&Response::Error(WireError::Overloaded, msg))
+}
+
+/// Encode the typed frame the reactor's deadline backstop answers with.
+pub(crate) fn backstop_frame() -> Vec<u8> {
+    encode_response(&Response::Error(
+        WireError::DeadlineExpired,
+        "deadline passed while the request was executing".into(),
+    ))
+}
+
+/// Encode the typed frame written to connections shed at accept.
+pub(crate) fn accept_shed_frame(max_conns: usize) -> Vec<u8> {
+    encode_response(&Response::Error(
+        WireError::Overloaded,
+        format!("connection capacity reached (limit {max_conns})"),
+    ))
+}
+
+/// Peek `deadline_ms` (payload bytes 1..5) without a full decode, so
+/// the reactor can arm its backstop timer before dispatch.
+pub(crate) fn peek_deadline(payload: &[u8], default: Duration) -> Option<Duration> {
+    if payload.len() < 5 {
+        return None;
+    }
+    let ms = u32::from_le_bytes([payload[1], payload[2], payload[3], payload[4]]);
+    if ms > 0 {
+        Some(Duration::from_millis(u64::from(ms)))
+    } else {
+        Some(default)
+    }
+}
+
+/// Roll live front-end counters into the probe `serve.net` row.
+pub(crate) fn net_row_of(counters: &NetCounters) -> NetFrontRow {
+    let s = counters.snapshot();
+    NetFrontRow {
+        accepted: s.accepted,
+        connections_open: s.connections_open,
+        connections_peak: s.connections_peak,
+        polls: s.polls,
+        readiness_wakeups: s.readiness_wakeups,
+        frames_read: s.frames_read,
+        frames_written: s.frames_written,
+        writes: s.writes,
+        coalesced_writes: s.coalesced_writes,
+        sheds_accept: s.sheds_accept,
+        sheds_decode: s.sheds_decode,
+        idle_closed: s.idle_closed,
+        deadline_backstops: s.deadline_backstops,
+        worker_threads: s.worker_threads,
+    }
+}
+
+/// See the module docs.
+pub(crate) struct EngineService {
+    engine: Arc<ServeEngine>,
+    /// Set once the reactor exists (it owns the counters); `Stats`
+    /// answers before that simply omit the net row.
+    net: OnceLock<Arc<NetCounters>>,
+}
+
+impl EngineService {
+    pub(crate) fn new(engine: Arc<ServeEngine>) -> EngineService {
+        EngineService {
+            engine,
+            net: OnceLock::new(),
+        }
+    }
+
+    pub(crate) fn attach_net(&self, counters: Arc<NetCounters>) {
+        let _ = self.net.set(counters);
+    }
+
+    pub(crate) fn net_row(&self) -> Option<NetFrontRow> {
+        self.net.get().map(|c| net_row_of(c))
+    }
+
+    fn respond(&self, req: Request, ctx: &RequestCtx) -> Response {
+        let query = match req.body {
+            RequestBody::Stats => {
+                let mut report = self.engine.profile_report();
+                if let Some(serve) = report.serve.as_mut() {
+                    serve.net = self.net_row();
+                }
+                return Response::Stats(report.to_json());
+            }
+            RequestBody::List => return Response::Models(self.engine.registry().list()),
+            RequestBody::Shutdown => return Response::Ack,
+            RequestBody::Health => {
+                return Response::Health {
+                    worker: self.engine.config().worker,
+                    shard: self.engine.config().shard,
+                }
+            }
+            RequestBody::Entry { order: _, coords } => Query::Entry { coords },
+            RequestBody::Slice { mode, index } => Query::Slice { mode, index },
+            RequestBody::TopK { mode, k, fixed } => Query::TopK { mode, k, fixed },
+            RequestBody::TopKShard {
+                mode,
+                k,
+                fixed,
+                sel,
+            } => Query::TopKShard {
+                mode,
+                k,
+                fixed,
+                sel,
+            },
+            RequestBody::SliceShard { mode, index, sel } => Query::SliceShard { mode, index, sel },
+        };
+        let deadline = if req.deadline_ms > 0 {
+            Some(Duration::from_millis(u64::from(req.deadline_ms)))
+        } else {
+            None
+        };
+        // A fresh root token per request — deliberately NOT a child of
+        // the shutdown token, so a drain completes in-flight requests
+        // instead of cancelling them. Disconnects surface through the
+        // reactor-owned alive flag polled below; the per-request socket
+        // peeking (and its nonblocking-mode toggling) is gone.
+        let request_root = splatt_guard::CancelToken::new();
+        let result = self.engine.query(
+            &req.model,
+            req.version,
+            query,
+            deadline,
+            &request_root,
+            || ctx.is_aborted(),
+        );
+        match result {
+            Ok(QueryResult::Entries(vals)) => Response::Entries(vals),
+            Ok(QueryResult::Slice(vals)) => Response::Slice(vals.to_vec()),
+            Ok(QueryResult::TopK(pairs)) => Response::TopK(pairs.to_vec()),
+            Err(err) => Response::Error(wire_code_of(&err), err.to_string()),
+        }
+    }
+}
+
+impl FrameService for EngineService {
+    fn handle(&self, payload: &[u8], ctx: &RequestCtx) -> Reply {
+        let response = match decode_request(payload) {
+            Ok(req) => self.respond(req, ctx),
+            Err(e) => Response::Error(WireError::BadRequest, e.to_string()),
+        };
+        let disposition = if matches!(response, Response::Ack) {
+            Disposition::ShutdownAfterWrite
+        } else {
+            Disposition::Continue
+        };
+        Reply {
+            payload: encode_response(&response),
+            disposition,
+        }
+    }
+
+    fn deadline_of(&self, payload: &[u8]) -> Option<Duration> {
+        peek_deadline(payload, self.engine.config().default_deadline)
+    }
+
+    fn shed_reply(&self, layer: ShedLayer) -> Vec<u8> {
+        shed_frame(layer)
+    }
+
+    fn deadline_reply(&self) -> Vec<u8> {
+        backstop_frame()
+    }
+
+    fn on_shutdown(&self) {
+        self.engine.shutdown_token().cancel();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::encode_request;
+
+    #[test]
+    fn peek_deadline_matches_full_decode() {
+        let req = Request {
+            deadline_ms: 750,
+            model: "m".into(),
+            version: 0,
+            body: RequestBody::List,
+        };
+        let payload = encode_request(&req).unwrap();
+        assert_eq!(
+            peek_deadline(&payload, Duration::from_secs(5)),
+            Some(Duration::from_millis(750))
+        );
+        let req = Request {
+            deadline_ms: 0,
+            ..req
+        };
+        let payload = encode_request(&req).unwrap();
+        // 0 means "server default"; the backstop covers that too.
+        assert_eq!(
+            peek_deadline(&payload, Duration::from_secs(5)),
+            Some(Duration::from_secs(5))
+        );
+        assert_eq!(peek_deadline(&[1, 2], Duration::from_secs(5)), None);
+    }
+
+    #[test]
+    fn cancelled_maps_to_its_own_wire_code() {
+        assert_eq!(wire_code_of(&ServeError::Cancelled), WireError::Cancelled);
+        assert_eq!(
+            wire_code_of(&ServeError::ShuttingDown),
+            WireError::ShuttingDown
+        );
+    }
+
+    #[test]
+    fn shed_frames_decode_as_typed_overloaded() {
+        use crate::protocol::decode_response;
+        let frame = shed_frame(ShedLayer::QueueDepth {
+            depth: 8,
+            max_depth: 8,
+        });
+        match decode_response(&frame).unwrap() {
+            Response::Error(WireError::Overloaded, msg) => {
+                assert!(msg.contains("limit 8"), "{msg}");
+            }
+            other => panic!("expected typed Overloaded, got {other:?}"),
+        }
+        let frame = accept_shed_frame(100);
+        match decode_response(&frame).unwrap() {
+            Response::Error(WireError::Overloaded, msg) => {
+                assert!(msg.contains("connection capacity"), "{msg}");
+            }
+            other => panic!("expected typed Overloaded, got {other:?}"),
+        }
+        let frame = backstop_frame();
+        match decode_response(&frame).unwrap() {
+            Response::Error(WireError::DeadlineExpired, _) => {}
+            other => panic!("expected typed DeadlineExpired, got {other:?}"),
+        }
+    }
+}

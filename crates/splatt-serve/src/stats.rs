@@ -209,9 +209,11 @@ impl ServeStats {
             deadline_rejections: self.deadline_rejections(),
             arena_growth_allocs: self.arena_growth_allocs.load(Ordering::Relaxed),
             arena_growth_bytes: self.arena_growth_bytes.load(Ordering::Relaxed),
-            // Per-shard failover counters are a router concern; the
-            // router fills them in after this rollup.
+            // Per-shard failover counters are a router concern, and the
+            // net row belongs to the front end; both fill in after this
+            // rollup.
             shards: Vec::new(),
+            net: None,
         }
     }
 }

@@ -16,7 +16,8 @@ use splatt::core::{
 use splatt::par::Routine;
 use splatt::serve::protocol::Response;
 use splatt::serve::{
-    serve, Client, ClusterConfig, LoopbackCluster, ServeConfig, ServeEngine, SharedModel,
+    serve_with, Client, ClusterConfig, FrontEndConfig, LoopbackCluster, ServeConfig, ServeEngine,
+    SharedModel,
 };
 use splatt::tensor::{io, synth, TensorStats};
 use splatt::{
@@ -50,6 +51,7 @@ fn usage() -> ExitCode {
          splatt export-model <checkpoint|model|.kruskal> --out FILE\n  \
          splatt serve --model NAME=FILE[,NAME=FILE...] [--addr HOST:PORT]\n              \
          [--tasks N] [--depth N] [--batch N] [--cache N] [--deadline-ms MS]\n              \
+         [--net-workers N] [--max-conns N] [--legacy-threads 1]\n              \
          [--shards N [--replicas M] [--seed S]]   (cluster mode: one --model)\n  \
          splatt cluster <addr>   (router health + per-shard failover counters)\n  \
          splatt query <addr> entry --model NAME --coords i,j,k[;i,j,k...]\n              \
@@ -967,6 +969,13 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         )?),
         ..Default::default()
     };
+    let front_defaults = FrontEndConfig::default();
+    let front = FrontEndConfig {
+        workers: flags.parse_or("net-workers", front_defaults.workers)?,
+        max_conns: flags.parse_or("max-conns", front_defaults.max_conns)?,
+        legacy_threads: flags.parse_or("legacy-threads", 0u8)? != 0,
+        ..front_defaults
+    };
     let engine = ServeEngine::start(config);
     for (name, path) in &specs {
         let model = splatt::core::load_model_path(std::path::Path::new(path))
@@ -974,7 +983,7 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         let version = engine.publish(name, model);
         println!("published {name} v{version} from {path}");
     }
-    let handle = serve(engine, addr).map_err(|e| format!("{addr}: {e}"))?;
+    let handle = serve_with(engine, addr, front).map_err(|e| format!("{addr}: {e}"))?;
     // Tests parse the bound address from a pipe: flush past block buffering.
     println!("serving {} model(s) on {}", specs.len(), handle.addr());
     std::io::stdout().flush().map_err(|e| e.to_string())?;

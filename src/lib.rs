@@ -88,6 +88,13 @@ pub mod guard {
     pub use splatt_guard::*;
 }
 
+/// The std-only multiplexed I/O substrate: readiness-polled reactor,
+/// bounded worker pool, frame state machines, and the timer wheel the
+/// serving front end runs on.
+pub mod net {
+    pub use splatt_net::*;
+}
+
 /// Factor-model serving: registry, batched query engine, TCP front end.
 pub mod serve {
     pub use splatt_serve::*;

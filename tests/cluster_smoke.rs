@@ -177,7 +177,10 @@ fn calm_cluster_answers_every_query_shape_bit_identically() {
     }
     match client.stats().unwrap() {
         Response::Stats(json) => {
-            assert!(json.contains("\"schema\": \"splatt-profile-v9\""), "{json}");
+            assert!(
+                json.contains("\"schema\": \"splatt-profile-v10\""),
+                "{json}"
+            );
             assert!(json.contains("\"shards\": ["), "{json}");
         }
         other => panic!("expected stats, got {other:?}"),

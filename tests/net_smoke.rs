@@ -1,0 +1,378 @@
+//! Front-end smoke tests for the `splatt-net` reactor: a 10k-connection
+//! mostly-idle run served by a bounded worker pool, a saturation run
+//! showing typed shedding with bounded admitted-request latency, and a
+//! bit-identical A/B sweep against the legacy thread-per-connection
+//! oracle. The first two write `target/net-smoke-report.json` /
+//! `target/net-saturation-report.json` for CI artifact upload.
+
+use splatt::serve::protocol::{
+    decode_response, encode_request, read_frame, write_frame, Request, RequestBody, Response,
+    WireError,
+};
+use splatt::serve::{serve_with, FrontEndConfig, ServeConfig, ServeEngine, ServerHandle};
+use splatt::{KruskalModel, Matrix};
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// The big tests share the process fd budget; run them one at a time.
+fn serial_guard() -> std::sync::MutexGuard<'static, ()> {
+    static SERIAL: Mutex<()> = Mutex::new(());
+    SERIAL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Deterministic xorshift64* — seeded, no external crates.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// A small deterministic model (3 modes, rank 3).
+fn test_model(seed: u64) -> KruskalModel {
+    KruskalModel {
+        lambda: vec![1.5, -0.75, 0.25],
+        factors: vec![
+            Matrix::random(7, 3, seed),
+            Matrix::random(5, 3, seed ^ 0xA5),
+            Matrix::random(6, 3, seed ^ 0x5A),
+        ],
+    }
+}
+
+fn start_server(front: FrontEndConfig, config: ServeConfig) -> (ServerHandle, KruskalModel) {
+    let engine = ServeEngine::start(config);
+    let model = test_model(0xBEEF);
+    engine.publish("m", model.clone());
+    let handle = serve_with(engine, "127.0.0.1:0", front).expect("bind");
+    (handle, model)
+}
+
+fn entry_request(rng: &mut Rng, model: &KruskalModel, deadline_ms: u32) -> (Request, Vec<f64>) {
+    let coords: Vec<u32> = model
+        .factors
+        .iter()
+        .map(|f| rng.below(f.rows() as u64) as u32)
+        .collect();
+    let want = vec![model.value_at(&coords)];
+    (
+        Request {
+            deadline_ms,
+            model: "m".into(),
+            version: 0,
+            body: RequestBody::Entry { order: 3, coords },
+        },
+        want,
+    )
+}
+
+fn call_raw(stream: &mut TcpStream, req: &Request) -> std::io::Result<Response> {
+    write_frame(stream, &encode_request(req).expect("encode"))?;
+    decode_response(&read_frame(stream)?).map_err(std::io::Error::other)
+}
+
+fn assert_bits_eq(got: &[f64], want: &[f64], what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: length mismatch");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(g.to_bits(), w.to_bits(), "{what}: value {i} ({g} vs {w})");
+    }
+}
+
+#[test]
+fn ten_thousand_mostly_idle_connections_on_a_bounded_pool() {
+    let _guard = serial_guard();
+    // Each loopback connection costs two fds in this process (client +
+    // server end); leave headroom for everything else.
+    let limit = splatt::net::sys::raise_nofile_limit(24_000)
+        .or_else(|_| splatt::net::sys::nofile_limit().map(|(soft, _)| soft))
+        .unwrap_or(1_024);
+    let target = 10_000usize.min(((limit.saturating_sub(600)) / 2) as usize);
+    assert!(
+        target >= 1_000,
+        "fd limit {limit} too low for a meaningful run"
+    );
+
+    let (handle, model) = start_server(
+        FrontEndConfig {
+            max_conns: target + 64,
+            ..FrontEndConfig::default()
+        },
+        ServeConfig::default(),
+    );
+    let addr = handle.addr();
+    let started = Instant::now();
+    let mut rng = Rng(0x1D1E_5EED);
+    let mut conns: Vec<TcpStream> = Vec::with_capacity(target);
+    let mut queried = 0usize;
+    for i in 0..target {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        // A sparse minority of connections actually talk; the rest sit
+        // idle and must cost no threads.
+        if i % 97 == 0 {
+            stream.set_nodelay(true).unwrap();
+            stream
+                .set_read_timeout(Some(Duration::from_secs(20)))
+                .unwrap();
+            let (req, want) = entry_request(&mut rng, &model, 10_000);
+            match call_raw(&mut stream, &req).expect("query") {
+                Response::Entries(vals) => assert_bits_eq(&vals, &want, "idle-smoke entry"),
+                other => panic!("expected entries, got {other:?}"),
+            }
+            queried += 1;
+        }
+        conns.push(stream);
+    }
+
+    // Every connection registers with the reactor (accept is async to
+    // the connect call).
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let snapshot = loop {
+        let snap = handle.net_counters().expect("reactor front end");
+        if snap.connections_peak >= target as u64 || Instant::now() > deadline {
+            break snap;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert!(
+        snapshot.connections_peak >= target as u64,
+        "only {} of {target} connections registered",
+        snapshot.connections_peak
+    );
+
+    // The whole point: tens of thousands of connections, a handful of
+    // threads. Allow reactor + workers within 2x cores (floor of 2
+    // workers on tiny machines), and demand it is *far* below the
+    // connection count.
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let allowed = (2 * cores).max(4) as u64;
+    assert!(
+        snapshot.worker_threads <= allowed,
+        "{} worker threads for {cores} cores",
+        snapshot.worker_threads
+    );
+    assert!(
+        (snapshot.worker_threads as usize) * 100 < target,
+        "pool ({}) not bounded relative to connections ({target})",
+        snapshot.worker_threads
+    );
+    assert_eq!(snapshot.sheds_accept, 0, "no shedding below the cap");
+    assert!(queried > 0 && snapshot.frames_read >= queried as u64);
+
+    let report = format!(
+        "{{\"test\": \"mostly_idle_smoke\", \"target_connections\": {target}, \
+         \"cores\": {cores}, \"elapsed_ms\": {}, \"queried\": {queried}, \
+         \"accepted\": {}, \"connections_peak\": {}, \"worker_threads\": {}, \
+         \"polls\": {}, \"readiness_wakeups\": {}, \"frames_read\": {}, \
+         \"frames_written\": {}}}\n",
+        started.elapsed().as_millis(),
+        snapshot.accepted,
+        snapshot.connections_peak,
+        snapshot.worker_threads,
+        snapshot.polls,
+        snapshot.readiness_wakeups,
+        snapshot.frames_read,
+        snapshot.frames_written,
+    );
+    std::fs::create_dir_all("target").ok();
+    std::fs::write("target/net-smoke-report.json", report).expect("write report");
+
+    drop(conns);
+    handle.shutdown();
+}
+
+#[test]
+fn saturation_sheds_typed_overloaded_with_bounded_admitted_latency() {
+    let _guard = serial_guard();
+    const DEADLINE_MS: u32 = 2_000;
+    const CLIENTS: usize = 8;
+    const PIPELINE: usize = 16;
+    const ROUNDS: usize = 6;
+
+    let (handle, model) = start_server(
+        FrontEndConfig {
+            workers: 2,
+            max_conns: 64,
+            queue_depth: 2,
+            max_pipeline: 32,
+            ..FrontEndConfig::default()
+        },
+        ServeConfig {
+            ntasks: 1,
+            max_depth: 2,
+            ..ServeConfig::default()
+        },
+    );
+    let addr = handle.addr();
+    let started = Instant::now();
+
+    let ok_latencies: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    let sheds = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let threads: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let ok_latencies = Arc::clone(&ok_latencies);
+            let sheds = Arc::clone(&sheds);
+            let model = model.clone();
+            std::thread::spawn(move || {
+                let mut rng = Rng(0x5A7_0000 + c as u64);
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                stream.set_nodelay(true).unwrap();
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(30)))
+                    .unwrap();
+                for _ in 0..ROUNDS {
+                    // Pipeline a burst, then read every answer back in
+                    // order — this is what overwhelms the decode gate.
+                    let mut wants = Vec::with_capacity(PIPELINE);
+                    let sent = Instant::now();
+                    for _ in 0..PIPELINE {
+                        let (req, want) = entry_request(&mut rng, &model, DEADLINE_MS);
+                        write_frame(&mut stream, &encode_request(&req).unwrap()).expect("send");
+                        wants.push(want);
+                    }
+                    for want in &wants {
+                        let frame = read_frame(&mut stream).expect("recv");
+                        match decode_response(&frame).expect("decode") {
+                            Response::Entries(vals) => {
+                                assert_bits_eq(&vals, want, "saturated entry");
+                                ok_latencies
+                                    .lock()
+                                    .unwrap()
+                                    .push(sent.elapsed().as_micros() as u64);
+                            }
+                            Response::Error(
+                                WireError::Overloaded | WireError::DeadlineExpired,
+                                _,
+                            ) => {
+                                sheds.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            }
+                            other => panic!("untyped saturation outcome: {other:?}"),
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("client thread");
+    }
+
+    let snapshot = handle.net_counters().expect("reactor front end");
+    let mut lat = ok_latencies.lock().unwrap().clone();
+    lat.sort_unstable();
+    assert!(!lat.is_empty(), "saturation run admitted nothing");
+    let p99 = lat[((lat.len() * 99) / 100).min(lat.len() - 1)];
+    let shed_total = sheds.load(std::sync::atomic::Ordering::Relaxed);
+    assert!(
+        shed_total > 0 || snapshot.sheds_decode > 0,
+        "saturation produced no typed sheds (decode counter {})",
+        snapshot.sheds_decode
+    );
+    assert!(
+        p99 <= u64::from(DEADLINE_MS) * 1_000,
+        "p99 {}us exceeds the {DEADLINE_MS}ms deadline",
+        p99
+    );
+
+    let report = format!(
+        "{{\"test\": \"saturation\", \"clients\": {CLIENTS}, \"pipeline\": {PIPELINE}, \
+         \"rounds\": {ROUNDS}, \"deadline_ms\": {DEADLINE_MS}, \"elapsed_ms\": {}, \
+         \"admitted\": {}, \"typed_sheds\": {shed_total}, \"p99_micros\": {p99}, \
+         \"sheds_decode\": {}, \"sheds_accept\": {}, \"frames_read\": {}, \
+         \"coalesced_writes\": {}, \"writes\": {}}}\n",
+        started.elapsed().as_millis(),
+        lat.len(),
+        snapshot.sheds_decode,
+        snapshot.sheds_accept,
+        snapshot.frames_read,
+        snapshot.coalesced_writes,
+        snapshot.writes,
+    );
+    std::fs::create_dir_all("target").ok();
+    std::fs::write("target/net-saturation-report.json", report).expect("write report");
+
+    handle.shutdown();
+}
+
+#[test]
+fn reactor_and_legacy_front_ends_answer_bit_identically() {
+    let _guard = serial_guard();
+    let (reactor, model) = start_server(FrontEndConfig::default(), ServeConfig::default());
+    let (legacy, _) = start_server(
+        FrontEndConfig {
+            legacy_threads: true,
+            ..FrontEndConfig::default()
+        },
+        ServeConfig::default(),
+    );
+    assert!(reactor.net_counters().is_some());
+    assert!(legacy.net_counters().is_none(), "legacy has no reactor");
+
+    let mut a = splatt::serve::Client::connect(reactor.addr()).expect("connect reactor");
+    let mut b = splatt::serve::Client::connect(legacy.addr()).expect("connect legacy");
+    a.set_io_timeout(Some(Duration::from_secs(20))).unwrap();
+    b.set_io_timeout(Some(Duration::from_secs(20))).unwrap();
+
+    let mut rng = Rng(0xAB0_CAFE);
+    for i in 0..160 {
+        let req = match rng.below(6) {
+            0 => entry_request(&mut rng, &model, 5_000).0,
+            1 => Request {
+                deadline_ms: 5_000,
+                model: "m".into(),
+                version: 0,
+                body: RequestBody::Slice {
+                    mode: rng.below(3) as u8,
+                    index: rng.below(5) as u32,
+                },
+            },
+            2 => Request {
+                deadline_ms: 5_000,
+                model: "m".into(),
+                version: 0,
+                body: RequestBody::TopK {
+                    mode: 0,
+                    k: 1 + rng.below(7) as u32,
+                    fixed: vec![rng.below(5) as u32, rng.below(6) as u32],
+                },
+            },
+            3 => Request {
+                deadline_ms: 0,
+                model: String::new(),
+                version: 0,
+                body: RequestBody::List,
+            },
+            4 => Request {
+                deadline_ms: 0,
+                model: String::new(),
+                version: 0,
+                body: RequestBody::Health,
+            },
+            // Typed errors must match bit-for-bit too.
+            _ => Request {
+                deadline_ms: 5_000,
+                model: "missing".into(),
+                version: 3,
+                body: RequestBody::Slice { mode: 0, index: 0 },
+            },
+        };
+        let fa = a.call_frame(&req).expect("reactor call");
+        let fb = b.call_frame(&req).expect("legacy call");
+        assert_eq!(fa, fb, "response {i} differs between front ends: {req:?}");
+    }
+
+    reactor.shutdown();
+    legacy.shutdown();
+}

@@ -388,7 +388,10 @@ fn tcp_loopback_answers_match_oracle_and_errors_are_typed() {
     }
     match client.stats().unwrap() {
         Response::Stats(json) => {
-            assert!(json.contains("\"schema\": \"splatt-profile-v9\""), "{json}");
+            assert!(
+                json.contains("\"schema\": \"splatt-profile-v10\""),
+                "{json}"
+            );
             assert!(json.contains("\"serve\": {"), "{json}");
         }
         other => panic!("expected stats, got {other:?}"),
@@ -575,6 +578,7 @@ fn transience_classification_matches_the_retry_contract() {
         WireError::Overloaded,
         WireError::ShuttingDown,
         WireError::Internal,
+        WireError::Cancelled,
     ] {
         assert_eq!(classify(code), Transience::Transient, "{code:?}");
     }
